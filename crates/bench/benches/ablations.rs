@@ -1,0 +1,87 @@
+//! Ablation benches:
+//! A1 — MaxEsterel vs MinEsterel splitting (paper §3 vs §6);
+//! A2 — EFSM optimization on/off (paper §3 "logic optimization");
+//! A3 — hardware partition: Verilog generation for a pure-control
+//!      machine (paper §4: "the CRC computation may be [a] good
+//!      candidate for hardware");
+//! A4 — delayed vs immediate await (reproduction extension).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecl_bench::compile_with;
+use ecl_core::SplitStrategy;
+use sim::designs::PROTOCOL_STACK;
+
+fn bench_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_split");
+    g.sample_size(10);
+    for (name, strat) in [
+        ("max_esterel", SplitStrategy::MaxEsterel),
+        ("min_esterel", SplitStrategy::MinEsterel),
+    ] {
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let d = compile_with(PROTOCOL_STACK, "toplevel", strat);
+                d.to_efsm(&Default::default()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_opt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_opt");
+    g.sample_size(10);
+    let d = compile_with(PROTOCOL_STACK, "toplevel", SplitStrategy::MaxEsterel);
+    for (name, optimize) in [("optimized", true), ("unoptimized", false)] {
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                d.to_efsm(&esterel::CompileOptions {
+                    optimize,
+                    ..Default::default()
+                })
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hw_partition");
+    g.sample_size(20);
+    // A pure-control CRC-ready skeleton (the data part is what keeps
+    // checkcrc in software; the control skeleton synthesizes).
+    let src = "
+        module crc_ctl(input pure reset, input pure pkt, output pure done) {
+          while (1) { do { await (pkt); emit (done); } abort (reset); }
+        }";
+    let d = compile_with(src, "crc_ctl", SplitStrategy::MinEsterel);
+    let m = d.to_efsm(&Default::default()).unwrap();
+    g.bench_function("verilog_emit", |bench| {
+        bench.iter(|| codegen::verilog::emit_verilog(&m).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_await(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_await");
+    g.sample_size(10);
+    for (name, kw) in [("delayed", "await"), ("immediate", "await_immediate")] {
+        // The delta after the emission keeps the loop non-instantaneous
+        // even when `a` stays present (with `await_immediate` the
+        // compiler correctly rejects the loop otherwise).
+        let src = format!(
+            "module m(input pure a, output pure o) {{ while (1) {{ {kw} (a); emit (o); await (); }} }}"
+        );
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let d = compile_with(&src, "m", SplitStrategy::MaxEsterel);
+                d.to_efsm(&Default::default()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_split, bench_opt, bench_hw, bench_await);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Table 1 pipeline (T1): measures the wall
+//! time of compiling + running each configuration at reduced workload
+//! size (the full 500-packet row generator is `gen_table1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecl_bench as b;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    let stack_ev = b::stack_events(10);
+    let pager_ev = b::pager_events(2);
+    g.bench_function("stack_1task", |bench| {
+        bench.iter(|| b::row(vec![b::stack_mono()], &stack_ev, "1 task"))
+    });
+    g.bench_function("stack_3tasks", |bench| {
+        bench.iter(|| b::row(b::stack_parts(), &stack_ev, "3 tasks"))
+    });
+    g.bench_function("buffer_1task", |bench| {
+        bench.iter(|| b::row(vec![b::pager_mono()], &pager_ev, "1 task"))
+    });
+    g.bench_function("buffer_3tasks", |bench| {
+        bench.iter(|| b::row(b::pager_parts(), &pager_ev, "3 tasks"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerate the paper's Table 1 (synchronous vs. asynchronous
+//! implementation trade-offs): `cargo run -p ecl-bench --bin gen_table1`.
+
+use ecl_bench as b;
+
+fn main() {
+    println!("Table 1 reproduction — sync/async implementation trade-offs");
+    println!("(testbench: 500 packets for Stack, 25 record/play rounds for Buffer)\n");
+    let stack_ev = b::stack_events(500);
+    let pager_ev = b::pager_events(25);
+
+    println!("Example: Stack (protocol stack, Figures 1-4)");
+    let s1 = b::row(vec![b::stack_mono()], &stack_ev, "1 task");
+    println!("  {}", s1.row());
+    let s3 = b::row(b::stack_parts(), &stack_ev, "3 tasks");
+    println!("  {}", s3.row());
+
+    println!("\nExample: Buffer (voice pager audio buffer controller)");
+    let p1 = b::row(vec![b::pager_mono()], &pager_ev, "1 task");
+    println!("  {}", p1.row());
+    let p3 = b::row(b::pager_parts(), &pager_ev, "3 tasks");
+    println!("  {}", p3.row());
+
+    println!("\nStates per task:");
+    println!("  Stack  1 task : {:?}", s1.states_per_task);
+    println!("  Stack  3 tasks: {:?}", s3.states_per_task);
+    println!("  Buffer 1 task : {:?}", p1.states_per_task);
+    println!("  Buffer 3 tasks: {:?}", p3.states_per_task);
+
+    println!("\nFunctional sanity (emission counts):");
+    for (name, m) in [("Stack 1t", &s1), ("Stack 3t", &s3), ("Buffer 1t", &p1), ("Buffer 3t", &p3)] {
+        let mut keys: Vec<_> = m.outputs.iter().collect();
+        keys.sort();
+        println!("  {name}: {keys:?} (events lost: {})", m.events_lost);
+    }
+
+    println!("\nShape checks vs. the paper:");
+    let c1 = s1.task.code_bytes < s3.task.code_bytes;
+    println!("  Stack: sync task code < async task code (paper: 1008 < 1632): {c1}");
+    let c2 = p1.task.code_bytes > p3.task.code_bytes;
+    println!("  Buffer: sync task code > async task code (paper: 7072 > 2544): {c2}");
+    let c3 = s1.rtos.code_bytes < s3.rtos.code_bytes && p1.rtos.data_bytes < p3.rtos.data_bytes;
+    println!("  RTOS footprint grows with task count: {c3}");
+    let c4 = s1.rtos_kcycles < s3.rtos_kcycles;
+    println!("  Stack: RTOS time grows with task count (paper: 8032 < 8815): {c4}");
+}

@@ -1,0 +1,79 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The binaries (`gen_table1`, `gen_ablation`) and the Criterion benches
+//! all go through these helpers so the measured configurations are
+//! identical everywhere. See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+
+use codegen::cost::CostParams;
+use ecl_core::{Compiler, Design, Options};
+use sim::measure::{measure, Measurement};
+use sim::tb::{InstantEvents, PacketTb, PagerTb};
+
+/// Compile the protocol stack (Figures 1–4) as one synchronous design.
+pub fn stack_mono() -> Design {
+    Compiler::default()
+        .compile_str(sim::designs::PROTOCOL_STACK, "toplevel")
+        .expect("stack compiles")
+}
+
+/// Compile the protocol stack as three asynchronous tasks.
+pub fn stack_parts() -> Vec<Design> {
+    Compiler::default()
+        .partition(sim::designs::PROTOCOL_STACK, "toplevel")
+        .expect("stack partitions")
+}
+
+/// Compile the voice pager as one synchronous design.
+pub fn pager_mono() -> Design {
+    Compiler::default()
+        .compile_str(sim::designs::VOICE_PAGER, "pager")
+        .expect("pager compiles")
+}
+
+/// Compile the voice pager as three asynchronous tasks.
+pub fn pager_parts() -> Vec<Design> {
+    Compiler::default()
+        .partition(sim::designs::VOICE_PAGER, "pager")
+        .expect("pager partitions")
+}
+
+/// The paper's packet workload (500 packets by default).
+pub fn stack_events(packets: usize) -> Vec<InstantEvents> {
+    PacketTb {
+        packets,
+        corrupt_every: 5,
+        reset_every: 0,
+        seed: 1999,
+    }
+    .events()
+}
+
+/// The pager workload.
+pub fn pager_events(rounds: usize) -> Vec<InstantEvents> {
+    PagerTb {
+        rounds,
+        frames: 4,
+        seed: 7,
+    }
+    .events()
+}
+
+/// One Table 1 row.
+pub fn row(designs: Vec<Design>, events: &[InstantEvents], label: &str) -> Measurement {
+    measure(
+        designs,
+        events,
+        label,
+        &Default::default(),
+        &CostParams::default(),
+    )
+    .expect("measurement succeeds")
+}
+
+/// Compile with an explicit splitter strategy.
+pub fn compile_with(src: &str, entry: &str, strategy: ecl_core::SplitStrategy) -> Design {
+    Compiler::new(Options { strategy })
+        .compile_str(src, entry)
+        .expect("compiles")
+}

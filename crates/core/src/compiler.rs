@@ -1,0 +1,388 @@
+//! The public ECL compiler API.
+//!
+//! [`Compiler`] drives the paper's three-phase flow: parse → split
+//! (elaboration + reactive/data separation) → EFSM generation. The
+//! result, a [`Design`], bundles everything later stages need: the
+//! Esterel program, the extracted data tables, the elaboration tables,
+//! and constructors for the runtime and for compiled EFSMs.
+
+use crate::elab::{self, Elab, Instantiation};
+use crate::rt::{Rt, RtError};
+use crate::split::{self, SplitResult, SplitStrategy};
+use ecl_syntax::ast::Program as Ast;
+use ecl_syntax::{parse_named, DiagSink};
+use efsm::Efsm;
+use esterel::compile::{CompileError, CompileOptions};
+use std::fmt;
+
+/// Compiler options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Splitting strategy (paper Section 3 vs. Section 6).
+    pub strategy: SplitStrategy,
+}
+
+/// Any failure along the compilation pipeline.
+#[derive(Debug)]
+pub enum CompilerError {
+    /// Lex/parse errors.
+    Parse(DiagSink),
+    /// Elaboration errors (unknown modules, recursion, arity…).
+    Elab(elab::ElabError),
+    /// Splitting errors (unsupported constructs, loop shape…).
+    Split(split::SplitError),
+    /// Two different instances emit the same signal.
+    MultipleWriters {
+        /// The contested signal.
+        signal: String,
+        /// The emitting instance paths.
+        writers: Vec<String>,
+    },
+    /// An instance emits one of the design's *input* signals.
+    EmitsInput {
+        /// The signal.
+        signal: String,
+    },
+    /// EFSM generation failed.
+    Efsm(CompileError),
+    /// Runtime construction failed.
+    Rt(RtError),
+}
+
+impl fmt::Display for CompilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompilerError::Parse(sink) => write!(f, "parse errors:\n{sink}"),
+            CompilerError::Elab(e) => write!(f, "{e}"),
+            CompilerError::Split(e) => write!(f, "{e}"),
+            CompilerError::MultipleWriters { signal, writers } => write!(
+                f,
+                "signal `{signal}` has multiple writers: {writers:?} \
+                 (ECL requires a single writer per signal)"
+            ),
+            CompilerError::EmitsInput { signal } => {
+                write!(f, "design input `{signal}` is emitted internally")
+            }
+            CompilerError::Efsm(e) => write!(f, "{e}"),
+            CompilerError::Rt(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompilerError {}
+
+/// The ECL compiler.
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    options: Options,
+}
+
+impl Compiler {
+    /// Create a compiler with the given options.
+    pub fn new(options: Options) -> Self {
+        Compiler { options }
+    }
+
+    /// Compile source text with `entry` as the top-level module.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompilerError`].
+    pub fn compile_str(&self, src: &str, entry: &str) -> Result<Design, CompilerError> {
+        let ast = parse_named(src, entry).map_err(CompilerError::Parse)?;
+        self.compile_ast(ast, entry, None)
+    }
+
+    /// Compile an already-parsed program.
+    ///
+    /// `actuals` renames the entry's parameters to global signal names
+    /// (used when compiling one submodule of a partitioned top level).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompilerError`].
+    pub fn compile_ast(
+        &self,
+        ast: Ast,
+        entry: &str,
+        actuals: Option<&[String]>,
+    ) -> Result<Design, CompilerError> {
+        let elab = elab::elaborate(&ast, entry, actuals).map_err(CompilerError::Elab)?;
+        // Single-writer check (paper Section 4 item 8).
+        let mut writers: std::collections::HashMap<&str, Vec<&str>> =
+            std::collections::HashMap::new();
+        for (sig, path) in &elab.emitters {
+            let w = writers.entry(sig.as_str()).or_default();
+            if !w.contains(&path.as_str()) {
+                w.push(path.as_str());
+            }
+        }
+        for (sig, w) in &writers {
+            if w.len() > 1 {
+                return Err(CompilerError::MultipleWriters {
+                    signal: sig.to_string(),
+                    writers: w.iter().map(|s| s.to_string()).collect(),
+                });
+            }
+            if let Some(idx) = elab.signal(sig) {
+                if elab.signals[idx].kind == efsm::SigKind::Input {
+                    return Err(CompilerError::EmitsInput {
+                        signal: sig.to_string(),
+                    });
+                }
+            }
+        }
+        let split = split::split(&elab, self.options.strategy).map_err(CompilerError::Split)?;
+        Ok(Design {
+            entry: entry.to_string(),
+            ast,
+            elab,
+            split,
+        })
+    }
+
+    /// Partition a top-level module into its direct sub-instantiations
+    /// and compile each as an independent design (the paper's
+    /// "asynchronous implementation": one task per source file).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the top level has no instantiations, or any submodule
+    /// fails to compile.
+    pub fn partition(
+        &self,
+        src: &str,
+        toplevel: &str,
+    ) -> Result<Vec<Design>, CompilerError> {
+        let ast = parse_named(src, toplevel).map_err(CompilerError::Parse)?;
+        let insts = elab::instantiations(&ast, toplevel);
+        if insts.is_empty() {
+            return Err(CompilerError::Elab(elab::ElabError {
+                msg: format!("module `{toplevel}` instantiates no submodules"),
+                span: ecl_syntax::source::Span::dummy(),
+            }));
+        }
+        let mut out = Vec::new();
+        for Instantiation { module, actuals } in insts {
+            out.push(self.compile_ast(ast.clone(), &module, Some(&actuals))?);
+        }
+        Ok(out)
+    }
+}
+
+/// A fully split design, ready for simulation or EFSM synthesis.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Entry module name.
+    pub entry: String,
+    /// The parsed translation unit (typedefs + functions + modules).
+    pub ast: Ast,
+    /// Elaboration tables.
+    pub elab: Elab,
+    /// Reactive program + data tables.
+    pub split: SplitResult,
+}
+
+impl Design {
+    /// The reactive (Esterel) program.
+    pub fn program(&self) -> &esterel::Program {
+        &self.split.program
+    }
+
+    /// Compile the reactive part to an EFSM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] (state explosion, incoherence…).
+    pub fn to_efsm(&self, opts: &CompileOptions) -> Result<Efsm, CompilerError> {
+        esterel::compile::compile(&self.split.program, opts).map_err(CompilerError::Efsm)
+    }
+
+    /// Build a fresh data runtime for this design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RtError`] (unresolvable types).
+    pub fn new_rt(&self) -> Result<Rt, CompilerError> {
+        Rt::new(&self.ast, &self.elab, &self.split.data).map_err(CompilerError::Rt)
+    }
+
+    /// Signal handle by global name (valid for both the interpreter and
+    /// compiled EFSMs — the tables share indices).
+    pub fn signal(&self, name: &str) -> Option<efsm::Signal> {
+        self.split.program.signal(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efsm::{NoHooks, SigKind};
+    use std::collections::HashSet;
+
+    const COUNTER: &str = "
+        module counter(input pure tick, input pure reset, output pure full) {
+          int n;
+          while (1) {
+            do {
+              n = 0;
+              while (n < 3) { await (tick); n = n + 1; }
+              emit (full);
+              halt ();
+            } abort (reset);
+          }
+        }";
+
+    #[test]
+    fn counter_compiles_and_runs_interpreted() {
+        let d = Compiler::default().compile_str(COUNTER, "counter").unwrap();
+        let mut rt = d.new_rt().unwrap();
+        let mut m = esterel::Machine::new(d.program());
+        let tick = d.signal("tick").unwrap();
+        let full = d.signal("full").unwrap();
+        let mut on = HashSet::new();
+        on.insert(tick);
+        // Start instant (no tick).
+        let r0 = m.react(&HashSet::new(), &mut rt).unwrap();
+        assert!(!r0.has(full));
+        // Three ticks fill the counter.
+        for i in 0..3 {
+            let r = m.react(&on, &mut rt).unwrap();
+            assert!(rt.take_error().is_none());
+            if i < 2 {
+                assert!(!r.has(full), "tick {i}");
+            } else {
+                assert!(r.has(full), "tick {i} should emit full");
+            }
+        }
+        // Halted now.
+        let r = m.react(&on, &mut rt).unwrap();
+        assert!(!r.has(full));
+    }
+
+    #[test]
+    fn counter_efsm_matches_interpreter() {
+        use rand::{Rng, SeedableRng};
+        let d = Compiler::default().compile_str(COUNTER, "counter").unwrap();
+        let machine = d.to_efsm(&Default::default()).unwrap();
+        let tick = d.signal("tick").unwrap();
+        let reset = d.signal("reset").unwrap();
+        let full = d.signal("full").unwrap();
+        for seed in 0..10u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rt_i = d.new_rt().unwrap();
+            let mut rt_m = d.new_rt().unwrap();
+            let mut interp = esterel::Machine::new(d.program());
+            let mut st = machine.init;
+            for step in 0..60 {
+                let mut present = HashSet::new();
+                if rng.gen_bool(0.5) {
+                    present.insert(tick);
+                }
+                if rng.gen_bool(0.15) {
+                    present.insert(reset);
+                }
+                let r1 = interp.react(&present, &mut rt_i).unwrap();
+                let r2 = machine.step(st, &present, &mut rt_m);
+                st = r2.next;
+                assert_eq!(
+                    r1.has(full),
+                    r2.emitted.contains(&full),
+                    "divergence at seed {seed} step {step}"
+                );
+                assert!(rt_i.take_error().is_none());
+                assert!(rt_m.take_error().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn valued_signals_flow_through_rt() {
+        let src = "
+            typedef unsigned char byte;
+            module echo(input byte inp, output byte outp) {
+              while (1) { await (inp); emit_v (outp, inp + 1); }
+            }";
+        let d = Compiler::default().compile_str(src, "echo").unwrap();
+        let mut rt = d.new_rt().unwrap();
+        let mut m = esterel::Machine::new(d.program());
+        let inp = d.signal("inp").unwrap();
+        // Start.
+        m.react(&HashSet::new(), &mut rt).unwrap();
+        rt.set_input_i64("inp", 41).unwrap();
+        let mut on = HashSet::new();
+        on.insert(inp);
+        let r = m.react(&on, &mut rt).unwrap();
+        assert!(rt.take_error().is_none());
+        assert!(!r.emitted.is_empty());
+        let v = rt.signal_value_by_name("outp").unwrap();
+        assert_eq!(v.as_i64(rt.machine().table()), 42);
+    }
+
+    #[test]
+    fn multiple_writers_rejected() {
+        let src = "
+            module w(input pure t, output pure s) { while (1) { await(t); emit (s); } }
+            module top(input pure t, output pure s) { par { w(t, s); w(t, s); } }";
+        let e = Compiler::default().compile_str(src, "top").unwrap_err();
+        assert!(matches!(e, CompilerError::MultipleWriters { .. }), "{e}");
+    }
+
+    #[test]
+    fn partition_compiles_each_submodule() {
+        let src = "
+            module a(input pure i, output pure m) { while (1) { await (i); emit (m); } }
+            module b(input pure m, output pure o) { while (1) { await (m); emit (o); } }
+            module top(input pure i, output pure o) {
+              signal pure mid;
+              par { a(i, mid); b(mid, o); }
+            }";
+        let parts = Compiler::default().partition(src, "top").unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].entry, "a");
+        // Part a's output is the *global* wire name.
+        let sigs: Vec<&str> = parts[0]
+            .program()
+            .signals()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        // Wire names come from the top level's scope: `mid` is the
+        // local signal's source name at the instantiation site.
+        assert!(sigs.contains(&"mid"), "{sigs:?}");
+        // And the whole thing also compiles monolithically.
+        let whole = Compiler::default().compile_str(src, "top").unwrap();
+        assert_eq!(
+            whole
+                .program()
+                .signals()
+                .iter()
+                .filter(|s| s.kind == SigKind::Local)
+                .count(),
+            1
+        );
+        let m = whole.to_efsm(&Default::default()).unwrap();
+        m.validate().unwrap();
+        let _ = NoHooks;
+    }
+
+    #[test]
+    fn min_strategy_produces_fewer_actions() {
+        let src = "
+            module m(input pure a, output pure o) {
+              int x; int y;
+              while (1) { await (a); x = 1; y = x + 2; x = y * 3; emit (o); }
+            }";
+        let max = Compiler::new(Options {
+            strategy: SplitStrategy::MaxEsterel,
+        })
+        .compile_str(src, "m")
+        .unwrap();
+        let min = Compiler::new(Options {
+            strategy: SplitStrategy::MinEsterel,
+        })
+        .compile_str(src, "m")
+        .unwrap();
+        assert!(min.split.data.actions.len() < max.split.data.actions.len());
+    }
+}

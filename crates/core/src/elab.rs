@@ -1,0 +1,775 @@
+//! Elaboration: module inlining and renaming to a flat namespace.
+//!
+//! The ECL paper treats module instantiation as "syntactically
+//! equivalent to C procedure call" (Section 4, item 9). Elaboration
+//! replaces each instantiation with a copy of the callee's body in
+//! which:
+//!
+//! * formal signal parameters are substituted by the actual (global)
+//!   signal names;
+//! * local signal declarations get fresh global names
+//!   (`<instance-path>::<name>`);
+//! * variables get fresh global names the same way, so the whole design
+//!   shares one flat variable frame at run time.
+//!
+//! The entry module's own parameters become the design's inputs and
+//! outputs. Recursion is rejected.
+
+use ecl_syntax::ast::{
+    Block, Declarator, Expr, ExprKind, Ident, Module, Program, SigExpr, SigExprKind, SignalDir,
+    Stmt, StmtKind, TypeRef, VarDecl,
+};
+use ecl_syntax::source::Span;
+use efsm::SigKind;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Elaboration failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElabError {
+    /// Explanation.
+    pub msg: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elaboration error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+fn err<T>(msg: impl Into<String>, span: Span) -> Result<T, ElabError> {
+    Err(ElabError {
+        msg: msg.into(),
+        span,
+    })
+}
+
+/// A signal of the elaborated design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SigEntry {
+    /// Global name.
+    pub name: String,
+    /// Role relative to the design.
+    pub kind: SigKind,
+    /// Pure signals carry no value.
+    pub pure: bool,
+    /// Declared value type (syntactic; resolved later).
+    pub ty: Option<TypeRef>,
+}
+
+/// A variable of the elaborated design (flattened frame slot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarEntry {
+    /// Mangled global name (`path::name`).
+    pub name: String,
+    /// Declared type (syntactic; resolved later).
+    pub ty: TypeRef,
+}
+
+/// One inlined module instance (for reporting and cost attribution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceInfo {
+    /// Hierarchical path, e.g. `top/assemble`.
+    pub path: String,
+    /// Instantiated module name.
+    pub module: String,
+}
+
+/// The elaborated design: one flat statement tree plus tables.
+#[derive(Debug, Clone)]
+pub struct Elab {
+    /// Entry module name.
+    pub entry: String,
+    /// Flattened body (all instantiations inlined, names mangled).
+    pub body: Block,
+    /// Design signals (entry parameters first, then locals).
+    pub signals: Vec<SigEntry>,
+    /// All variables, with mangled names.
+    pub vars: Vec<VarEntry>,
+    /// Inlined instances.
+    pub instances: Vec<InstanceInfo>,
+    /// (global signal name, emitting instance path) pairs, for the
+    /// single-writer check.
+    pub emitters: Vec<(String, String)>,
+}
+
+impl Elab {
+    /// Find a signal index by global name.
+    pub fn signal(&self, name: &str) -> Option<usize> {
+        self.signals.iter().position(|s| s.name == name)
+    }
+}
+
+/// One instantiation found in a module body (used to partition a
+/// top-level module into asynchronous tasks, paper Section 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instantiation {
+    /// Callee module.
+    pub module: String,
+    /// Actual signal names, in parameter order.
+    pub actuals: Vec<String>,
+}
+
+/// Extract the direct instantiations of `module` (e.g. the three
+/// submodules of the paper's `toplevel`), with their actual signals.
+pub fn instantiations(prog: &Program, module: &str) -> Vec<Instantiation> {
+    let mut out = Vec::new();
+    let Some(m) = prog.module(module) else {
+        return out;
+    };
+    collect_insts(prog, &m.body.stmts, &mut out);
+    out
+}
+
+fn collect_insts(prog: &Program, stmts: &[Stmt], out: &mut Vec<Instantiation>) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Expr(Some(Expr {
+                kind: ExprKind::Call(name, args),
+                ..
+            })) => {
+                if prog.module(&name.name).is_some() {
+                    let actuals = args
+                        .iter()
+                        .filter_map(|a| match &a.kind {
+                            ExprKind::Ident(id) => Some(id.name.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    out.push(Instantiation {
+                        module: name.name.clone(),
+                        actuals,
+                    });
+                }
+            }
+            StmtKind::Par(branches) => collect_insts(prog, branches, out),
+            StmtKind::Block(b) => collect_insts(prog, &b.stmts, out),
+            _ => {}
+        }
+    }
+}
+
+/// Elaborate `entry` within `prog`. `actual_names`, when given, renames
+/// the entry's parameters to those global names (used when compiling a
+/// submodule as a separate asynchronous task wired by the top level).
+pub fn elaborate(
+    prog: &Program,
+    entry: &str,
+    actual_names: Option<&[String]>,
+) -> Result<Elab, ElabError> {
+    let Some(module) = prog.module(entry) else {
+        return err(
+            format!("no module named `{entry}`"),
+            Span::dummy(),
+        );
+    };
+    let mut ctx = Ctx {
+        prog,
+        signals: Vec::new(),
+        vars: Vec::new(),
+        instances: vec![InstanceInfo {
+            path: "top".into(),
+            module: entry.into(),
+        }],
+        stack: vec![entry.to_string()],
+        emitters: Vec::new(),
+    };
+    // Entry parameters become design I/O.
+    let mut scope = Scope::new();
+    for (i, p) in module.params.iter().enumerate() {
+        let global = match actual_names {
+            Some(names) => names
+                .get(i)
+                .cloned()
+                .ok_or_else(|| ElabError {
+                    msg: format!("missing actual for parameter `{}`", p.name.name),
+                    span: p.span,
+                })?,
+            None => p.name.name.clone(),
+        };
+        let kind = match p.dir {
+            SignalDir::Input => SigKind::Input,
+            SignalDir::Output => SigKind::Output,
+        };
+        // When two parameters are wired to one global name, reuse it.
+        if !ctx.signals.iter().any(|s: &SigEntry| s.name == global) {
+            ctx.signals.push(SigEntry {
+                name: global.clone(),
+                kind,
+                pure: p.pure,
+                ty: p.ty.clone(),
+            });
+        }
+        scope.bind_signal(&p.name.name, &global);
+    }
+    let body = ctx.block(&module.body, &mut scope, "top")?;
+    Ok(Elab {
+        entry: entry.to_string(),
+        body,
+        signals: ctx.signals,
+        vars: ctx.vars,
+        instances: ctx.instances,
+        emitters: ctx.emitters,
+    })
+}
+
+/// Lexical scope: original name → (mangled name, is-signal).
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    frames: Vec<HashMap<String, (String, bool)>>,
+}
+
+impl Scope {
+    fn new() -> Self {
+        Scope {
+            frames: vec![HashMap::new()],
+        }
+    }
+
+    fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    fn bind_var(&mut self, original: &str, mangled: &str) {
+        self.frames
+            .last_mut()
+            .expect("scope stack nonempty")
+            .insert(original.into(), (mangled.into(), false));
+    }
+
+    fn bind_signal(&mut self, original: &str, global: &str) {
+        self.frames
+            .last_mut()
+            .expect("scope stack nonempty")
+            .insert(original.into(), (global.into(), true));
+    }
+
+    fn lookup(&self, name: &str) -> Option<&(String, bool)> {
+        self.frames.iter().rev().find_map(|f| f.get(name))
+    }
+}
+
+struct Ctx<'p> {
+    prog: &'p Program,
+    signals: Vec<SigEntry>,
+    vars: Vec<VarEntry>,
+    instances: Vec<InstanceInfo>,
+    /// Instantiation stack for recursion detection.
+    stack: Vec<String>,
+    emitters: Vec<(String, String)>,
+}
+
+impl<'p> Ctx<'p> {
+    fn fresh_signal(&mut self, path: &str, name: &str, pure: bool, ty: Option<TypeRef>) -> String {
+        let mut global = format!("{path}::{name}");
+        let mut k = 1;
+        while self.signals.iter().any(|s| s.name == global) {
+            global = format!("{path}::{name}#{k}");
+            k += 1;
+        }
+        self.signals.push(SigEntry {
+            name: global.clone(),
+            kind: SigKind::Local,
+            pure,
+            ty,
+        });
+        global
+    }
+
+    fn fresh_var(&mut self, path: &str, name: &str, ty: TypeRef) -> String {
+        let mut mangled = format!("{path}::{name}");
+        let mut k = 1;
+        while self.vars.iter().any(|v| v.name == mangled) {
+            mangled = format!("{path}::{name}#{k}");
+            k += 1;
+        }
+        self.vars.push(VarEntry {
+            name: mangled.clone(),
+            ty,
+        });
+        mangled
+    }
+
+    fn block(&mut self, b: &Block, scope: &mut Scope, path: &str) -> Result<Block, ElabError> {
+        scope.push();
+        let mut stmts = Vec::new();
+        for s in &b.stmts {
+            stmts.push(self.stmt(s, scope, path)?);
+        }
+        scope.pop();
+        Ok(Block {
+            stmts,
+            span: b.span,
+        })
+    }
+
+    fn stmt(&mut self, s: &Stmt, scope: &mut Scope, path: &str) -> Result<Stmt, ElabError> {
+        let kind = match &s.kind {
+            StmtKind::Expr(None) => StmtKind::Expr(None),
+            StmtKind::Expr(Some(e)) => {
+                // Module instantiation?
+                if let ExprKind::Call(name, args) = &e.kind {
+                    if let Some(callee) = self.prog.module(&name.name) {
+                        return self.instantiate(callee.clone(), args, scope, path, s.span);
+                    }
+                }
+                StmtKind::Expr(Some(self.expr(e, scope)?))
+            }
+            StmtKind::Decl(d) => {
+                let mut decls = Vec::new();
+                for dec in &d.decls {
+                    let ty = self.type_ref(&dec.ty, scope)?;
+                    let init = match &dec.init {
+                        Some(e) => Some(self.expr(e, scope)?),
+                        None => None,
+                    };
+                    let mangled = self.fresh_var(path, &dec.name.name, ty.clone());
+                    scope.bind_var(&dec.name.name, &mangled);
+                    decls.push(Declarator {
+                        name: Ident::new(mangled, dec.name.span),
+                        ty,
+                        init,
+                    });
+                }
+                StmtKind::Decl(VarDecl {
+                    decls,
+                    span: d.span,
+                })
+            }
+            StmtKind::Signal(sd) => {
+                let global = self.fresh_signal(path, &sd.name.name, sd.pure, sd.ty.clone());
+                scope.bind_signal(&sd.name.name, &global);
+                let mut sd2 = sd.clone();
+                sd2.name = Ident::new(global, sd.name.span);
+                StmtKind::Signal(sd2)
+            }
+            StmtKind::Block(b) => StmtKind::Block(self.block(b, scope, path)?),
+            StmtKind::If { cond, then, els } => StmtKind::If {
+                cond: self.expr(cond, scope)?,
+                then: Box::new(self.stmt(then, scope, path)?),
+                els: match els {
+                    Some(e) => Some(Box::new(self.stmt(e, scope, path)?)),
+                    None => None,
+                },
+            },
+            StmtKind::While { cond, body } => StmtKind::While {
+                cond: self.expr(cond, scope)?,
+                body: Box::new(self.stmt(body, scope, path)?),
+            },
+            StmtKind::DoWhile { body, cond } => StmtKind::DoWhile {
+                body: Box::new(self.stmt(body, scope, path)?),
+                cond: self.expr(cond, scope)?,
+            },
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                scope.push();
+                let out = StmtKind::For {
+                    init: match init {
+                        Some(i) => Some(Box::new(self.stmt(i, scope, path)?)),
+                        None => None,
+                    },
+                    cond: match cond {
+                        Some(c) => Some(self.expr(c, scope)?),
+                        None => None,
+                    },
+                    step: match step {
+                        Some(st) => Some(self.expr(st, scope)?),
+                        None => None,
+                    },
+                    body: Box::new(self.stmt(body, scope, path)?),
+                };
+                scope.pop();
+                out
+            }
+            StmtKind::Switch { scrutinee, arms } => {
+                let mut new_arms = Vec::new();
+                for arm in arms {
+                    let value = match &arm.value {
+                        Some(v) => Some(self.expr(v, scope)?),
+                        None => None,
+                    };
+                    let mut stmts = Vec::new();
+                    for st in &arm.stmts {
+                        stmts.push(self.stmt(st, scope, path)?);
+                    }
+                    new_arms.push(ecl_syntax::ast::SwitchArm {
+                        value,
+                        stmts,
+                        span: arm.span,
+                    });
+                }
+                StmtKind::Switch {
+                    scrutinee: self.expr(scrutinee, scope)?,
+                    arms: new_arms,
+                }
+            }
+            StmtKind::Break => StmtKind::Break,
+            StmtKind::Continue => StmtKind::Continue,
+            StmtKind::Return(e) => StmtKind::Return(match e {
+                Some(e) => Some(self.expr(e, scope)?),
+                None => None,
+            }),
+            StmtKind::Await(None) => StmtKind::Await(None),
+            StmtKind::Await(Some(c)) => StmtKind::Await(Some(self.sigexpr(c, scope)?)),
+            StmtKind::AwaitImmediate(c) => StmtKind::AwaitImmediate(self.sigexpr(c, scope)?),
+            StmtKind::Emit(n) => {
+                let g = self.signal_ident(n, scope)?;
+                self.emitters.push((g.name.clone(), path.to_string()));
+                StmtKind::Emit(g)
+            }
+            StmtKind::EmitV(n, v) => {
+                let g = self.signal_ident(n, scope)?;
+                self.emitters.push((g.name.clone(), path.to_string()));
+                StmtKind::EmitV(g, self.expr(v, scope)?)
+            }
+            StmtKind::Halt => StmtKind::Halt,
+            StmtKind::Present { cond, then, els } => StmtKind::Present {
+                cond: self.sigexpr(cond, scope)?,
+                then: Box::new(self.stmt(then, scope, path)?),
+                els: match els {
+                    Some(e) => Some(Box::new(self.stmt(e, scope, path)?)),
+                    None => None,
+                },
+            },
+            StmtKind::Abort {
+                body,
+                kind,
+                cond,
+                handle,
+            } => StmtKind::Abort {
+                body: Box::new(self.stmt(body, scope, path)?),
+                kind: *kind,
+                cond: self.sigexpr(cond, scope)?,
+                handle: match handle {
+                    Some(h) => Some(Box::new(self.stmt(h, scope, path)?)),
+                    None => None,
+                },
+            },
+            StmtKind::Suspend { body, cond } => StmtKind::Suspend {
+                body: Box::new(self.stmt(body, scope, path)?),
+                cond: self.sigexpr(cond, scope)?,
+            },
+            StmtKind::Par(branches) => {
+                let mut out = Vec::new();
+                for b in branches {
+                    out.push(self.stmt(b, scope, path)?);
+                }
+                StmtKind::Par(out)
+            }
+        };
+        Ok(Stmt { kind, span: s.span })
+    }
+
+    fn instantiate(
+        &mut self,
+        callee: Module,
+        args: &[Expr],
+        scope: &mut Scope,
+        path: &str,
+        span: Span,
+    ) -> Result<Stmt, ElabError> {
+        if self.stack.contains(&callee.name.name) {
+            return err(
+                format!("recursive instantiation of module `{}`", callee.name.name),
+                span,
+            );
+        }
+        if args.len() != callee.params.len() {
+            return err(
+                format!(
+                    "module `{}` takes {} signals, got {}",
+                    callee.name.name,
+                    callee.params.len(),
+                    args.len()
+                ),
+                span,
+            );
+        }
+        // Actuals must be signal names in the current scope.
+        let mut sub_scope = Scope::new();
+        for (p, a) in callee.params.iter().zip(args) {
+            let ExprKind::Ident(id) = &a.kind else {
+                return err(
+                    "module instantiation arguments must be signal names",
+                    a.span,
+                );
+            };
+            let Some((global, is_sig)) = scope.lookup(&id.name).cloned() else {
+                return err(format!("unknown signal `{}`", id.name), id.span);
+            };
+            if !is_sig {
+                return err(
+                    format!("`{}` is a variable, but a signal is required", id.name),
+                    id.span,
+                );
+            }
+            sub_scope.bind_signal(&p.name.name, &global);
+        }
+        // Unique instance path.
+        let base = format!("{path}/{}", callee.name.name);
+        let mut inst_path = base.clone();
+        let mut k = 1;
+        while self.instances.iter().any(|i| i.path == inst_path) {
+            inst_path = format!("{base}#{k}");
+            k += 1;
+        }
+        self.instances.push(InstanceInfo {
+            path: inst_path.clone(),
+            module: callee.name.name.clone(),
+        });
+        self.stack.push(callee.name.name.clone());
+        let body = self.block(&callee.body, &mut sub_scope, &inst_path)?;
+        self.stack.pop();
+        Ok(Stmt {
+            kind: StmtKind::Block(body),
+            span,
+        })
+    }
+
+    fn signal_ident(&mut self, n: &Ident, scope: &Scope) -> Result<Ident, ElabError> {
+        match scope.lookup(&n.name) {
+            Some((global, true)) => Ok(Ident::new(global.clone(), n.span)),
+            Some((_, false)) => err(format!("`{}` is a variable, not a signal", n.name), n.span),
+            None => err(format!("unknown signal `{}`", n.name), n.span),
+        }
+    }
+
+    fn sigexpr(&mut self, e: &SigExpr, scope: &Scope) -> Result<SigExpr, ElabError> {
+        let kind = match &e.kind {
+            SigExprKind::Sig(id) => SigExprKind::Sig(self.signal_ident(id, scope)?),
+            SigExprKind::Not(inner) => SigExprKind::Not(Box::new(self.sigexpr(inner, scope)?)),
+            SigExprKind::And(a, b) => SigExprKind::And(
+                Box::new(self.sigexpr(a, scope)?),
+                Box::new(self.sigexpr(b, scope)?),
+            ),
+            SigExprKind::Or(a, b) => SigExprKind::Or(
+                Box::new(self.sigexpr(a, scope)?),
+                Box::new(self.sigexpr(b, scope)?),
+            ),
+        };
+        Ok(SigExpr {
+            kind,
+            span: e.span,
+        })
+    }
+
+    fn type_ref(&mut self, t: &TypeRef, _scope: &Scope) -> Result<TypeRef, ElabError> {
+        // Types reference typedefs/enums, which are global: unchanged.
+        Ok(t.clone())
+    }
+
+    fn expr(&mut self, e: &Expr, scope: &Scope) -> Result<Expr, ElabError> {
+        let kind = match &e.kind {
+            ExprKind::Ident(id) => match scope.lookup(&id.name) {
+                Some((mangled, _)) => ExprKind::Ident(Ident::new(mangled.clone(), id.span)),
+                // Enum constants, function names: left intact.
+                None => ExprKind::Ident(id.clone()),
+            },
+            ExprKind::IntLit(_)
+            | ExprKind::FloatLit(_)
+            | ExprKind::CharLit(_)
+            | ExprKind::StrLit(_) => e.kind.clone(),
+            ExprKind::Unary(op, x) => ExprKind::Unary(*op, Box::new(self.expr(x, scope)?)),
+            ExprKind::Binary(op, a, b) => ExprKind::Binary(
+                *op,
+                Box::new(self.expr(a, scope)?),
+                Box::new(self.expr(b, scope)?),
+            ),
+            ExprKind::Assign(op, a, b) => ExprKind::Assign(
+                *op,
+                Box::new(self.expr(a, scope)?),
+                Box::new(self.expr(b, scope)?),
+            ),
+            ExprKind::PreIncDec(inc, x) => {
+                ExprKind::PreIncDec(*inc, Box::new(self.expr(x, scope)?))
+            }
+            ExprKind::PostIncDec(inc, x) => {
+                ExprKind::PostIncDec(*inc, Box::new(self.expr(x, scope)?))
+            }
+            ExprKind::Ternary(c, t, f) => ExprKind::Ternary(
+                Box::new(self.expr(c, scope)?),
+                Box::new(self.expr(t, scope)?),
+                Box::new(self.expr(f, scope)?),
+            ),
+            ExprKind::Call(name, args) => {
+                if self.prog.module(&name.name).is_some() {
+                    return err(
+                        "module instantiation cannot be used as an expression",
+                        e.span,
+                    );
+                }
+                let mut out = Vec::new();
+                for a in args {
+                    out.push(self.expr(a, scope)?);
+                }
+                ExprKind::Call(name.clone(), out)
+            }
+            ExprKind::Index(a, i) => ExprKind::Index(
+                Box::new(self.expr(a, scope)?),
+                Box::new(self.expr(i, scope)?),
+            ),
+            ExprKind::Member(a, f) => ExprKind::Member(Box::new(self.expr(a, scope)?), f.clone()),
+            ExprKind::Arrow(a, f) => ExprKind::Arrow(Box::new(self.expr(a, scope)?), f.clone()),
+            ExprKind::Cast(t, x) => {
+                ExprKind::Cast(self.type_ref(t, scope)?, Box::new(self.expr(x, scope)?))
+            }
+            ExprKind::SizeofType(t) => ExprKind::SizeofType(self.type_ref(t, scope)?),
+            ExprKind::SizeofExpr(x) => ExprKind::SizeofExpr(Box::new(self.expr(x, scope)?)),
+            ExprKind::Comma(a, b) => ExprKind::Comma(
+                Box::new(self.expr(a, scope)?),
+                Box::new(self.expr(b, scope)?),
+            ),
+        };
+        Ok(Expr {
+            kind,
+            span: e.span,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_syntax::parse_str;
+
+    fn elab(src: &str, entry: &str) -> Elab {
+        let prog = parse_str(src).expect("parse");
+        elaborate(&prog, entry, None).expect("elaborate")
+    }
+
+    #[test]
+    fn entry_params_become_design_signals() {
+        let e = elab(
+            "module m(input pure a, output pure b) { await(a); emit(b); }",
+            "m",
+        );
+        assert_eq!(e.signals.len(), 2);
+        assert_eq!(e.signals[0].name, "a");
+        assert_eq!(e.signals[0].kind, SigKind::Input);
+        assert_eq!(e.signals[1].kind, SigKind::Output);
+    }
+
+    #[test]
+    fn variables_are_mangled() {
+        let e = elab("module m(input pure a) { int x; x = 1; }", "m");
+        assert_eq!(e.vars.len(), 1);
+        assert_eq!(e.vars[0].name, "top::x");
+    }
+
+    #[test]
+    fn instantiation_inlines_and_renames() {
+        let e = elab(
+            "module sub(input pure i, output pure o) { int c; await(i); c = 1; emit(o); }\
+             module top(input pure x, output pure y) { par { sub(x, y); sub(x, y); } }",
+            "top",
+        );
+        assert_eq!(e.instances.len(), 3); // top + 2 × sub
+        assert_eq!(e.vars.len(), 2);
+        assert_ne!(e.vars[0].name, e.vars[1].name);
+        // Only the design I/O signals; sub's params map to x/y.
+        assert_eq!(e.signals.len(), 2);
+    }
+
+    #[test]
+    fn local_signals_get_global_names() {
+        let e = elab(
+            "module m(input pure a) { signal pure k; emit(k); }",
+            "m",
+        );
+        assert_eq!(e.signals.len(), 2);
+        assert_eq!(e.signals[1].name, "top::k");
+        assert_eq!(e.signals[1].kind, SigKind::Local);
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let prog = parse_str(
+            "module a(input pure x) { a(x); }",
+        )
+        .unwrap();
+        let e = elaborate(&prog, "a", None).unwrap_err();
+        assert!(e.msg.contains("recursive"));
+    }
+
+    #[test]
+    fn scoped_shadowing() {
+        let e = elab(
+            "module m(input pure a) { int x; { int x; x = 2; } x = 1; }",
+            "m",
+        );
+        assert_eq!(e.vars.len(), 2);
+        assert_eq!(e.vars[0].name, "top::x");
+        assert_eq!(e.vars[1].name, "top::x#1");
+    }
+
+    #[test]
+    fn instantiation_args_must_be_signals() {
+        let prog = parse_str(
+            "module sub(input pure i) { await(i); }\
+             module top(input pure x) { int v; sub(v); }",
+        )
+        .unwrap();
+        let e = elaborate(&prog, "top", None).unwrap_err();
+        assert!(e.msg.contains("variable"));
+    }
+
+    #[test]
+    fn actual_names_rename_entry_params() {
+        let prog =
+            parse_str("module m(input pure a, output pure b) { await(a); emit(b); }").unwrap();
+        let e = elaborate(
+            &prog,
+            "m",
+            Some(&["reset".to_string(), "done".to_string()]),
+        )
+        .unwrap();
+        assert_eq!(e.signals[0].name, "reset");
+        assert_eq!(e.signals[1].name, "done");
+    }
+
+    #[test]
+    fn instantiations_listing() {
+        let prog = parse_str(
+            "module sub(input pure i, output pure o) { await(i); emit(o); }\
+             module top(input pure x, output pure y) { signal pure m; par { sub(x, m); sub(m, y); } }",
+        )
+        .unwrap();
+        let insts = instantiations(&prog, "top");
+        assert_eq!(insts.len(), 2);
+        assert_eq!(insts[0].module, "sub");
+        assert_eq!(insts[0].actuals, vec!["x", "m"]);
+        assert_eq!(insts[1].actuals, vec!["m", "y"]);
+    }
+
+    #[test]
+    fn signal_used_as_value_in_expr_keeps_global_name() {
+        let e = elab(
+            "typedef unsigned char byte;\
+             module m(input byte b) { int x; x = b + 1; }",
+            "m",
+        );
+        // The expression references the signal's global name `b`.
+        let s = ecl_syntax::pretty::program(&ecl_syntax::ast::Program {
+            items: vec![],
+        });
+        let _ = s;
+        let StmtKind::Expr(Some(expr)) = &e.body.stmts[1].kind else {
+            panic!()
+        };
+        let printed = ecl_syntax::pretty::expr(expr);
+        assert!(printed.contains("b + 1"), "{printed}");
+        assert!(printed.contains("top::x"), "{printed}");
+    }
+}

@@ -1,0 +1,303 @@
+//! The glue runtime: data state + [`efsm::DataHooks`] implementation.
+//!
+//! The paper's "glue logic part ... allows Esterel statements to access
+//! fields of ECL non-scalar data types". In this reproduction the glue
+//! is a runtime object ([`Rt`]) that owns:
+//!
+//! * the design's flat variable frame (every module instance's locals,
+//!   mangled to unique names by elaboration);
+//! * the current value of every valued signal;
+//! * the C interpreter ([`ecl_types::Machine`]) used to run extracted
+//!   actions, evaluate EFSM predicates and compute `emit_v` values.
+//!
+//! One `Rt` instance backs either the Esterel interpreter or a compiled
+//! EFSM — both call the same [`efsm::DataHooks`] entry points, which is
+//! what makes differential testing between the two meaningful.
+
+use crate::elab::Elab;
+use crate::split::DataTable;
+use ecl_syntax::ast::Program;
+use ecl_syntax::diag::DiagSink;
+use ecl_types::{Machine, SignalReader, TypeTable, Value};
+use efsm::{ActionId, DataHooks, ExprId, PredId, Signal};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Runtime construction/evaluation failure.
+#[derive(Debug, Clone)]
+pub struct RtError {
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// The data-side runtime for one design instance.
+#[derive(Debug, Clone)]
+pub struct Rt {
+    machine: Machine,
+    data: DataTable,
+    /// Signal index → current value (valued signals only).
+    values: Vec<Option<Value>>,
+    /// Signal index → resolved value type.
+    sig_types: Vec<Option<ecl_types::TypeId>>,
+    /// Signal name → index.
+    by_name: HashMap<String, usize>,
+    /// First evaluation error encountered (subsequent actions are
+    /// skipped until it is taken).
+    error: Option<ecl_types::EvalError>,
+    /// Count of executed actions/predicates/emissions (cost metrics).
+    pub action_runs: u64,
+    /// Count of predicate evaluations.
+    pub pred_evals: u64,
+}
+
+impl Rt {
+    /// Build the runtime for an elaborated + split design.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a variable or signal type cannot be resolved.
+    pub fn new(ast: &Program, elab: &Elab, data: &DataTable) -> Result<Rt, RtError> {
+        let mut sink = DiagSink::new();
+        let table = TypeTable::build(ast, &mut sink);
+        if sink.has_errors() {
+            return Err(RtError {
+                msg: format!("type errors:\n{sink}"),
+            });
+        }
+        let mut machine = Machine::new(table);
+        for f in ast.functions() {
+            machine.add_function(f);
+        }
+        // Allocate the flat frame.
+        for v in &elab.vars {
+            let mut sink = DiagSink::new();
+            let Some(ty) = machine.table_mut().resolve(&v.ty, &mut sink) else {
+                return Err(RtError {
+                    msg: format!("cannot resolve type of variable `{}`", v.name),
+                });
+            };
+            let zero = Value::zero(machine.table(), ty);
+            machine.declare(&v.name, zero);
+        }
+        // Resolve signal value types.
+        let mut values = Vec::new();
+        let mut sig_types = Vec::new();
+        let mut by_name = HashMap::new();
+        for (i, s) in elab.signals.iter().enumerate() {
+            by_name.insert(s.name.clone(), i);
+            if s.pure {
+                values.push(None);
+                sig_types.push(None);
+            } else {
+                let ty = match &s.ty {
+                    Some(t) => {
+                        let mut sink = DiagSink::new();
+                        machine.table_mut().resolve(t, &mut sink).ok_or_else(|| RtError {
+                            msg: format!("cannot resolve type of signal `{}`", s.name),
+                        })?
+                    }
+                    None => {
+                        return Err(RtError {
+                            msg: format!("valued signal `{}` lacks a type", s.name),
+                        })
+                    }
+                };
+                values.push(Some(Value::zero(machine.table(), ty)));
+                sig_types.push(Some(ty));
+            }
+        }
+        Ok(Rt {
+            machine,
+            data: data.clone(),
+            values,
+            sig_types,
+            by_name,
+            error: None,
+            action_runs: 0,
+            pred_evals: 0,
+        })
+    }
+
+    /// Access the C machine (e.g. to inspect variables in tests).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Take the first pending evaluation error, if any.
+    pub fn take_error(&mut self) -> Option<ecl_types::EvalError> {
+        self.error.take()
+    }
+
+    /// Current value of signal `idx` (None for pure signals).
+    pub fn signal_value(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx).and_then(|v| v.as_ref())
+    }
+
+    /// Current value of a signal by name.
+    pub fn signal_value_by_name(&self, name: &str) -> Option<&Value> {
+        self.by_name
+            .get(name)
+            .and_then(|i| self.signal_value(*i))
+    }
+
+    /// Set an *input* signal's value for the coming instant (the
+    /// testbench side of valued signals).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown or pure signals, or on a type mismatch.
+    pub fn set_input_value(&mut self, name: &str, v: Value) -> Result<(), RtError> {
+        let Some(&i) = self.by_name.get(name) else {
+            return Err(RtError {
+                msg: format!("unknown signal `{name}`"),
+            });
+        };
+        let Some(ty) = self.sig_types[i] else {
+            return Err(RtError {
+                msg: format!("signal `{name}` is pure"),
+            });
+        };
+        let Some(conv) = v.convert(self.machine.table(), ty) else {
+            return Err(RtError {
+                msg: format!("type mismatch for signal `{name}`"),
+            });
+        };
+        self.values[i] = Some(conv);
+        Ok(())
+    }
+
+    /// Build an `i64` value of the signal's own type and set it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Rt::set_input_value`].
+    pub fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), RtError> {
+        let Some(&i) = self.by_name.get(name) else {
+            return Err(RtError {
+                msg: format!("unknown signal `{name}`"),
+            });
+        };
+        let Some(ty) = self.sig_types[i] else {
+            return Err(RtError {
+                msg: format!("signal `{name}` is pure"),
+            });
+        };
+        let val = Value::from_i64(self.machine.table(), ty, v);
+        self.values[i] = Some(val);
+        Ok(())
+    }
+
+    /// Read a design variable (mangled name) as `i64` (tests/benches).
+    pub fn var_i64(&self, mangled: &str) -> Option<i64> {
+        self.machine
+            .get(mangled)
+            .map(|v| v.as_i64(self.machine.table()))
+    }
+
+}
+
+impl DataHooks for Rt {
+    fn eval_pred(&mut self, pred: PredId) -> bool {
+        if self.error.is_some() {
+            return false;
+        }
+        self.pred_evals += 1;
+        let expr = self.data.preds[pred.0 as usize].clone();
+        // Split borrows: clone the store handles into a local reader.
+        let values = std::mem::take(&mut self.values);
+        let reader = OwnedReader {
+            values: &values,
+            by_name: &self.by_name,
+        };
+        let out = self.machine.eval(&expr, &reader);
+        self.values = values;
+        match out {
+            Ok(v) => v.is_truthy(),
+            Err(e) => {
+                self.error = Some(e);
+                false
+            }
+        }
+    }
+
+    fn run_action(&mut self, action: ActionId) {
+        if self.error.is_some() {
+            return;
+        }
+        self.action_runs += 1;
+        let stmts = self.data.actions[action.0 as usize].clone();
+        let values = std::mem::take(&mut self.values);
+        let reader = OwnedReader {
+            values: &values,
+            by_name: &self.by_name,
+        };
+        for s in &stmts {
+            match self.machine.exec(s, &reader) {
+                Ok(_) => {}
+                Err(e) => {
+                    self.error = Some(e);
+                    break;
+                }
+            }
+        }
+        self.values = values;
+    }
+
+    fn emit_value(&mut self, sig: Signal, expr: ExprId) {
+        if self.error.is_some() {
+            return;
+        }
+        let (e, target) = self.data.emit_exprs[expr.0 as usize].clone();
+        debug_assert_eq!(target, sig, "emit expr bound to a different signal");
+        let values = std::mem::take(&mut self.values);
+        let reader = OwnedReader {
+            values: &values,
+            by_name: &self.by_name,
+        };
+        let out = self.machine.eval(&e, &reader);
+        self.values = values;
+        match out {
+            Ok(v) => {
+                let i = sig.0 as usize;
+                if let Some(ty) = self.sig_types[i] {
+                    match v.convert(self.machine.table(), ty) {
+                        Some(cv) => self.values[i] = Some(cv),
+                        None => {
+                            self.error = Some(ecl_types::EvalError {
+                                msg: format!(
+                                    "emit_v value not convertible to signal type for signal {}",
+                                    i
+                                ),
+                                span: e.span,
+                            })
+                        }
+                    }
+                }
+            }
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Reader over a moved-out value store (borrow-splitting helper).
+struct OwnedReader<'a> {
+    values: &'a [Option<Value>],
+    by_name: &'a HashMap<String, usize>,
+}
+
+impl<'a> SignalReader for OwnedReader<'a> {
+    fn read_signal(&self, name: &str) -> Option<Value> {
+        self.by_name
+            .get(name)
+            .and_then(|i| self.values.get(*i))
+            .and_then(|v| v.clone())
+    }
+}

@@ -1,0 +1,971 @@
+//! The reactive/data splitter — the heart of the ECL compilation scheme.
+//!
+//! Paper Section 3: "An ECL file is parsed and split into a
+//! control-dominated, reactive part that is mapped to an Esterel source
+//! file, a data-dominated part that is mapped to a C source file, and a
+//! glue logic part". This module performs that split on the elaborated
+//! design:
+//!
+//! * reactive statements (`await`, `emit`, `present`, `abort`, `par`,
+//!   …) map to kernel Esterel;
+//! * *reactive loops* (paper Section 4: "contain at least one halting
+//!   statement in each path") become Esterel loops with trap-encoded
+//!   `break`/`continue`;
+//! * *data loops* (no halting statement inside) and straight-line C are
+//!   extracted into the [`DataTable`] as opaque actions, referenced from
+//!   Esterel via [`efsm::ActionId`];
+//! * C conditions of reactive `if`/`while`/`for` become opaque
+//!   predicates ([`efsm::PredId`]) — the "extended" part of the EFSM;
+//! * `emit_v` value computations become [`efsm::ExprId`] entries.
+//!
+//! Two strategies reproduce the paper's two compilation schemes:
+//! [`SplitStrategy::MaxEsterel`] exposes every data `if` and every data
+//! statement individually to Esterel ("translates as much of an ECL
+//! program as possible into Esterel", Section 3), while
+//! [`SplitStrategy::MinEsterel`] batches maximal halting-free regions
+//! into single C actions (the Section 6 legacy-code direction).
+
+use crate::elab::Elab;
+use ecl_syntax::ast::{
+    AbortKind, AssignOp, Expr, ExprKind, Ident, SigExpr as AstSigExpr, SigExprKind, Stmt,
+    StmtKind,
+};
+use ecl_syntax::source::Span;
+use efsm::{ActionId, ExprId, PredId, Signal};
+use esterel::ir::{IrError, ProgramBuilder, SigExpr, Stmt as EStmt};
+use std::fmt;
+
+/// Which compilation scheme to use (paper Sections 3 and 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitStrategy {
+    /// Translate as much as possible into Esterel: per-statement
+    /// actions, data `if`s become EFSM predicate branches.
+    #[default]
+    MaxEsterel,
+    /// Keep as much as possible as C: maximal halting-free regions
+    /// become single extracted functions.
+    MinEsterel,
+}
+
+/// The extracted data part ("the C file" of the paper's flow).
+#[derive(Debug, Clone, Default)]
+pub struct DataTable {
+    /// ActionId → extracted C statements (run atomically in an instant).
+    pub actions: Vec<Vec<Stmt>>,
+    /// PredId → C condition expression.
+    pub preds: Vec<Expr>,
+    /// ExprId → `emit_v` value expression, with the target signal.
+    pub emit_exprs: Vec<(Expr, Signal)>,
+}
+
+impl DataTable {
+    fn action(&mut self, stmts: Vec<Stmt>) -> ActionId {
+        self.actions.push(stmts);
+        ActionId(self.actions.len() as u32 - 1)
+    }
+
+    fn pred(&mut self, e: Expr) -> PredId {
+        self.preds.push(e);
+        PredId(self.preds.len() as u32 - 1)
+    }
+
+    fn emit_expr(&mut self, e: Expr, s: Signal) -> ExprId {
+        self.emit_exprs.push((e, s));
+        ExprId(self.emit_exprs.len() as u32 - 1)
+    }
+}
+
+/// Splitter statistics (used by the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SplitReport {
+    /// Reactive statements translated to Esterel.
+    pub reactive_stmts: u32,
+    /// Extracted data actions.
+    pub actions: u32,
+    /// Data predicates exposed to the EFSM.
+    pub preds: u32,
+    /// Valued emissions.
+    pub emits_valued: u32,
+}
+
+/// Split failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitError {
+    /// Explanation.
+    pub msg: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl fmt::Display for SplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "split error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SplitError {}
+
+fn err<T>(msg: impl Into<String>, span: Span) -> Result<T, SplitError> {
+    Err(SplitError {
+        msg: msg.into(),
+        span,
+    })
+}
+
+/// The result of splitting: a checked Esterel program plus data tables.
+#[derive(Debug, Clone)]
+pub struct SplitResult {
+    /// The reactive part.
+    pub program: esterel::Program,
+    /// The data part.
+    pub data: DataTable,
+    /// Statistics.
+    pub report: SplitReport,
+}
+
+/// Does the subtree contain an ECL reactive statement?
+pub fn contains_reactive(s: &Stmt) -> bool {
+    match &s.kind {
+        StmtKind::Await(_)
+        | StmtKind::AwaitImmediate(_)
+        | StmtKind::Emit(_)
+        | StmtKind::EmitV(_, _)
+        | StmtKind::Halt
+        | StmtKind::Present { .. }
+        | StmtKind::Abort { .. }
+        | StmtKind::Suspend { .. }
+        | StmtKind::Par(_)
+        | StmtKind::Signal(_) => true,
+        StmtKind::Expr(_) | StmtKind::Decl(_) | StmtKind::Break | StmtKind::Continue
+        | StmtKind::Return(_) => false,
+        StmtKind::Block(b) => b.stmts.iter().any(contains_reactive),
+        StmtKind::If { then, els, .. } => {
+            contains_reactive(then) || els.as_deref().is_some_and(contains_reactive)
+        }
+        StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => contains_reactive(body),
+        StmtKind::For { body, init, .. } => {
+            contains_reactive(body) || init.as_deref().is_some_and(contains_reactive)
+        }
+        StmtKind::Switch { arms, .. } => {
+            arms.iter().any(|a| a.stmts.iter().any(contains_reactive))
+        }
+    }
+}
+
+/// Does the subtree contain `break`/`continue`/`return` that would
+/// escape it (not enclosed in a nested loop/switch of the subtree)?
+fn contains_escaping_flow(s: &Stmt) -> bool {
+    match &s.kind {
+        StmtKind::Break | StmtKind::Continue | StmtKind::Return(_) => true,
+        StmtKind::Block(b) => b.stmts.iter().any(contains_escaping_flow),
+        StmtKind::If { then, els, .. } => {
+            contains_escaping_flow(then) || els.as_deref().is_some_and(contains_escaping_flow)
+        }
+        // A nested loop/switch captures break/continue, but `return`
+        // still escapes; be conservative and only capture when there is
+        // no return inside.
+        StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. }
+        | StmtKind::For { body, .. } => contains_return(body),
+        StmtKind::Switch { arms, .. } => arms
+            .iter()
+            .any(|a| a.stmts.iter().any(contains_return_stmt)),
+        _ => false,
+    }
+}
+
+fn contains_return(s: &Stmt) -> bool {
+    contains_return_stmt(s)
+}
+
+fn contains_return_stmt(s: &Stmt) -> bool {
+    match &s.kind {
+        StmtKind::Return(_) => true,
+        StmtKind::Block(b) => b.stmts.iter().any(contains_return_stmt),
+        StmtKind::If { then, els, .. } => {
+            contains_return_stmt(then) || els.as_deref().is_some_and(contains_return_stmt)
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. }
+        | StmtKind::For { body, .. } => contains_return_stmt(body),
+        StmtKind::Switch { arms, .. } => {
+            arms.iter().any(|a| a.stmts.iter().any(contains_return_stmt))
+        }
+        _ => false,
+    }
+}
+
+/// Can this statement be extracted whole into a C action?
+fn batchable(s: &Stmt) -> bool {
+    !contains_reactive(s) && !contains_escaping_flow(s)
+}
+
+/// Split an elaborated design.
+///
+/// # Errors
+///
+/// Reports unsupported constructs (reactive `switch`, `return` inside a
+/// module body, emission type mismatches) and Esterel-level structural
+/// problems (reactive loops that may be instantaneous).
+pub fn split(elab: &Elab, strategy: SplitStrategy) -> Result<SplitResult, SplitError> {
+    let mut builder = ProgramBuilder::new(&elab.entry);
+    let mut signals = Vec::new();
+    for s in &elab.signals {
+        signals.push(builder.add(&s.name, s.kind, !s.pure));
+    }
+    let mut ctx = Splitter {
+        elab,
+        strategy,
+        data: DataTable::default(),
+        report: SplitReport::default(),
+        signals,
+        loops: Vec::new(),
+        depth: 0,
+    };
+    let body = ctx.tr_block(&elab.body.stmts)?;
+    let program = builder.finish(body).map_err(|e| SplitError {
+        msg: match e {
+            IrError::InstantaneousLoop => "reactive loop may be instantaneous: every path through \
+                 a reactive loop body needs an `await` or `halt` (otherwise write a pure data loop)"
+                .to_string(),
+            other => other.to_string(),
+        },
+        span: elab.body.span,
+    })?;
+    Ok(SplitResult {
+        program,
+        data: ctx.data,
+        report: ctx.report,
+    })
+}
+
+struct LoopCtx {
+    /// Trap depth (absolute) of the break target.
+    break_abs: u32,
+    /// Trap depth (absolute) of the continue target, if continuable.
+    cont_abs: Option<u32>,
+}
+
+struct Splitter<'e> {
+    elab: &'e Elab,
+    strategy: SplitStrategy,
+    data: DataTable,
+    report: SplitReport,
+    /// Elab signal index → esterel Signal (identical order).
+    signals: Vec<Signal>,
+    /// Enclosing translated loops.
+    loops: Vec<LoopCtx>,
+    /// Current absolute trap depth (only counting traps this splitter
+    /// introduces; derived forms shift their own bodies).
+    depth: u32,
+}
+
+impl<'e> Splitter<'e> {
+    fn signal_by_name(&self, name: &str, span: Span) -> Result<Signal, SplitError> {
+        match self.elab.signal(name) {
+            Some(i) => Ok(self.signals[i]),
+            None => err(format!("unknown signal `{name}` after elaboration"), span),
+        }
+    }
+
+    fn sigexpr(&self, e: &AstSigExpr) -> Result<SigExpr, SplitError> {
+        Ok(match &e.kind {
+            SigExprKind::Sig(id) => SigExpr::Sig(self.signal_by_name(&id.name, id.span)?),
+            SigExprKind::Not(x) => SigExpr::Not(Box::new(self.sigexpr(x)?)),
+            SigExprKind::And(a, b) => {
+                SigExpr::And(Box::new(self.sigexpr(a)?), Box::new(self.sigexpr(b)?))
+            }
+            SigExprKind::Or(a, b) => {
+                SigExpr::Or(Box::new(self.sigexpr(a)?), Box::new(self.sigexpr(b)?))
+            }
+        })
+    }
+
+    /// Translate a statement list, batching data runs per the strategy.
+    fn tr_block(&mut self, stmts: &[Stmt]) -> Result<EStmt, SplitError> {
+        let mut out: Vec<EStmt> = Vec::new();
+        let mut run: Vec<Stmt> = Vec::new();
+        for s in stmts {
+            if batchable(s) {
+                run.push(s.clone());
+                continue;
+            }
+            self.flush(&mut run, &mut out)?;
+            out.push(self.tr_stmt(s)?);
+        }
+        self.flush(&mut run, &mut out)?;
+        Ok(EStmt::seq(out))
+    }
+
+    /// Flush a pending run of batchable data statements.
+    fn flush(&mut self, run: &mut Vec<Stmt>, out: &mut Vec<EStmt>) -> Result<(), SplitError> {
+        if run.is_empty() {
+            return Ok(());
+        }
+        let stmts = std::mem::take(run);
+        match self.strategy {
+            SplitStrategy::MinEsterel => {
+                let lowered: Vec<Stmt> = stmts.iter().filter_map(|s| lower_data(s)).collect();
+                if !lowered.is_empty() {
+                    let id = self.data.action(lowered);
+                    self.report.actions += 1;
+                    out.push(EStmt::action(id));
+                }
+            }
+            SplitStrategy::MaxEsterel => {
+                for s in &stmts {
+                    if let Some(e) = self.tr_data_fine(s)? {
+                        out.push(e);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// MaxEsterel fine-grained data translation: expose data `if`s as
+    /// EFSM predicate branches, one action per simple statement.
+    fn tr_data_fine(&mut self, s: &Stmt) -> Result<Option<EStmt>, SplitError> {
+        match &s.kind {
+            StmtKind::Expr(None) => Ok(None),
+            StmtKind::If { cond, then, els } => {
+                let p = self.data.pred(cond.clone());
+                self.report.preds += 1;
+                let t = self
+                    .tr_data_fine(then)?
+                    .unwrap_or(EStmt::nothing());
+                let e = match els {
+                    Some(e) => self.tr_data_fine(e)?.unwrap_or(EStmt::nothing()),
+                    None => EStmt::nothing(),
+                };
+                Ok(Some(EStmt::if_data(p, t, e)))
+            }
+            StmtKind::Block(b) => {
+                let mut out = Vec::new();
+                for st in &b.stmts {
+                    if let Some(e) = self.tr_data_fine(st)? {
+                        out.push(e);
+                    }
+                }
+                Ok(Some(EStmt::seq(out)))
+            }
+            // Loops/switch/simple statements: one action each.
+            _ => match lower_data(s) {
+                Some(lowered) => {
+                    let id = self.data.action(vec![lowered]);
+                    self.report.actions += 1;
+                    Ok(Some(EStmt::action(id)))
+                }
+                None => Ok(None),
+            },
+        }
+    }
+
+    fn tr_stmt(&mut self, s: &Stmt) -> Result<EStmt, SplitError> {
+        self.report.reactive_stmts += 1;
+        match &s.kind {
+            StmtKind::Await(None) => Ok(EStmt::await_delta()),
+            StmtKind::Await(Some(c)) => Ok(EStmt::await_(self.sigexpr(c)?)),
+            StmtKind::AwaitImmediate(c) => Ok(EStmt::await_immediate(self.sigexpr(c)?)),
+            StmtKind::Halt => Ok(EStmt::halt()),
+            StmtKind::Emit(n) => {
+                let sig = self.signal_by_name(&n.name, n.span)?;
+                let entry = &self.elab.signals[self.elab.signal(&n.name).expect("resolved")];
+                if !entry.pure {
+                    return err(
+                        format!("signal `{}` carries a value: use emit_v", n.name),
+                        n.span,
+                    );
+                }
+                Ok(EStmt::emit(sig))
+            }
+            StmtKind::EmitV(n, v) => {
+                let sig = self.signal_by_name(&n.name, n.span)?;
+                let entry = &self.elab.signals[self.elab.signal(&n.name).expect("resolved")];
+                if entry.pure {
+                    return err(
+                        format!("signal `{}` is pure: use emit", n.name),
+                        n.span,
+                    );
+                }
+                let e = self.data.emit_expr(v.clone(), sig);
+                self.report.emits_valued += 1;
+                Ok(EStmt::emit_v(sig, e))
+            }
+            StmtKind::Present { cond, then, els } => {
+                let c = self.sigexpr(cond)?;
+                let t = self.tr_sub(then)?;
+                let e = match els {
+                    Some(e) => self.tr_sub(e)?,
+                    None => EStmt::nothing(),
+                };
+                Ok(EStmt::present(c, t, e))
+            }
+            StmtKind::Abort {
+                body,
+                kind,
+                cond,
+                handle,
+            } => {
+                let c = self.sigexpr(cond)?;
+                let b = self.tr_sub(body)?;
+                Ok(match (kind, handle) {
+                    (AbortKind::Strong, None) => EStmt::abort(b, c),
+                    (AbortKind::Weak, None) => EStmt::weak_abort(b, c),
+                    (AbortKind::Strong, Some(h)) => {
+                        let h = self.tr_sub(h)?;
+                        EStmt::abort_handle(b, c, h)
+                    }
+                    (AbortKind::Weak, Some(h)) => {
+                        let h = self.tr_sub(h)?;
+                        EStmt::weak_abort_handle(b, c, h)
+                    }
+                })
+            }
+            StmtKind::Suspend { body, cond } => {
+                let c = self.sigexpr(cond)?;
+                let b = self.tr_sub(body)?;
+                Ok(EStmt::suspend(c, b))
+            }
+            StmtKind::Par(branches) => {
+                let mut out = Vec::new();
+                for b in branches {
+                    out.push(self.tr_sub(b)?);
+                }
+                Ok(EStmt::par(out))
+            }
+            StmtKind::Signal(_) => Ok(EStmt::nothing()), // registered in elab
+            StmtKind::Block(b) => self.tr_block(&b.stmts),
+            StmtKind::If { cond, then, els } => {
+                // Reactive if: condition becomes an EFSM predicate.
+                let p = self.data.pred(cond.clone());
+                self.report.preds += 1;
+                let t = self.tr_sub(then)?;
+                let e = match els {
+                    Some(e) => self.tr_sub(e)?,
+                    None => EStmt::nothing(),
+                };
+                Ok(EStmt::if_data(p, t, e))
+            }
+            StmtKind::While { cond, body } => {
+                let cond = const_cond(cond);
+                match cond {
+                    CondKind::True => self.reactive_loop(None, None, body, None, s.span),
+                    CondKind::False => Ok(EStmt::nothing()),
+                    CondKind::Dynamic(c) => {
+                        self.reactive_loop(None, Some(c), body, None, s.span)
+                    }
+                }
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let init_e = match init {
+                    Some(i) => {
+                        if contains_reactive(i) {
+                            return err("reactive statements in for-init are not supported", i.span);
+                        }
+                        lower_data(i).map(|s| vec![s])
+                    }
+                    None => None,
+                };
+                let cond = match cond {
+                    Some(c) => match const_cond(c) {
+                        CondKind::True => None,
+                        CondKind::False => {
+                            // Loop never runs; keep the init only.
+                            return Ok(match init_e {
+                                Some(stmts) => {
+                                    let id = self.data.action(stmts);
+                                    self.report.actions += 1;
+                                    EStmt::action(id)
+                                }
+                                None => EStmt::nothing(),
+                            });
+                        }
+                        CondKind::Dynamic(c) => Some(c),
+                    },
+                    None => None,
+                };
+                let init_stmt = init_e.map(|stmts| {
+                    let id = self.data.action(stmts);
+                    self.report.actions += 1;
+                    EStmt::action(id)
+                });
+                let step_stmt = match step {
+                    Some(e) => {
+                        let id = self.data.action(vec![Stmt::expr(e.clone())]);
+                        self.report.actions += 1;
+                        Some(EStmt::action(id))
+                    }
+                    None => None,
+                };
+                let body_loop =
+                    self.reactive_loop(cond, None, body, step_stmt, s.span)?;
+                Ok(EStmt::seq(match init_stmt {
+                    Some(i) => vec![i, body_loop],
+                    None => vec![body_loop],
+                }))
+            }
+            StmtKind::DoWhile { body, cond } => {
+                // do body while (c) ≡ trap_b { loop { trap_c { body };
+                //                               if (!c) exit b } }
+                let p = match const_cond(cond) {
+                    CondKind::True => None,
+                    CondKind::False | CondKind::Dynamic(_) => {
+                        let cond = cond.clone();
+                        Some(self.data.pred(cond))
+                    }
+                };
+                if p.is_some() {
+                    self.report.preds += 1;
+                }
+                self.depth += 1; // trap_b
+                let break_abs = self.depth - 1;
+                self.depth += 1; // trap_c
+                self.loops.push(LoopCtx {
+                    break_abs,
+                    cont_abs: Some(self.depth - 1),
+                });
+                let b = self.tr_sub(body)?;
+                self.loops.pop();
+                self.depth -= 1;
+                let tail = match p {
+                    Some(p) => EStmt::if_data(p, EStmt::nothing(), EStmt::exit(0)),
+                    None => EStmt::nothing(),
+                };
+                let inner = EStmt::seq(vec![EStmt::trap(b), tail]);
+                self.depth -= 1;
+                Ok(EStmt::trap(EStmt::loop_(inner)))
+            }
+            StmtKind::Switch { .. } => err(
+                "switch with reactive statements inside is not supported; \
+                 use if/else chains or keep the switch pure data",
+                s.span,
+            ),
+            StmtKind::Break => {
+                let Some(l) = self.loops.last() else {
+                    return err("`break` outside of a loop", s.span);
+                };
+                Ok(EStmt::exit(self.depth - 1 - l.break_abs))
+            }
+            StmtKind::Continue => {
+                let Some(l) = self.loops.last() else {
+                    return err("`continue` outside of a loop", s.span);
+                };
+                match l.cont_abs {
+                    Some(c) => Ok(EStmt::exit(self.depth - 1 - c)),
+                    None => err("`continue` not supported here", s.span),
+                }
+            }
+            StmtKind::Return(_) => err(
+                "`return` inside a module body is not supported (modules do not return; \
+                 use signals to communicate results)",
+                s.span,
+            ),
+            StmtKind::Expr(_) | StmtKind::Decl(_) => {
+                // Reaches here only when not batchable — i.e. it
+                // contains escaping flow, which the cases above handle.
+                err("internal: unexpected data statement in reactive position", s.span)
+            }
+        }
+    }
+
+    /// Translate a statement in sub-position (body of a reactive
+    /// construct), preserving batching for blocks.
+    fn tr_sub(&mut self, s: &Stmt) -> Result<EStmt, SplitError> {
+        if batchable(s) {
+            let mut out = Vec::new();
+            let mut run = vec![s.clone()];
+            self.flush(&mut run, &mut out)?;
+            return Ok(EStmt::seq(out));
+        }
+        match &s.kind {
+            StmtKind::Block(b) => self.tr_block(&b.stmts),
+            _ => self.tr_stmt(s),
+        }
+    }
+
+    /// Shared encoding for reactive `while`/`for` loops.
+    ///
+    /// `cond_pre` tests before the body (while/for); `cond_post` is not
+    /// used here (do-while is separate). `step` runs after the body and
+    /// after `continue`.
+    fn reactive_loop(
+        &mut self,
+        cond_pre: Option<&Expr>,
+        cond_pre_owned: Option<&Expr>,
+        body: &Stmt,
+        step: Option<EStmt>,
+        _span: Span,
+    ) -> Result<EStmt, SplitError> {
+        let cond = cond_pre.or(cond_pre_owned);
+        let pred = match cond {
+            Some(c) => {
+                self.report.preds += 1;
+                Some(self.data.pred(c.clone()))
+            }
+            None => None,
+        };
+        self.depth += 1; // trap_b
+        let break_abs = self.depth - 1;
+        self.depth += 1; // trap_c
+        self.loops.push(LoopCtx {
+            break_abs,
+            cont_abs: Some(self.depth - 1),
+        });
+        let b = self.tr_sub(body)?;
+        self.loops.pop();
+        self.depth -= 1; // leave trap_c scope for the step/test below
+        let iteration = {
+            let mut parts = vec![EStmt::trap(b)];
+            if let Some(st) = step.clone() {
+                parts.push(st);
+            }
+            EStmt::seq(parts)
+        };
+        let looped = match pred {
+            Some(p) => EStmt::loop_(EStmt::if_data(p, iteration, EStmt::exit(0))),
+            None => EStmt::loop_(iteration),
+        };
+        self.depth -= 1;
+        Ok(EStmt::trap(looped))
+    }
+}
+
+/// Outcome of constant-folding a loop condition.
+enum CondKind<'a> {
+    True,
+    False,
+    Dynamic(&'a Expr),
+}
+
+fn const_cond(e: &Expr) -> CondKind<'_> {
+    match &e.kind {
+        ExprKind::IntLit(v) => {
+            if *v != 0 {
+                CondKind::True
+            } else {
+                CondKind::False
+            }
+        }
+        _ => CondKind::Dynamic(e),
+    }
+}
+
+/// Lower a data statement for extraction: declarations become their
+/// initializing assignments (frame slots are pre-allocated), empty
+/// statements vanish.
+fn lower_data(s: &Stmt) -> Option<Stmt> {
+    match &s.kind {
+        StmtKind::Expr(None) => None,
+        StmtKind::Decl(d) => {
+            let mut assigns: Vec<Stmt> = Vec::new();
+            for dec in &d.decls {
+                if let Some(init) = &dec.init {
+                    let target = Expr {
+                        kind: ExprKind::Ident(Ident::new(dec.name.name.clone(), dec.name.span)),
+                        span: dec.name.span,
+                    };
+                    let assign = Expr {
+                        kind: ExprKind::Assign(
+                            AssignOp::Assign,
+                            Box::new(target),
+                            Box::new(init.clone()),
+                        ),
+                        span: dec.name.span,
+                    };
+                    assigns.push(Stmt::expr(assign));
+                }
+            }
+            match assigns.len() {
+                0 => None,
+                1 => assigns.pop(),
+                _ => Some(Stmt {
+                    kind: StmtKind::Block(ecl_syntax::ast::Block {
+                        stmts: assigns,
+                        span: d.span,
+                    }),
+                    span: d.span,
+                }),
+            }
+        }
+        StmtKind::Block(b) => {
+            let stmts: Vec<Stmt> = b.stmts.iter().filter_map(lower_data).collect();
+            if stmts.is_empty() {
+                None
+            } else {
+                Some(Stmt {
+                    kind: StmtKind::Block(ecl_syntax::ast::Block {
+                        stmts,
+                        span: b.span,
+                    }),
+                    span: b.span,
+                })
+            }
+        }
+        StmtKind::If { cond, then, els } => Some(Stmt {
+            kind: StmtKind::If {
+                cond: cond.clone(),
+                then: Box::new(lower_data(then).unwrap_or(Stmt {
+                    kind: StmtKind::Expr(None),
+                    span: then.span,
+                })),
+                els: els.as_ref().map(|e| {
+                    Box::new(lower_data(e).unwrap_or(Stmt {
+                        kind: StmtKind::Expr(None),
+                        span: e.span,
+                    }))
+                }),
+            },
+            span: s.span,
+        }),
+        StmtKind::While { cond, body } => Some(Stmt {
+            kind: StmtKind::While {
+                cond: cond.clone(),
+                body: Box::new(lower_data(body).unwrap_or(Stmt {
+                    kind: StmtKind::Expr(None),
+                    span: body.span,
+                })),
+            },
+            span: s.span,
+        }),
+        StmtKind::DoWhile { body, cond } => Some(Stmt {
+            kind: StmtKind::DoWhile {
+                body: Box::new(lower_data(body).unwrap_or(Stmt {
+                    kind: StmtKind::Expr(None),
+                    span: body.span,
+                })),
+                cond: cond.clone(),
+            },
+            span: s.span,
+        }),
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => Some(Stmt {
+            kind: StmtKind::For {
+                init: init.as_ref().and_then(|i| lower_data(i)).map(Box::new),
+                cond: cond.clone(),
+                step: step.clone(),
+                body: Box::new(lower_data(body).unwrap_or(Stmt {
+                    kind: StmtKind::Expr(None),
+                    span: body.span,
+                })),
+            },
+            span: s.span,
+        }),
+        StmtKind::Switch { scrutinee, arms } => Some(Stmt {
+            kind: StmtKind::Switch {
+                scrutinee: scrutinee.clone(),
+                arms: arms
+                    .iter()
+                    .map(|a| ecl_syntax::ast::SwitchArm {
+                        value: a.value.clone(),
+                        stmts: a.stmts.iter().filter_map(lower_data).collect(),
+                        span: a.span,
+                    })
+                    .collect(),
+            },
+            span: s.span,
+        }),
+        // break/continue inside extracted loops stay as-is.
+        StmtKind::Break | StmtKind::Continue => Some(s.clone()),
+        StmtKind::Expr(Some(_)) | StmtKind::Return(_) => Some(s.clone()),
+        // Reactive statements never reach lower_data (batchable() is
+        // checked first); keep a defensive clone.
+        _ => Some(s.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::elaborate;
+    use ecl_syntax::parse_str;
+
+    fn split_src(src: &str, entry: &str, strategy: SplitStrategy) -> SplitResult {
+        let prog = parse_str(src).expect("parse");
+        let elab = elaborate(&prog, entry, None).expect("elaborate");
+        split(&elab, strategy).expect("split")
+    }
+
+    #[test]
+    fn await_emit_translate_directly() {
+        let r = split_src(
+            "module m(input pure a, output pure o) { while (1) { await (a); emit (o); } }",
+            "m",
+            SplitStrategy::MaxEsterel,
+        );
+        assert_eq!(r.data.actions.len(), 0);
+        assert!(r.program.n_pauses() >= 1);
+    }
+
+    #[test]
+    fn data_loop_is_extracted() {
+        let r = split_src(
+            "module m(input pure a, output pure o) {\
+               int i; int acc;\
+               while (1) {\
+                 await (a);\
+                 for (i = 0, acc = 0; i < 10; i++) { acc += i; }\
+                 emit (o);\
+               } }",
+            "m",
+            SplitStrategy::MaxEsterel,
+        );
+        // The inner for-loop has no halting statement → one action.
+        assert_eq!(r.data.actions.len(), 1);
+        assert_eq!(r.report.actions, 1);
+    }
+
+    #[test]
+    fn reactive_for_becomes_esterel_loop() {
+        let r = split_src(
+            "module m(input pure b, output pure o) {\
+               int cnt;\
+               for (cnt = 0; cnt < 4; cnt++) { await (b); }\
+               emit (o); halt(); }",
+            "m",
+            SplitStrategy::MaxEsterel,
+        );
+        // init + step actions, cond pred.
+        assert!(r.data.actions.len() >= 2, "{:?}", r.data.actions.len());
+        assert_eq!(r.data.preds.len(), 1);
+    }
+
+    #[test]
+    fn min_esterel_batches_runs() {
+        let src = "module m(input pure a, output pure o) {\
+               int x; int y; int z;\
+               while (1) {\
+                 await (a);\
+                 x = 1; y = 2; z = x + y;\
+                 if (z > 2) { z = 0; }\
+                 emit (o);\
+               } }";
+        let max = split_src(src, "m", SplitStrategy::MaxEsterel);
+        let min = split_src(src, "m", SplitStrategy::MinEsterel);
+        // Min: one batched action; Max: one per statement + pred.
+        assert_eq!(min.data.actions.len(), 1);
+        assert!(max.data.actions.len() >= 3);
+        assert_eq!(max.data.preds.len(), 1);
+        assert_eq!(min.data.preds.len(), 0);
+    }
+
+    #[test]
+    fn emit_v_records_value_expr() {
+        let r = split_src(
+            "typedef unsigned char byte;\
+             module m(input byte b, output byte o) { while (1) { await (b); emit_v (o, b); } }",
+            "m",
+            SplitStrategy::MaxEsterel,
+        );
+        assert_eq!(r.data.emit_exprs.len(), 1);
+        assert_eq!(r.report.emits_valued, 1);
+    }
+
+    #[test]
+    fn emit_on_valued_signal_rejected() {
+        let prog = parse_str(
+            "typedef unsigned char byte;\
+             module m(input pure a, output byte o) { emit (o); }",
+        )
+        .unwrap();
+        let elab = elaborate(&prog, "m", None).unwrap();
+        let e = split(&elab, SplitStrategy::MaxEsterel).unwrap_err();
+        assert!(e.msg.contains("emit_v"));
+    }
+
+    #[test]
+    fn break_in_reactive_loop_exits() {
+        let r = split_src(
+            "module m(input pure a, input pure q, output pure o) {\
+               while (1) { await (a); present (q) { break; } }\
+               emit (o); halt (); }",
+            "m",
+            SplitStrategy::MaxEsterel,
+        );
+        // Must compile (break → exit) and keep at least one pause.
+        assert!(r.program.n_pauses() >= 1);
+    }
+
+    #[test]
+    fn instantaneous_reactive_loop_rejected() {
+        let prog = parse_str(
+            "module m(input pure a, output pure o) { while (1) { emit (o); } }",
+        )
+        .unwrap();
+        let elab = elaborate(&prog, "m", None).unwrap();
+        let e = split(&elab, SplitStrategy::MaxEsterel).unwrap_err();
+        assert!(e.msg.contains("instantaneous"), "{}", e.msg);
+    }
+
+    #[test]
+    fn reactive_switch_rejected() {
+        let prog = parse_str(
+            "module m(input pure a, input int v) {\
+               switch (v) { case 1: await (a); break; } }",
+        )
+        .unwrap();
+        let elab = elaborate(&prog, "m", None).unwrap();
+        let e = split(&elab, SplitStrategy::MaxEsterel).unwrap_err();
+        assert!(e.msg.contains("switch"));
+    }
+
+    #[test]
+    fn figure1_assemble_splits() {
+        // The paper's Figure 1, verbatim modulo the preprocessor.
+        let src = "
+#define HDRSIZE 6
+#define DATASIZE 56
+#define CRCSIZE 2
+#define PKTSIZE HDRSIZE+DATASIZE+CRCSIZE
+typedef unsigned char byte;
+typedef struct { byte packet[PKTSIZE]; } packet_view_1_t;
+typedef struct { byte header[HDRSIZE]; byte data[DATASIZE]; byte crc[CRCSIZE]; } packet_view_2_t;
+typedef union { packet_view_1_t raw; packet_view_2_t cooked; } packet_t;
+module assemble (input pure reset, input byte in_byte, output packet_t outpkt)
+{
+    int cnt;
+    packet_t buffer;
+    while (1) {
+        do {
+            for (cnt = 0; cnt < PKTSIZE; cnt++) {
+                await (in_byte);
+                buffer.raw.packet[cnt] = in_byte;
+            }
+            emit_v (outpkt, buffer);
+        } abort (reset);
+    }
+}";
+        let r = split_src(src, "assemble", SplitStrategy::MaxEsterel);
+        assert!(r.program.n_pauses() >= 2); // await + abort's internal await
+        assert_eq!(r.data.emit_exprs.len(), 1);
+        assert_eq!(r.data.preds.len(), 1); // cnt < PKTSIZE
+    }
+
+    #[test]
+    fn continue_in_reactive_loop() {
+        let r = split_src(
+            "module m(input pure a, input pure skip, output pure o) {\
+               while (1) { await (a); present (skip) { continue; } emit (o); } }",
+            "m",
+            SplitStrategy::MaxEsterel,
+        );
+        assert!(r.program.n_pauses() >= 1);
+    }
+
+    #[test]
+    fn return_in_module_rejected() {
+        let prog = parse_str("module m(input pure a) { await(a); return; }").unwrap();
+        let elab = elaborate(&prog, "m", None).unwrap();
+        let e = split(&elab, SplitStrategy::MaxEsterel).unwrap_err();
+        assert!(e.msg.contains("return"));
+    }
+}

@@ -1,0 +1,751 @@
+//! Abstract syntax tree for ECL.
+//!
+//! The tree mirrors the paper's language: a C subset (declarations,
+//! expressions, statements) extended with `module` definitions whose
+//! parameters are *signals*, plus the eight reactive statement forms of
+//! Section 4 of the paper (`emit`/`emit_v`, `await`, `halt`, `present`,
+//! `abort`/`weak_abort` with optional `handle`, `suspend`, `par`, and
+//! module instantiation).
+//!
+//! The AST is deliberately *unresolved*: identifiers are plain strings,
+//! and whether a name denotes a signal, a variable or a module is decided
+//! by semantic analysis in `ecl-core` (the paper calls signal names
+//! "overloaded": presence in reactive contexts, value elsewhere).
+
+use crate::source::Span;
+
+/// An identifier with its source location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ident {
+    /// The name as written.
+    pub name: String,
+    /// Where it was written.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Construct an identifier (mostly for tests and synthesized nodes).
+    pub fn new(name: impl Into<String>, span: Span) -> Self {
+        Ident {
+            name: name.into(),
+            span,
+        }
+    }
+}
+
+impl std::fmt::Display for Ident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Types (syntactic references; resolution happens in `ecl-types`)
+// ---------------------------------------------------------------------------
+
+/// Built-in scalar type keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimType {
+    /// `void`
+    Void,
+    /// `bool` (ECL convenience; 1 byte)
+    Bool,
+    /// `char` (signed 8-bit)
+    Char,
+    /// `unsigned char`
+    UChar,
+    /// `short`
+    Short,
+    /// `unsigned short`
+    UShort,
+    /// `int`
+    Int,
+    /// `unsigned int`
+    UInt,
+    /// `long` (32-bit on the paper's MIPS R3000 target)
+    Long,
+    /// `unsigned long`
+    ULong,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+}
+
+/// A syntactic type reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeRef {
+    /// Shape of the reference.
+    pub kind: TypeRefKind,
+    /// Source range.
+    pub span: Span,
+}
+
+/// The shape of a [`TypeRef`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeRefKind {
+    /// Built-in scalar.
+    Prim(PrimType),
+    /// A typedef name (e.g. `packet_t`, `byte`).
+    Named(Ident),
+    /// `struct tag` or inline `struct { .. }`.
+    Struct(RecordRef),
+    /// `union tag` or inline `union { .. }`.
+    Union(RecordRef),
+    /// `enum tag` or inline `enum { .. }`.
+    Enum(EnumRef),
+    /// Pointer to a type.
+    Pointer(Box<TypeRef>),
+    /// Array with optional (constant) length expression.
+    Array(Box<TypeRef>, Option<Box<Expr>>),
+}
+
+/// Reference to a struct/union: by tag, by inline definition, or both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordRef {
+    /// Tag name, if written.
+    pub tag: Option<Ident>,
+    /// Inline field definitions, if written.
+    pub fields: Option<Vec<FieldDecl>>,
+}
+
+/// One field of a struct/union definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Field type.
+    pub ty: TypeRef,
+    /// Field name.
+    pub name: Ident,
+    /// Source range of the whole field declaration.
+    pub span: Span,
+}
+
+/// Reference to an enum: by tag, by inline definition, or both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumRef {
+    /// Tag name, if written.
+    pub tag: Option<Ident>,
+    /// Inline enumerator list, if written.
+    pub variants: Option<Vec<EnumVariant>>,
+}
+
+/// One enumerator with optional explicit value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumVariant {
+    /// Enumerator name.
+    pub name: Ident,
+    /// Explicit `= expr` value, if written.
+    pub value: Option<Expr>,
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `+x`
+    Plus,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+    /// `*x`
+    Deref,
+    /// `&x`
+    AddrOf,
+}
+
+/// Binary operators (excluding assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // names mirror the C operators
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitXor,
+    BitOr,
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    /// C source spelling.
+    pub fn as_str(&self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            BitAnd => "&",
+            BitXor => "^",
+            BitOr => "|",
+            LogAnd => "&&",
+            LogOr => "||",
+        }
+    }
+}
+
+/// Compound-assignment operators (`=` is `Assign`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AssignOp {
+    Assign,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitXor,
+    BitOr,
+}
+
+impl AssignOp {
+    /// The underlying binary operator for compound assignments.
+    pub fn binop(&self) -> Option<BinOp> {
+        Some(match self {
+            AssignOp::Assign => return None,
+            AssignOp::Add => BinOp::Add,
+            AssignOp::Sub => BinOp::Sub,
+            AssignOp::Mul => BinOp::Mul,
+            AssignOp::Div => BinOp::Div,
+            AssignOp::Rem => BinOp::Rem,
+            AssignOp::Shl => BinOp::Shl,
+            AssignOp::Shr => BinOp::Shr,
+            AssignOp::BitAnd => BinOp::BitAnd,
+            AssignOp::BitXor => BinOp::BitXor,
+            AssignOp::BitOr => BinOp::BitOr,
+        })
+    }
+
+    /// C source spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::Add => "+=",
+            AssignOp::Sub => "-=",
+            AssignOp::Mul => "*=",
+            AssignOp::Div => "/=",
+            AssignOp::Rem => "%=",
+            AssignOp::Shl => "<<=",
+            AssignOp::Shr => ">>=",
+            AssignOp::BitAnd => "&=",
+            AssignOp::BitXor => "^=",
+            AssignOp::BitOr => "|=",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Shape of the expression.
+    pub kind: ExprKind,
+    /// Source range.
+    pub span: Span,
+}
+
+/// The shape of an [`Expr`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating literal.
+    FloatLit(f64),
+    /// Character literal.
+    CharLit(u8),
+    /// String literal.
+    StrLit(String),
+    /// Identifier (variable, signal value, enumerator — resolved later).
+    Ident(Ident),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment (simple or compound). LHS must be an lvalue.
+    Assign(AssignOp, Box<Expr>, Box<Expr>),
+    /// Prefix `++x` / `--x` (`true` = increment).
+    PreIncDec(bool, Box<Expr>),
+    /// Postfix `x++` / `x--` (`true` = increment).
+    PostIncDec(bool, Box<Expr>),
+    /// `c ? t : e`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function call (or module instantiation — disambiguated by sema).
+    Call(Ident, Vec<Expr>),
+    /// `a[i]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `s.f`
+    Member(Box<Expr>, Ident),
+    /// `p->f`
+    Arrow(Box<Expr>, Ident),
+    /// `(type) e`
+    Cast(TypeRef, Box<Expr>),
+    /// `sizeof(type)`
+    SizeofType(TypeRef),
+    /// `sizeof expr`
+    SizeofExpr(Box<Expr>),
+    /// `a, b`
+    Comma(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Build an integer literal expression.
+    pub fn int(v: i64, span: Span) -> Expr {
+        Expr {
+            kind: ExprKind::IntLit(v),
+            span,
+        }
+    }
+
+    /// Build an identifier expression.
+    pub fn ident(name: impl Into<String>, span: Span) -> Expr {
+        Expr {
+            kind: ExprKind::Ident(Ident::new(name, span)),
+            span,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signal expressions (presence tests)
+// ---------------------------------------------------------------------------
+
+/// A signal-presence expression: signal names combined with `&`, `|`, `~`.
+///
+/// The paper restricts `await`/`present`/`abort`/`suspend` arguments to
+/// this grammar (Section 4, item 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SigExpr {
+    /// Shape of the expression.
+    pub kind: SigExprKind,
+    /// Source range.
+    pub span: Span,
+}
+
+/// The shape of a [`SigExpr`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SigExprKind {
+    /// A signal name, tested for presence.
+    Sig(Ident),
+    /// Negation `~e`.
+    Not(Box<SigExpr>),
+    /// Conjunction `a & b`.
+    And(Box<SigExpr>, Box<SigExpr>),
+    /// Disjunction `a | b`.
+    Or(Box<SigExpr>, Box<SigExpr>),
+}
+
+impl SigExpr {
+    /// All signal names mentioned, in syntactic order (may repeat).
+    pub fn signals(&self) -> Vec<&Ident> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a Ident>) {
+        match &self.kind {
+            SigExprKind::Sig(id) => out.push(id),
+            SigExprKind::Not(e) => e.collect(out),
+            SigExprKind::And(a, b) | SigExprKind::Or(a, b) => {
+                a.collect(out);
+                b.collect(out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// One declarator of a variable declaration (`int a, b[4];` has two).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declarator {
+    /// Declared name.
+    pub name: Ident,
+    /// Full type after applying pointer/array derivations to the base.
+    pub ty: TypeRef,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+}
+
+/// A variable declaration (possibly multiple declarators).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// The declarators.
+    pub decls: Vec<Declarator>,
+    /// Source range.
+    pub span: Span,
+}
+
+/// A local signal declaration: `signal pure kill_check;` or
+/// `signal packet_t packet;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalDecl {
+    /// `pure` signals carry presence only; valued signals carry `ty`.
+    pub pure: bool,
+    /// Value type for valued signals.
+    pub ty: Option<TypeRef>,
+    /// Signal name.
+    pub name: Ident,
+    /// Source range.
+    pub span: Span,
+}
+
+/// Which flavour of abortion a `do .. abort` statement uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortKind {
+    /// Strong abortion: the body does not run in the triggering instant.
+    Strong,
+    /// Weak abortion: the body runs for the triggering instant, then stops.
+    Weak,
+}
+
+/// A block `{ ... }`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source range.
+    pub span: Span,
+}
+
+/// One `case`/`default` arm of a `switch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchArm {
+    /// `Some(expr)` for `case expr:`, `None` for `default:`.
+    pub value: Option<Expr>,
+    /// Statements until the next label (fallthrough is preserved).
+    pub stmts: Vec<Stmt>,
+    /// Source range of the label.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Shape of the statement.
+    pub kind: StmtKind,
+    /// Source range.
+    pub span: Span,
+}
+
+/// The shape of a [`Stmt`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `;` (empty) or `expr;`
+    Expr(Option<Expr>),
+    /// Local variable declaration.
+    Decl(VarDecl),
+    /// Local signal declaration.
+    Signal(SignalDecl),
+    /// Nested block.
+    Block(Block),
+    /// `if (c) t [else e]` — `c` is a *value* expression.
+    If {
+        /// Condition (C expression).
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Optional else branch.
+        els: Option<Box<Stmt>>,
+    },
+    /// `while (c) body`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (c);`
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Loop condition (tested after the body).
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Init clause: declaration or expression.
+        init: Option<Box<Stmt>>,
+        /// Optional condition.
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `switch (scrutinee) { arms }`
+    Switch {
+        /// Value switched on.
+        scrutinee: Expr,
+        /// Case arms in source order.
+        arms: Vec<SwitchArm>,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return [e];`
+    Return(Option<Expr>),
+    // --- ECL reactive statements -----------------------------------
+    /// `await (sigexpr);` — ends the instant, waits for a *later*
+    /// occurrence. `await ();` (no expression) is the "delta" form that
+    /// merely splits the instant.
+    Await(Option<SigExpr>),
+    /// `await_immediate (sigexpr);` — reproduction extension: also
+    /// checks the current instant (see DESIGN.md).
+    AwaitImmediate(SigExpr),
+    /// `emit (S);` — pure emission.
+    Emit(Ident),
+    /// `emit_v (S, value);` — valued emission.
+    EmitV(Ident, Expr),
+    /// `halt ();`
+    Halt,
+    /// `present (sigexpr) s1 [else s2]`
+    Present {
+        /// Presence expression tested this instant.
+        cond: SigExpr,
+        /// Branch when present.
+        then: Box<Stmt>,
+        /// Optional branch when absent.
+        els: Option<Box<Stmt>>,
+    },
+    /// `do body abort/weak_abort (sigexpr) [handle h]`
+    Abort {
+        /// Guarded body.
+        body: Box<Stmt>,
+        /// Strong or weak abortion.
+        kind: AbortKind,
+        /// Triggering expression (tested in later instants).
+        cond: SigExpr,
+        /// Optional abort handler (like Java `catch`).
+        handle: Option<Box<Stmt>>,
+    },
+    /// `do body suspend (sigexpr)`
+    Suspend {
+        /// Suspended body.
+        body: Box<Stmt>,
+        /// Freeze condition.
+        cond: SigExpr,
+    },
+    /// `par { s1; s2; ... }`
+    Par(Vec<Stmt>),
+}
+
+impl Stmt {
+    /// Make an expression statement.
+    pub fn expr(e: Expr) -> Stmt {
+        let span = e.span;
+        Stmt {
+            kind: StmtKind::Expr(Some(e)),
+            span,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Top-level items
+// ---------------------------------------------------------------------------
+
+/// Signal parameter direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalDir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+}
+
+/// One signal parameter of a module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalParam {
+    /// Direction.
+    pub dir: SignalDir,
+    /// Pure (presence-only) signal?
+    pub pure: bool,
+    /// Value type for valued signals.
+    pub ty: Option<TypeRef>,
+    /// Parameter name.
+    pub name: Ident,
+    /// Source range.
+    pub span: Span,
+}
+
+/// A module definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: Ident,
+    /// Signal interface.
+    pub params: Vec<SignalParam>,
+    /// Body.
+    pub body: Block,
+    /// Source range.
+    pub span: Span,
+}
+
+/// One parameter of a C function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnParam {
+    /// Parameter type.
+    pub ty: TypeRef,
+    /// Parameter name.
+    pub name: Ident,
+}
+
+/// A plain C function definition (callable from data code).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Return type.
+    pub ret: TypeRef,
+    /// Function name.
+    pub name: Ident,
+    /// Parameters.
+    pub params: Vec<FnParam>,
+    /// Body (`None` for a prototype).
+    pub body: Option<Block>,
+    /// Source range.
+    pub span: Span,
+}
+
+/// A `typedef` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Typedef {
+    /// The aliased type.
+    pub ty: TypeRef,
+    /// The new name.
+    pub name: Ident,
+    /// Source range.
+    pub span: Span,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `typedef` alias.
+    Typedef(Typedef),
+    /// Free-standing `struct`/`union`/`enum` definition.
+    TypeDecl(TypeRef),
+    /// Global variable declaration (diagnosed later: the paper notes
+    /// globals are unsupported under Esterel scoping).
+    Global(VarDecl),
+    /// Plain C function.
+    Function(Function),
+    /// ECL module.
+    Module(Module),
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Iterate over the modules in the program.
+    pub fn modules(&self) -> impl Iterator<Item = &Module> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Module(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Find a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules().find(|m| m.name.name == name)
+    }
+
+    /// Iterate over plain C functions.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Function(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Iterate over typedefs.
+    pub fn typedefs(&self) -> impl Iterator<Item = &Typedef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Typedef(t) => Some(t),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigexpr_collects_signals() {
+        let s = |n: &str| SigExpr {
+            kind: SigExprKind::Sig(Ident::new(n, Span::dummy())),
+            span: Span::dummy(),
+        };
+        let e = SigExpr {
+            kind: SigExprKind::And(
+                Box::new(s("a")),
+                Box::new(SigExpr {
+                    kind: SigExprKind::Not(Box::new(s("b"))),
+                    span: Span::dummy(),
+                }),
+            ),
+            span: Span::dummy(),
+        };
+        let names: Vec<_> = e.signals().iter().map(|i| i.name.clone()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn assign_op_binop_mapping() {
+        assert_eq!(AssignOp::Assign.binop(), None);
+        assert_eq!(AssignOp::Shl.binop(), Some(BinOp::Shl));
+        assert_eq!(AssignOp::Add.as_str(), "+=");
+    }
+
+    #[test]
+    fn program_accessors() {
+        let m = Module {
+            name: Ident::new("m", Span::dummy()),
+            params: vec![],
+            body: Block::default(),
+            span: Span::dummy(),
+        };
+        let p = Program {
+            items: vec![Item::Module(m)],
+        };
+        assert!(p.module("m").is_some());
+        assert!(p.module("n").is_none());
+        assert_eq!(p.functions().count(), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Structured diagnostics.
+//!
+//! All phases of the compiler report problems through a [`DiagSink`]
+//! rather than panicking or returning early, so a single run can surface
+//! every issue it finds. Errors are fatal for the phase that produced
+//! them; warnings and notes are informational.
+
+use crate::source::{SourceFile, Span};
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Additional context attached to a prior diagnostic.
+    Note,
+    /// Suspicious but accepted construct.
+    Warning,
+    /// Construct that the compiler cannot accept.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single diagnostic message with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable message (lowercase, no trailing period).
+    pub message: String,
+    /// Source range the message refers to.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Build an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Build a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Build a note diagnostic.
+    pub fn note(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Note,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Render with file/line/column resolved against `file`.
+    pub fn render(&self, file: &SourceFile) -> String {
+        let lc = file.span_start(self.span);
+        format!("{}:{}: {}: {}", file.name(), lc, self.severity, self.message)
+    }
+}
+
+/// Accumulates diagnostics across a compilation phase.
+#[derive(Debug, Clone, Default)]
+pub struct DiagSink {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagSink {
+    /// Create an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Record an error.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::error(message, span));
+    }
+
+    /// Record a warning.
+    pub fn warning(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::warning(message, span));
+    }
+
+    /// Record a note.
+    pub fn note(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::note(message, span));
+    }
+
+    /// Whether any error-severity diagnostic has been recorded.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// All recorded diagnostics in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Number of recorded diagnostics (all severities).
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Whether no diagnostics have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Render all diagnostics, one per line, against `file`.
+    pub fn render_all(&self, file: &SourceFile) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.render(file));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for DiagSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diags {
+            writeln!(f, "{}: {} (at {})", d.severity, d.message, d.span)?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for DiagSink {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_tracks_errors() {
+        let mut sink = DiagSink::new();
+        assert!(!sink.has_errors());
+        sink.warning("looks odd", Span::new(0, 1));
+        assert!(!sink.has_errors());
+        assert_eq!(sink.len(), 1);
+        sink.error("broken", Span::new(1, 2));
+        assert!(sink.has_errors());
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn diagnostic_renders_location() {
+        let f = SourceFile::new("m.ecl", "abc\ndef");
+        let d = Diagnostic::error("bad token", Span::new(4, 5));
+        assert_eq!(d.render(&f), "m.ecl:2:1: error: bad token");
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+}

@@ -1,0 +1,529 @@
+//! The lexer: raw text to [`Token`] stream.
+//!
+//! Handles C-style comments (`/* */` and `//`), all C operators used by
+//! the ECL subset, decimal/hex/octal integer literals, float literals,
+//! character and string literals with the common escapes, and keywords.
+//! Preprocessor lines are *not* interpreted here; `#` is lexed as a
+//! token and handled by [`crate::pp`].
+
+use crate::diag::DiagSink;
+use crate::source::{SourceFile, Span};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Lex an entire file into tokens (always terminated by `Eof`).
+pub fn lex(file: &SourceFile, sink: &mut DiagSink) -> Vec<Token> {
+    Lexer::new(file, sink).run()
+}
+
+struct Lexer<'a> {
+    text: &'a [u8],
+    pos: usize,
+    sink: &'a mut DiagSink,
+    at_line_start: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(file: &'a SourceFile, sink: &'a mut DiagSink) -> Self {
+        Lexer {
+            text: file.text().as_bytes(),
+            pos: 0,
+            sink,
+            at_line_start: true,
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut toks = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos as u32;
+            let line_start = self.at_line_start;
+            let Some(c) = self.peek() else {
+                toks.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start, start),
+                    at_line_start: line_start,
+                });
+                return toks;
+            };
+            let kind = self.next_kind(c);
+            let span = Span::new(start, self.pos as u32);
+            if let Some(kind) = kind {
+                toks.push(Token {
+                    kind,
+                    span,
+                    at_line_start: line_start,
+                });
+                self.at_line_start = false;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.text.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.text.get(self.pos + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<u8> {
+        self.text.get(self.pos + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    /// Skip whitespace and comments, tracking line starts.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b'\n') => {
+                    self.pos += 1;
+                    self.at_line_start = true;
+                }
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos as u32;
+                    self.pos += 2;
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b'/') {
+                            self.pos += 1;
+                            closed = true;
+                            break;
+                        }
+                        if c == b'\n' {
+                            self.at_line_start = true;
+                        }
+                    }
+                    if !closed {
+                        self.sink
+                            .error("unterminated block comment", Span::new(start, self.pos as u32));
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_kind(&mut self, c: u8) -> Option<TokenKind> {
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Some(self.ident_or_kw());
+        }
+        if c.is_ascii_digit() {
+            return Some(self.number());
+        }
+        match c {
+            b'\'' => Some(self.char_lit()),
+            b'"' => Some(self.string_lit()),
+            _ => self.punct(),
+        }
+    }
+
+    fn ident_or_kw(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.text[start..self.pos]).expect("ascii identifier");
+        match Keyword::from_str(s) {
+            Some(kw) => TokenKind::Kw(kw),
+            None => TokenKind::Ident(s.to_string()),
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let start = self.pos;
+        // Hex.
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.pos += 2;
+            let hs = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let digits = std::str::from_utf8(&self.text[hs..self.pos]).expect("hex digits");
+            let val = i64::from_str_radix(digits, 16).unwrap_or_else(|_| {
+                self.sink.error(
+                    "hex literal out of range",
+                    Span::new(start as u32, self.pos as u32),
+                );
+                0
+            });
+            self.eat_int_suffix();
+            return TokenKind::IntLit(val);
+        }
+        // Decimal / octal / float.
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let is_float = self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit())
+            || matches!(self.peek(), Some(b'e') | Some(b'E'))
+                && (self.peek2().is_some_and(|c| c.is_ascii_digit())
+                    || matches!(self.peek2(), Some(b'+') | Some(b'-'))
+                        && self.peek3().is_some_and(|c| c.is_ascii_digit()));
+        if is_float {
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.pos += 1;
+                }
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'f') | Some(b'F')) {
+                self.pos += 1;
+            }
+            let s = std::str::from_utf8(&self.text[start..self.pos]).expect("float digits");
+            let s = s.trim_end_matches(['f', 'F']);
+            let val: f64 = s.parse().unwrap_or_else(|_| {
+                self.sink.error(
+                    "malformed float literal",
+                    Span::new(start as u32, self.pos as u32),
+                );
+                0.0
+            });
+            return TokenKind::FloatLit(val);
+        }
+        let s = std::str::from_utf8(&self.text[start..self.pos]).expect("digits");
+        let val = if s.len() > 1 && s.starts_with('0') {
+            i64::from_str_radix(&s[1..], 8).ok()
+        } else {
+            s.parse::<i64>().ok()
+        };
+        let val = val.unwrap_or_else(|| {
+            self.sink.error(
+                "integer literal out of range",
+                Span::new(start as u32, self.pos as u32),
+            );
+            0
+        });
+        self.eat_int_suffix();
+        TokenKind::IntLit(val)
+    }
+
+    fn eat_int_suffix(&mut self) {
+        while matches!(self.peek(), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+            self.pos += 1;
+        }
+    }
+
+    fn escape(&mut self, quote_span_start: usize) -> u8 {
+        match self.bump() {
+            Some(b'n') => b'\n',
+            Some(b't') => b'\t',
+            Some(b'r') => b'\r',
+            Some(b'0') => 0,
+            Some(b'\\') => b'\\',
+            Some(b'\'') => b'\'',
+            Some(b'"') => b'"',
+            Some(c) => {
+                self.sink.error(
+                    format!("unknown escape `\\{}`", c as char),
+                    Span::new(quote_span_start as u32, self.pos as u32),
+                );
+                c
+            }
+            None => {
+                self.sink.error(
+                    "unterminated escape",
+                    Span::new(quote_span_start as u32, self.pos as u32),
+                );
+                0
+            }
+        }
+    }
+
+    fn char_lit(&mut self) -> TokenKind {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let v = match self.bump() {
+            Some(b'\\') => self.escape(start),
+            Some(b'\'') => {
+                self.sink
+                    .error("empty char literal", Span::new(start as u32, self.pos as u32));
+                return TokenKind::CharLit(0);
+            }
+            Some(c) => c,
+            None => {
+                self.sink.error(
+                    "unterminated char literal",
+                    Span::new(start as u32, self.pos as u32),
+                );
+                return TokenKind::CharLit(0);
+            }
+        };
+        if self.peek() == Some(b'\'') {
+            self.pos += 1;
+        } else {
+            self.sink.error(
+                "unterminated char literal",
+                Span::new(start as u32, self.pos as u32),
+            );
+        }
+        TokenKind::CharLit(v)
+    }
+
+    fn string_lit(&mut self) -> TokenKind {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = Vec::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => out.push(self.escape(start)),
+                Some(b'\n') | None => {
+                    self.sink.error(
+                        "unterminated string literal",
+                        Span::new(start as u32, self.pos as u32),
+                    );
+                    break;
+                }
+                Some(c) => out.push(c),
+            }
+        }
+        TokenKind::StrLit(String::from_utf8_lossy(&out).into_owned())
+    }
+
+    fn punct(&mut self) -> Option<TokenKind> {
+        use Punct::*;
+        let c = self.bump().expect("caller checked peek");
+        let two = |l: &mut Self, p: Punct| {
+            l.pos += 1;
+            Some(TokenKind::Punct(p))
+        };
+        let p = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'?' => Question,
+            b'.' => Dot,
+            b'~' => Tilde,
+            b'#' => Hash,
+            b':' => Colon,
+            b'+' => match self.peek() {
+                Some(b'+') => return two(self, PlusPlus),
+                Some(b'=') => return two(self, PlusEq),
+                _ => Plus,
+            },
+            b'-' => match self.peek() {
+                Some(b'-') => return two(self, MinusMinus),
+                Some(b'=') => return two(self, MinusEq),
+                Some(b'>') => return two(self, Arrow),
+                _ => Minus,
+            },
+            b'*' => match self.peek() {
+                Some(b'=') => return two(self, StarEq),
+                _ => Star,
+            },
+            b'/' => match self.peek() {
+                Some(b'=') => return two(self, SlashEq),
+                _ => Slash,
+            },
+            b'%' => match self.peek() {
+                Some(b'=') => return two(self, PercentEq),
+                _ => Percent,
+            },
+            b'^' => match self.peek() {
+                Some(b'=') => return two(self, CaretEq),
+                _ => Caret,
+            },
+            b'!' => match self.peek() {
+                Some(b'=') => return two(self, BangEq),
+                _ => Bang,
+            },
+            b'=' => match self.peek() {
+                Some(b'=') => return two(self, EqEq),
+                _ => Eq,
+            },
+            b'&' => match self.peek() {
+                Some(b'&') => return two(self, AmpAmp),
+                Some(b'=') => return two(self, AmpEq),
+                _ => Amp,
+            },
+            b'|' => match self.peek() {
+                Some(b'|') => return two(self, PipePipe),
+                Some(b'=') => return two(self, PipeEq),
+                _ => Pipe,
+            },
+            b'<' => match self.peek() {
+                Some(b'<') => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        return two(self, ShlEq);
+                    }
+                    Shl
+                }
+                Some(b'=') => return two(self, Le),
+                _ => Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        return two(self, ShrEq);
+                    }
+                    Shr
+                }
+                Some(b'=') => return two(self, Ge),
+                _ => Gt,
+            },
+            other => {
+                self.sink.error(
+                    format!("unexpected character `{}`", other as char),
+                    Span::new(self.pos as u32 - 1, self.pos as u32),
+                );
+                return None;
+            }
+        };
+        Some(TokenKind::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_ok(s: &str) -> Vec<TokenKind> {
+        let f = SourceFile::new("t", s);
+        let mut sink = DiagSink::new();
+        let toks = lex(&f, &mut sink);
+        assert!(!sink.has_errors(), "unexpected errors: {sink}");
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        let toks = lex_ok("module m await emit_v foo_bar");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Kw(Keyword::Module),
+                TokenKind::Ident("m".into()),
+                TokenKind::Kw(Keyword::Await),
+                TokenKind::Kw(Keyword::EmitV),
+                TokenKind::Ident("foo_bar".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let toks = lex_ok("0 42 0x1F 017 1.5 2e3 6u 7L");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::IntLit(0),
+                TokenKind::IntLit(42),
+                TokenKind::IntLit(31),
+                TokenKind::IntLit(15),
+                TokenKind::FloatLit(1.5),
+                TokenKind::FloatLit(2000.0),
+                TokenKind::IntLit(6),
+                TokenKind::IntLit(7),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_multi_char_operators() {
+        let toks = lex_ok("<<= >>= << >> <= >= == != && || -> ++ --");
+        use Punct::*;
+        let expect = [
+            ShlEq, ShrEq, Shl, Shr, Le, Ge, EqEq, BangEq, AmpAmp, PipePipe, Arrow, PlusPlus,
+            MinusMinus,
+        ];
+        for (i, p) in expect.iter().enumerate() {
+            assert_eq!(toks[i], TokenKind::Punct(*p));
+        }
+    }
+
+    #[test]
+    fn lexes_strings_and_chars() {
+        let toks = lex_ok(r#"'a' '\n' "hi\tthere""#);
+        assert_eq!(toks[0], TokenKind::CharLit(b'a'));
+        assert_eq!(toks[1], TokenKind::CharLit(b'\n'));
+        assert_eq!(toks[2], TokenKind::StrLit("hi\tthere".into()));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = lex_ok("a /* multi\nline */ b // tail\nc");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_starts() {
+        let f = SourceFile::new("t", "#define X 1\nY");
+        let mut sink = DiagSink::new();
+        let toks = lex(&f, &mut sink);
+        assert!(toks[0].at_line_start); // '#'
+        assert!(!toks[1].at_line_start); // 'define'
+        assert!(toks[4].at_line_start); // 'Y'
+    }
+
+    #[test]
+    fn reports_unterminated_comment() {
+        let f = SourceFile::new("t", "/* never closed");
+        let mut sink = DiagSink::new();
+        let _ = lex(&f, &mut sink);
+        assert!(sink.has_errors());
+    }
+
+    #[test]
+    fn reports_stray_characters() {
+        let f = SourceFile::new("t", "a @ b");
+        let mut sink = DiagSink::new();
+        let toks = lex(&f, &mut sink);
+        assert!(sink.has_errors());
+        // Lexing continues past the bad character.
+        assert_eq!(toks.len(), 3); // a, b, eof
+    }
+}

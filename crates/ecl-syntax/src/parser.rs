@@ -1,0 +1,1652 @@
+//! Recursive-descent parser for ECL (C subset + reactive statements).
+//!
+//! Expressions use a Pratt parser with the full C precedence table.
+//! The classic C ambiguities are resolved the classic way:
+//!
+//! * *cast vs. parenthesized expression* — `(T) x` is a cast iff `T`
+//!   starts a type (builtin keyword, `struct`/`union`/`enum`, or a name
+//!   the parser has seen in a `typedef`);
+//! * *declaration vs. expression statement* — a statement starting with
+//!   a type-starting token is a declaration;
+//! * *`do..while` vs. `do..abort/suspend`* — decided by the keyword
+//!   following the body.
+
+use crate::ast::*;
+use crate::diag::DiagSink;
+use crate::source::{SourceFile, Span};
+use crate::token::{Keyword as Kw, Punct, Token, TokenKind};
+use std::collections::HashSet;
+
+/// The parser state over a preprocessed token stream.
+pub struct Parser<'a> {
+    toks: Vec<Token>,
+    pos: usize,
+    sink: &'a mut DiagSink,
+    /// Names introduced by `typedef` (needed for cast/decl disambiguation).
+    typedefs: HashSet<String>,
+}
+
+impl<'a> Parser<'a> {
+    /// Create a parser over `toks` (must be `Eof`-terminated).
+    ///
+    /// The `SourceFile` argument is kept in the signature for symmetry
+    /// with the other phases (and future use by error rendering) but the
+    /// parser itself only needs the tokens.
+    pub fn new(_file: &'a SourceFile, toks: Vec<Token>, sink: &'a mut DiagSink) -> Self {
+        Parser {
+            toks,
+            pos: 0,
+            sink,
+            typedefs: HashSet::new(),
+        }
+    }
+
+    // -- token helpers ----------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos.min(self.toks.len() - 1)].kind
+    }
+
+    fn peek_nth(&self, n: usize) -> &TokenKind {
+        &self.toks[(self.pos + n).min(self.toks.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos.min(self.toks.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1).min(self.toks.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, p: Punct) -> bool {
+        matches!(self.peek(), TokenKind::Punct(q) if *q == p)
+    }
+
+    fn at_kw(&self, k: Kw) -> bool {
+        matches!(self.peek(), TokenKind::Kw(q) if *q == k)
+    }
+
+    fn eat(&mut self, p: Punct) -> bool {
+        if self.at(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if self.at_kw(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, p: Punct) -> Span {
+        if self.at(p) {
+            self.bump().span
+        } else {
+            let msg = format!("expected `{}`, found {}", p.as_str(), self.peek().describe());
+            let sp = self.span();
+            self.sink.error(msg, sp);
+            sp
+        }
+    }
+
+    fn expect_kw(&mut self, k: Kw) {
+        if self.at_kw(k) {
+            self.bump();
+        } else {
+            let msg = format!(
+                "expected keyword `{}`, found {}",
+                k.as_str(),
+                self.peek().describe()
+            );
+            let sp = self.span();
+            self.sink.error(msg, sp);
+        }
+    }
+
+    fn expect_ident(&mut self) -> Ident {
+        if let TokenKind::Ident(_) = self.peek() {
+            let t = self.bump();
+            let TokenKind::Ident(name) = t.kind else {
+                unreachable!()
+            };
+            Ident { name, span: t.span }
+        } else {
+            let sp = self.span();
+            self.sink
+                .error(format!("expected identifier, found {}", self.peek().describe()), sp);
+            Ident::new("<error>", sp)
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    /// Skip tokens until a likely statement/item boundary.
+    fn synchronize(&mut self) {
+        let mut depth = 0usize;
+        while !self.at_eof() {
+            match self.peek() {
+                TokenKind::Punct(Punct::Semi) if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::Punct(Punct::LBrace) => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::Punct(Punct::RBrace) => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // -- program ------------------------------------------------------------
+
+    /// Parse the whole translation unit.
+    pub fn parse_program(mut self) -> Program {
+        let mut items = Vec::new();
+        while !self.at_eof() {
+            let before = self.pos;
+            if let Some(item) = self.item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                // Defensive: never loop without progress.
+                self.bump();
+            }
+        }
+        Program { items }
+    }
+
+    fn item(&mut self) -> Option<Item> {
+        if self.at_kw(Kw::Typedef) {
+            return self.typedef_item();
+        }
+        if self.at_kw(Kw::Module) {
+            return self.module_item();
+        }
+        // `struct tag { .. };` style free-standing type declarations.
+        if (self.at_kw(Kw::Struct) || self.at_kw(Kw::Union) || self.at_kw(Kw::Enum))
+            && self.is_freestanding_type_decl()
+        {
+            let ty = self.type_specifier()?;
+            self.expect(Punct::Semi);
+            return Some(Item::TypeDecl(ty));
+        }
+        // Otherwise: function or global.
+        self.function_or_global()
+    }
+
+    /// Look ahead: `struct X { .. } ;` or `struct { .. } ;` with no declarator.
+    fn is_freestanding_type_decl(&self) -> bool {
+        // struct [ident] { ... } ;   — find matching brace then `;`
+        let mut i = self.pos + 1;
+        if matches!(self.toks.get(i).map(|t| &t.kind), Some(TokenKind::Ident(_))) {
+            i += 1;
+        }
+        if !matches!(
+            self.toks.get(i).map(|t| &t.kind),
+            Some(TokenKind::Punct(Punct::LBrace))
+        ) {
+            return false;
+        }
+        let mut depth = 0usize;
+        while let Some(t) = self.toks.get(i) {
+            match t.kind {
+                TokenKind::Punct(Punct::LBrace) => depth += 1,
+                TokenKind::Punct(Punct::RBrace) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return matches!(
+                            self.toks.get(i + 1).map(|t| &t.kind),
+                            Some(TokenKind::Punct(Punct::Semi))
+                        );
+                    }
+                }
+                TokenKind::Eof => return false,
+                _ => {}
+            }
+            i += 1;
+        }
+        false
+    }
+
+    fn typedef_item(&mut self) -> Option<Item> {
+        let start = self.span();
+        self.expect_kw(Kw::Typedef);
+        let base = self.type_specifier()?;
+        let (name, ty, _init) = self.declarator(base, false)?;
+        self.expect(Punct::Semi);
+        self.typedefs.insert(name.name.clone());
+        Some(Item::Typedef(Typedef {
+            ty,
+            name,
+            span: start.to(self.prev_span()),
+        }))
+    }
+
+    fn module_item(&mut self) -> Option<Item> {
+        let start = self.span();
+        self.expect_kw(Kw::Module);
+        let name = self.expect_ident();
+        self.expect(Punct::LParen);
+        let mut params = Vec::new();
+        if !self.at(Punct::RParen) {
+            loop {
+                if let Some(p) = self.signal_param() {
+                    params.push(p);
+                }
+                if !self.eat(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Punct::RParen);
+        let body = self.block()?;
+        Some(Item::Module(Module {
+            name,
+            params,
+            body,
+            span: start.to(self.prev_span()),
+        }))
+    }
+
+    fn signal_param(&mut self) -> Option<SignalParam> {
+        let start = self.span();
+        let dir = if self.eat_kw(Kw::Input) {
+            SignalDir::Input
+        } else if self.eat_kw(Kw::Output) {
+            SignalDir::Output
+        } else {
+            let sp = self.span();
+            self.sink.error(
+                format!(
+                    "expected `input` or `output` in signal parameter, found {}",
+                    self.peek().describe()
+                ),
+                sp,
+            );
+            return None;
+        };
+        let (pure, ty) = self.signal_type()?;
+        let name = self.expect_ident();
+        Some(SignalParam {
+            dir,
+            pure,
+            ty,
+            name,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    /// Parse `pure` or a value type for a signal parameter/declaration.
+    fn signal_type(&mut self) -> Option<(bool, Option<TypeRef>)> {
+        if self.eat_kw(Kw::Pure) {
+            Some((true, None))
+        } else {
+            let ty = self.type_specifier()?;
+            Some((false, Some(ty)))
+        }
+    }
+
+    fn function_or_global(&mut self) -> Option<Item> {
+        let start = self.span();
+        let base = match self.type_specifier() {
+            Some(t) => t,
+            None => {
+                self.synchronize();
+                return None;
+            }
+        };
+        // Pointer stars belong to the declarator.
+        let mut ty = base.clone();
+        while self.eat(Punct::Star) {
+            let sp = ty.span;
+            ty = TypeRef {
+                kind: TypeRefKind::Pointer(Box::new(ty)),
+                span: sp,
+            };
+        }
+        let name = self.expect_ident();
+        if self.at(Punct::LParen) {
+            // Function.
+            self.bump();
+            let mut params = Vec::new();
+            if !self.at(Punct::RParen) {
+                if self.at_kw(Kw::Void) && matches!(self.peek_nth(1), TokenKind::Punct(Punct::RParen))
+                {
+                    self.bump(); // `(void)`
+                } else {
+                    loop {
+                        let pty = self.type_specifier()?;
+                        let (pname, pty, _) = self.declarator(pty, false)?;
+                        params.push(FnParam { ty: pty, name: pname });
+                        if !self.eat(Punct::Comma) {
+                            break;
+                        }
+                    }
+                }
+            }
+            self.expect(Punct::RParen);
+            let body = if self.eat(Punct::Semi) {
+                None
+            } else {
+                Some(self.block()?)
+            };
+            return Some(Item::Function(Function {
+                ret: ty,
+                name,
+                params,
+                body,
+                span: start.to(self.prev_span()),
+            }));
+        }
+        // Global variable(s).
+        let first = self.declarator_suffix(ty, name)?;
+        let mut decls = vec![first];
+        while self.eat(Punct::Comma) {
+            let (n2, t2, i2) = self.declarator(base.clone(), true)?;
+            decls.push(Declarator {
+                name: n2,
+                ty: t2,
+                init: i2,
+            });
+        }
+        self.expect(Punct::Semi);
+        Some(Item::Global(VarDecl {
+            decls,
+            span: start.to(self.prev_span()),
+        }))
+    }
+
+    // -- types ---------------------------------------------------------------
+
+    /// Does the current token start a type?
+    fn starts_type(&self) -> bool {
+        match self.peek() {
+            TokenKind::Kw(k) => matches!(
+                k,
+                Kw::Void
+                    | Kw::Bool
+                    | Kw::Char
+                    | Kw::Short
+                    | Kw::Int
+                    | Kw::Long
+                    | Kw::Float
+                    | Kw::Double
+                    | Kw::Signed
+                    | Kw::Unsigned
+                    | Kw::Struct
+                    | Kw::Union
+                    | Kw::Enum
+                    | Kw::Const
+                    | Kw::Static
+                    | Kw::Extern
+            ),
+            TokenKind::Ident(n) => self.typedefs.contains(n),
+            _ => false,
+        }
+    }
+
+    /// Parse a type specifier (no declarator parts).
+    fn type_specifier(&mut self) -> Option<TypeRef> {
+        let start = self.span();
+        // Skip (and ignore) storage/qualifier keywords.
+        while self.eat_kw(Kw::Const) || self.eat_kw(Kw::Static) || self.eat_kw(Kw::Extern) {}
+        if self.at_kw(Kw::Struct) || self.at_kw(Kw::Union) {
+            let is_union = self.at_kw(Kw::Union);
+            self.bump();
+            let rec = self.record_ref()?;
+            let kind = if is_union {
+                TypeRefKind::Union(rec)
+            } else {
+                TypeRefKind::Struct(rec)
+            };
+            return Some(TypeRef {
+                kind,
+                span: start.to(self.prev_span()),
+            });
+        }
+        if self.eat_kw(Kw::Enum) {
+            let e = self.enum_ref()?;
+            return Some(TypeRef {
+                kind: TypeRefKind::Enum(e),
+                span: start.to(self.prev_span()),
+            });
+        }
+        // Scalar keyword combinations.
+        let mut signed: Option<bool> = None;
+        let mut base: Option<PrimType> = None;
+        loop {
+            let k = match self.peek() {
+                TokenKind::Kw(k) => *k,
+                _ => break,
+            };
+            match k {
+                Kw::Signed => {
+                    signed = Some(true);
+                    self.bump();
+                }
+                Kw::Unsigned => {
+                    signed = Some(false);
+                    self.bump();
+                }
+                Kw::Void => {
+                    base = Some(PrimType::Void);
+                    self.bump();
+                    break;
+                }
+                Kw::Bool => {
+                    base = Some(PrimType::Bool);
+                    self.bump();
+                    break;
+                }
+                Kw::Char => {
+                    base = Some(PrimType::Char);
+                    self.bump();
+                    break;
+                }
+                Kw::Short => {
+                    base = Some(PrimType::Short);
+                    self.bump();
+                    self.eat_kw(Kw::Int);
+                    break;
+                }
+                Kw::Int => {
+                    base = Some(PrimType::Int);
+                    self.bump();
+                    break;
+                }
+                Kw::Long => {
+                    base = Some(PrimType::Long);
+                    self.bump();
+                    self.eat_kw(Kw::Int);
+                    break;
+                }
+                Kw::Float => {
+                    base = Some(PrimType::Float);
+                    self.bump();
+                    break;
+                }
+                Kw::Double => {
+                    base = Some(PrimType::Double);
+                    self.bump();
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let kind = match (signed, base) {
+            (None, None) => {
+                // Typedef name?
+                if let TokenKind::Ident(n) = self.peek() {
+                    if self.typedefs.contains(n) {
+                        let id = self.expect_ident();
+                        TypeRefKind::Named(id)
+                    } else {
+                        let sp = self.span();
+                        self.sink.error(
+                            format!("expected type, found {}", self.peek().describe()),
+                            sp,
+                        );
+                        return None;
+                    }
+                } else {
+                    let sp = self.span();
+                    self.sink
+                        .error(format!("expected type, found {}", self.peek().describe()), sp);
+                    return None;
+                }
+            }
+            (Some(s), None) => {
+                // bare `signed` / `unsigned` means int
+                if s {
+                    TypeRefKind::Prim(PrimType::Int)
+                } else {
+                    TypeRefKind::Prim(PrimType::UInt)
+                }
+            }
+            (sign, Some(b)) => {
+                let prim = match (sign, b) {
+                    (Some(false), PrimType::Char) => PrimType::UChar,
+                    (Some(false), PrimType::Short) => PrimType::UShort,
+                    (Some(false), PrimType::Int) => PrimType::UInt,
+                    (Some(false), PrimType::Long) => PrimType::ULong,
+                    (_, b) => b,
+                };
+                TypeRefKind::Prim(prim)
+            }
+        };
+        Some(TypeRef {
+            kind,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn record_ref(&mut self) -> Option<RecordRef> {
+        let tag = if let TokenKind::Ident(_) = self.peek() {
+            Some(self.expect_ident())
+        } else {
+            None
+        };
+        let fields = if self.eat(Punct::LBrace) {
+            let mut fields = Vec::new();
+            while !self.at(Punct::RBrace) && !self.at_eof() {
+                let fstart = self.span();
+                let base = self.type_specifier()?;
+                loop {
+                    let (name, ty, init) = self.declarator(base.clone(), false)?;
+                    if init.is_some() {
+                        self.sink
+                            .error("struct fields cannot have initializers", name.span);
+                    }
+                    fields.push(FieldDecl {
+                        ty,
+                        name,
+                        span: fstart.to(self.prev_span()),
+                    });
+                    if !self.eat(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Punct::Semi);
+            }
+            self.expect(Punct::RBrace);
+            Some(fields)
+        } else {
+            None
+        };
+        if tag.is_none() && fields.is_none() {
+            let sp = self.span();
+            self.sink.error("expected struct tag or body", sp);
+            return None;
+        }
+        Some(RecordRef { tag, fields })
+    }
+
+    fn enum_ref(&mut self) -> Option<EnumRef> {
+        let tag = if let TokenKind::Ident(_) = self.peek() {
+            Some(self.expect_ident())
+        } else {
+            None
+        };
+        let variants = if self.eat(Punct::LBrace) {
+            let mut vs = Vec::new();
+            while !self.at(Punct::RBrace) && !self.at_eof() {
+                let name = self.expect_ident();
+                let value = if self.eat(Punct::Eq) {
+                    Some(self.assign_expr()?)
+                } else {
+                    None
+                };
+                vs.push(EnumVariant { name, value });
+                if !self.eat(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect(Punct::RBrace);
+            Some(vs)
+        } else {
+            None
+        };
+        if tag.is_none() && variants.is_none() {
+            let sp = self.span();
+            self.sink.error("expected enum tag or body", sp);
+            return None;
+        }
+        Some(EnumRef { tag, variants })
+    }
+
+    /// Parse a declarator: `*... name [len]... [= init]`.
+    fn declarator(
+        &mut self,
+        base: TypeRef,
+        allow_init: bool,
+    ) -> Option<(Ident, TypeRef, Option<Expr>)> {
+        let mut ty = base;
+        while self.eat(Punct::Star) {
+            let sp = ty.span;
+            ty = TypeRef {
+                kind: TypeRefKind::Pointer(Box::new(ty)),
+                span: sp,
+            };
+        }
+        let name = self.expect_ident();
+        let d = self.declarator_suffix(ty, name)?;
+        let init = if allow_init && d.init.is_some() {
+            d.init.clone()
+        } else {
+            d.init.clone()
+        };
+        Some((d.name, d.ty, init))
+    }
+
+    /// Array suffixes and initializer after the declared name.
+    fn declarator_suffix(&mut self, mut ty: TypeRef, name: Ident) -> Option<Declarator> {
+        // Array dimensions apply outermost-first: `int a[2][3]` is
+        // array-2 of array-3 of int; build inside-out by collecting.
+        let mut dims = Vec::new();
+        while self.eat(Punct::LBracket) {
+            let len = if self.at(Punct::RBracket) {
+                None
+            } else {
+                Some(Box::new(self.assign_expr()?))
+            };
+            self.expect(Punct::RBracket);
+            dims.push(len);
+        }
+        for len in dims.into_iter().rev() {
+            let sp = ty.span;
+            ty = TypeRef {
+                kind: TypeRefKind::Array(Box::new(ty), len),
+                span: sp,
+            };
+        }
+        let init = if self.eat(Punct::Eq) {
+            Some(self.assign_expr()?)
+        } else {
+            None
+        };
+        Some(Declarator { name, ty, init })
+    }
+
+    // -- statements ------------------------------------------------------
+
+    fn block(&mut self) -> Option<Block> {
+        let start = self.expect(Punct::LBrace);
+        let mut stmts = Vec::new();
+        while !self.at(Punct::RBrace) && !self.at_eof() {
+            let before = self.pos;
+            match self.stmt() {
+                Some(s) => stmts.push(s),
+                None => self.synchronize(),
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        let end = self.expect(Punct::RBrace);
+        Some(Block {
+            stmts,
+            span: start.to(end),
+        })
+    }
+
+    /// Parse one statement.
+    pub fn stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        let kind = match self.peek().clone() {
+            TokenKind::Punct(Punct::LBrace) => StmtKind::Block(self.block()?),
+            TokenKind::Punct(Punct::Semi) => {
+                self.bump();
+                StmtKind::Expr(None)
+            }
+            TokenKind::Kw(Kw::If) => {
+                self.bump();
+                self.expect(Punct::LParen);
+                let cond = self.expr()?;
+                self.expect(Punct::RParen);
+                let then = Box::new(self.stmt()?);
+                let els = if self.eat_kw(Kw::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                StmtKind::If { cond, then, els }
+            }
+            TokenKind::Kw(Kw::While) => {
+                self.bump();
+                self.expect(Punct::LParen);
+                let cond = self.expr()?;
+                self.expect(Punct::RParen);
+                let body = Box::new(self.stmt()?);
+                StmtKind::While { cond, body }
+            }
+            TokenKind::Kw(Kw::Do) => {
+                self.bump();
+                let body = Box::new(self.stmt()?);
+                if self.eat_kw(Kw::While) {
+                    self.expect(Punct::LParen);
+                    let cond = self.expr()?;
+                    self.expect(Punct::RParen);
+                    self.expect(Punct::Semi);
+                    StmtKind::DoWhile { body, cond }
+                } else if self.at_kw(Kw::Abort) || self.at_kw(Kw::WeakAbort) {
+                    let kind = if self.eat_kw(Kw::Abort) {
+                        AbortKind::Strong
+                    } else {
+                        self.expect_kw(Kw::WeakAbort);
+                        AbortKind::Weak
+                    };
+                    self.expect(Punct::LParen);
+                    let cond = self.sigexpr()?;
+                    self.expect(Punct::RParen);
+                    let handle = if self.eat_kw(Kw::Handle) {
+                        Some(Box::new(self.stmt()?))
+                    } else {
+                        None
+                    };
+                    self.eat(Punct::Semi);
+                    StmtKind::Abort {
+                        body,
+                        kind,
+                        cond,
+                        handle,
+                    }
+                } else if self.eat_kw(Kw::Suspend) {
+                    self.expect(Punct::LParen);
+                    let cond = self.sigexpr()?;
+                    self.expect(Punct::RParen);
+                    self.eat(Punct::Semi);
+                    StmtKind::Suspend { body, cond }
+                } else {
+                    let sp = self.span();
+                    self.sink.error(
+                        format!(
+                            "expected `while`, `abort`, `weak_abort` or `suspend` after `do` body, found {}",
+                            self.peek().describe()
+                        ),
+                        sp,
+                    );
+                    return None;
+                }
+            }
+            TokenKind::Kw(Kw::For) => {
+                self.bump();
+                self.expect(Punct::LParen);
+                let init = if self.at(Punct::Semi) {
+                    self.bump();
+                    None
+                } else if self.starts_type() {
+                    let d = self.var_decl_stmt()?;
+                    Some(Box::new(d))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(Punct::Semi);
+                    Some(Box::new(Stmt::expr(e)))
+                };
+                let cond = if self.at(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Punct::Semi);
+                let step = if self.at(Punct::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Punct::RParen);
+                let body = Box::new(self.stmt()?);
+                StmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                }
+            }
+            TokenKind::Kw(Kw::Switch) => {
+                self.bump();
+                self.expect(Punct::LParen);
+                let scrutinee = self.expr()?;
+                self.expect(Punct::RParen);
+                self.expect(Punct::LBrace);
+                let mut arms = Vec::new();
+                while !self.at(Punct::RBrace) && !self.at_eof() {
+                    let aspan = self.span();
+                    let value = if self.eat_kw(Kw::Case) {
+                        let v = self.expr()?;
+                        self.expect(Punct::Colon);
+                        Some(v)
+                    } else if self.eat_kw(Kw::Default) {
+                        self.expect(Punct::Colon);
+                        None
+                    } else {
+                        let sp = self.span();
+                        self.sink.error("expected `case` or `default`", sp);
+                        self.synchronize();
+                        continue;
+                    };
+                    let mut stmts = Vec::new();
+                    while !self.at(Punct::RBrace)
+                        && !self.at_kw(Kw::Case)
+                        && !self.at_kw(Kw::Default)
+                        && !self.at_eof()
+                    {
+                        match self.stmt() {
+                            Some(s) => stmts.push(s),
+                            None => self.synchronize(),
+                        }
+                    }
+                    arms.push(SwitchArm {
+                        value,
+                        stmts,
+                        span: aspan.to(self.prev_span()),
+                    });
+                }
+                self.expect(Punct::RBrace);
+                StmtKind::Switch { scrutinee, arms }
+            }
+            TokenKind::Kw(Kw::Break) => {
+                self.bump();
+                self.expect(Punct::Semi);
+                StmtKind::Break
+            }
+            TokenKind::Kw(Kw::Continue) => {
+                self.bump();
+                self.expect(Punct::Semi);
+                StmtKind::Continue
+            }
+            TokenKind::Kw(Kw::Return) => {
+                self.bump();
+                let v = if self.at(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Punct::Semi);
+                StmtKind::Return(v)
+            }
+            // -- ECL statements --------------------------------------
+            TokenKind::Kw(Kw::Await) => {
+                self.bump();
+                self.expect(Punct::LParen);
+                let e = if self.at(Punct::RParen) {
+                    None
+                } else {
+                    Some(self.sigexpr()?)
+                };
+                self.expect(Punct::RParen);
+                self.expect(Punct::Semi);
+                StmtKind::Await(e)
+            }
+            TokenKind::Kw(Kw::AwaitImmediate) => {
+                self.bump();
+                self.expect(Punct::LParen);
+                let e = self.sigexpr()?;
+                self.expect(Punct::RParen);
+                self.expect(Punct::Semi);
+                StmtKind::AwaitImmediate(e)
+            }
+            TokenKind::Kw(Kw::Emit) => {
+                self.bump();
+                self.expect(Punct::LParen);
+                let name = self.expect_ident();
+                self.expect(Punct::RParen);
+                self.expect(Punct::Semi);
+                StmtKind::Emit(name)
+            }
+            TokenKind::Kw(Kw::EmitV) => {
+                self.bump();
+                self.expect(Punct::LParen);
+                let name = self.expect_ident();
+                self.expect(Punct::Comma);
+                let value = self.assign_expr()?;
+                self.expect(Punct::RParen);
+                self.expect(Punct::Semi);
+                StmtKind::EmitV(name, value)
+            }
+            TokenKind::Kw(Kw::Halt) => {
+                self.bump();
+                if self.eat(Punct::LParen) {
+                    self.expect(Punct::RParen);
+                }
+                self.expect(Punct::Semi);
+                StmtKind::Halt
+            }
+            TokenKind::Kw(Kw::Present) => {
+                self.bump();
+                self.expect(Punct::LParen);
+                let cond = self.sigexpr()?;
+                self.expect(Punct::RParen);
+                let then = Box::new(self.stmt()?);
+                let els = if self.eat_kw(Kw::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                StmtKind::Present { cond, then, els }
+            }
+            TokenKind::Kw(Kw::Par) => {
+                self.bump();
+                self.expect(Punct::LBrace);
+                let mut branches = Vec::new();
+                while !self.at(Punct::RBrace) && !self.at_eof() {
+                    match self.stmt() {
+                        Some(s) => branches.push(s),
+                        None => self.synchronize(),
+                    }
+                }
+                self.expect(Punct::RBrace);
+                StmtKind::Par(branches)
+            }
+            TokenKind::Kw(Kw::Signal) => {
+                self.bump();
+                let (pure, ty) = self.signal_type()?;
+                let name = self.expect_ident();
+                self.expect(Punct::Semi);
+                StmtKind::Signal(SignalDecl {
+                    pure,
+                    ty,
+                    name,
+                    span: start.to(self.prev_span()),
+                })
+            }
+            _ => {
+                if self.starts_type() {
+                    return self.var_decl_stmt();
+                }
+                let e = self.expr()?;
+                self.expect(Punct::Semi);
+                StmtKind::Expr(Some(e))
+            }
+        };
+        Some(Stmt {
+            kind,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn var_decl_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        let base = self.type_specifier()?;
+        let mut decls = Vec::new();
+        loop {
+            let (name, ty, init) = self.declarator(base.clone(), true)?;
+            decls.push(Declarator { name, ty, init });
+            if !self.eat(Punct::Comma) {
+                break;
+            }
+        }
+        self.expect(Punct::Semi);
+        Some(Stmt {
+            kind: StmtKind::Decl(VarDecl {
+                decls,
+                span: start.to(self.prev_span()),
+            }),
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    // -- signal expressions ------------------------------------------------
+
+    /// `sigexpr := or_term`; `or := and ('|' and)*`; `and := prim ('&' prim)*`;
+    /// `prim := '~' prim | '(' sigexpr ')' | ident`.
+    pub fn sigexpr(&mut self) -> Option<SigExpr> {
+        self.sig_or()
+    }
+
+    fn sig_or(&mut self) -> Option<SigExpr> {
+        let mut lhs = self.sig_and()?;
+        while self.at(Punct::Pipe) || self.at(Punct::PipePipe) {
+            self.bump();
+            let rhs = self.sig_and()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = SigExpr {
+                kind: SigExprKind::Or(Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+        Some(lhs)
+    }
+
+    fn sig_and(&mut self) -> Option<SigExpr> {
+        let mut lhs = self.sig_prim()?;
+        while self.at(Punct::Amp) || self.at(Punct::AmpAmp) {
+            self.bump();
+            let rhs = self.sig_prim()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = SigExpr {
+                kind: SigExprKind::And(Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+        Some(lhs)
+    }
+
+    fn sig_prim(&mut self) -> Option<SigExpr> {
+        let start = self.span();
+        if self.eat(Punct::Tilde) || self.eat(Punct::Bang) {
+            let inner = self.sig_prim()?;
+            let span = start.to(inner.span);
+            return Some(SigExpr {
+                kind: SigExprKind::Not(Box::new(inner)),
+                span,
+            });
+        }
+        if self.eat(Punct::LParen) {
+            let e = self.sigexpr()?;
+            self.expect(Punct::RParen);
+            return Some(e);
+        }
+        let id = self.expect_ident();
+        let span = id.span;
+        Some(SigExpr {
+            kind: SigExprKind::Sig(id),
+            span,
+        })
+    }
+
+    // -- expressions ------------------------------------------------------
+
+    /// Full expression (includes the comma operator).
+    pub fn expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.assign_expr()?;
+        while self.at(Punct::Comma) {
+            self.bump();
+            let rhs = self.assign_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Comma(Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+        Some(lhs)
+    }
+
+    /// Assignment expression (no top-level comma).
+    pub fn assign_expr(&mut self) -> Option<Expr> {
+        let lhs = self.ternary_expr()?;
+        let op = match self.peek() {
+            TokenKind::Punct(Punct::Eq) => Some(AssignOp::Assign),
+            TokenKind::Punct(Punct::PlusEq) => Some(AssignOp::Add),
+            TokenKind::Punct(Punct::MinusEq) => Some(AssignOp::Sub),
+            TokenKind::Punct(Punct::StarEq) => Some(AssignOp::Mul),
+            TokenKind::Punct(Punct::SlashEq) => Some(AssignOp::Div),
+            TokenKind::Punct(Punct::PercentEq) => Some(AssignOp::Rem),
+            TokenKind::Punct(Punct::ShlEq) => Some(AssignOp::Shl),
+            TokenKind::Punct(Punct::ShrEq) => Some(AssignOp::Shr),
+            TokenKind::Punct(Punct::AmpEq) => Some(AssignOp::BitAnd),
+            TokenKind::Punct(Punct::CaretEq) => Some(AssignOp::BitXor),
+            TokenKind::Punct(Punct::PipeEq) => Some(AssignOp::BitOr),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.assign_expr()?; // right associative
+            let span = lhs.span.to(rhs.span);
+            return Some(Expr {
+                kind: ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            });
+        }
+        Some(lhs)
+    }
+
+    fn ternary_expr(&mut self) -> Option<Expr> {
+        let cond = self.binary_expr(0)?;
+        if self.eat(Punct::Question) {
+            let t = self.assign_expr()?;
+            self.expect(Punct::Colon);
+            let e = self.assign_expr()?;
+            let span = cond.span.to(e.span);
+            return Some(Expr {
+                kind: ExprKind::Ternary(Box::new(cond), Box::new(t), Box::new(e)),
+                span,
+            });
+        }
+        Some(cond)
+    }
+
+    /// Binding power of a binary operator token (higher binds tighter),
+    /// or `None` if it is not a binary operator.
+    fn bin_op(&self) -> Option<(BinOp, u8)> {
+        let p = match self.peek() {
+            TokenKind::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            Punct::Star => (BinOp::Mul, 10),
+            Punct::Slash => (BinOp::Div, 10),
+            Punct::Percent => (BinOp::Rem, 10),
+            Punct::Plus => (BinOp::Add, 9),
+            Punct::Minus => (BinOp::Sub, 9),
+            Punct::Shl => (BinOp::Shl, 8),
+            Punct::Shr => (BinOp::Shr, 8),
+            Punct::Lt => (BinOp::Lt, 7),
+            Punct::Gt => (BinOp::Gt, 7),
+            Punct::Le => (BinOp::Le, 7),
+            Punct::Ge => (BinOp::Ge, 7),
+            Punct::EqEq => (BinOp::Eq, 6),
+            Punct::BangEq => (BinOp::Ne, 6),
+            Punct::Amp => (BinOp::BitAnd, 5),
+            Punct::Caret => (BinOp::BitXor, 4),
+            Punct::Pipe => (BinOp::BitOr, 3),
+            Punct::AmpAmp => (BinOp::LogAnd, 2),
+            Punct::PipePipe => (BinOp::LogOr, 1),
+            _ => return None,
+        })
+    }
+
+    fn binary_expr(&mut self, min_bp: u8) -> Option<Expr> {
+        let mut lhs = self.unary_expr()?;
+        while let Some((op, bp)) = self.bin_op() {
+            if bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(bp + 1)?; // left associative
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+        Some(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Option<Expr> {
+        let start = self.span();
+        let op = match self.peek() {
+            TokenKind::Punct(Punct::Minus) => Some(UnOp::Neg),
+            TokenKind::Punct(Punct::Plus) => Some(UnOp::Plus),
+            TokenKind::Punct(Punct::Bang) => Some(UnOp::Not),
+            TokenKind::Punct(Punct::Tilde) => Some(UnOp::BitNot),
+            TokenKind::Punct(Punct::Star) => Some(UnOp::Deref),
+            TokenKind::Punct(Punct::Amp) => Some(UnOp::AddrOf),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let inner = self.unary_expr()?;
+            let span = start.to(inner.span);
+            return Some(Expr {
+                kind: ExprKind::Unary(op, Box::new(inner)),
+                span,
+            });
+        }
+        if self.at(Punct::PlusPlus) || self.at(Punct::MinusMinus) {
+            let inc = self.at(Punct::PlusPlus);
+            self.bump();
+            let inner = self.unary_expr()?;
+            let span = start.to(inner.span);
+            return Some(Expr {
+                kind: ExprKind::PreIncDec(inc, Box::new(inner)),
+                span,
+            });
+        }
+        if self.at_kw(Kw::Sizeof) {
+            self.bump();
+            if self.at(Punct::LParen) && self.type_starts_at(self.pos + 1) {
+                self.bump();
+                let ty = self.type_specifier()?;
+                let ty = self.abstract_suffix(ty);
+                self.expect(Punct::RParen);
+                let span = start.to(self.prev_span());
+                return Some(Expr {
+                    kind: ExprKind::SizeofType(ty),
+                    span,
+                });
+            }
+            let inner = self.unary_expr()?;
+            let span = start.to(inner.span);
+            return Some(Expr {
+                kind: ExprKind::SizeofExpr(Box::new(inner)),
+                span,
+            });
+        }
+        // Cast: `( type ) unary`.
+        if self.at(Punct::LParen) && self.type_starts_at(self.pos + 1) {
+            self.bump();
+            let ty = self.type_specifier()?;
+            let ty = self.abstract_suffix(ty);
+            self.expect(Punct::RParen);
+            let inner = self.unary_expr()?;
+            let span = start.to(inner.span);
+            return Some(Expr {
+                kind: ExprKind::Cast(ty, Box::new(inner)),
+                span,
+            });
+        }
+        self.postfix_expr()
+    }
+
+    /// Abstract declarator suffix for casts/sizeof: `*`s and `[n]`s.
+    fn abstract_suffix(&mut self, mut ty: TypeRef) -> TypeRef {
+        while self.eat(Punct::Star) {
+            let sp = ty.span;
+            ty = TypeRef {
+                kind: TypeRefKind::Pointer(Box::new(ty)),
+                span: sp,
+            };
+        }
+        ty
+    }
+
+    /// Does a type start at absolute token index `i`?
+    fn type_starts_at(&self, i: usize) -> bool {
+        match &self.toks[i.min(self.toks.len() - 1)].kind {
+            TokenKind::Kw(k) => matches!(
+                k,
+                Kw::Void
+                    | Kw::Bool
+                    | Kw::Char
+                    | Kw::Short
+                    | Kw::Int
+                    | Kw::Long
+                    | Kw::Float
+                    | Kw::Double
+                    | Kw::Signed
+                    | Kw::Unsigned
+                    | Kw::Struct
+                    | Kw::Union
+                    | Kw::Enum
+                    | Kw::Const
+            ),
+            TokenKind::Ident(n) => self.typedefs.contains(n),
+            _ => false,
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Option<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                TokenKind::Punct(Punct::LBracket) => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    let end = self.expect(Punct::RBracket);
+                    let span = e.span.to(end);
+                    e = Expr {
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        span,
+                    };
+                }
+                TokenKind::Punct(Punct::Dot) => {
+                    self.bump();
+                    let f = self.expect_ident();
+                    let span = e.span.to(f.span);
+                    e = Expr {
+                        kind: ExprKind::Member(Box::new(e), f),
+                        span,
+                    };
+                }
+                TokenKind::Punct(Punct::Arrow) => {
+                    self.bump();
+                    let f = self.expect_ident();
+                    let span = e.span.to(f.span);
+                    e = Expr {
+                        kind: ExprKind::Arrow(Box::new(e), f),
+                        span,
+                    };
+                }
+                TokenKind::Punct(Punct::PlusPlus) => {
+                    self.bump();
+                    let span = e.span.to(self.prev_span());
+                    e = Expr {
+                        kind: ExprKind::PostIncDec(true, Box::new(e)),
+                        span,
+                    };
+                }
+                TokenKind::Punct(Punct::MinusMinus) => {
+                    self.bump();
+                    let span = e.span.to(self.prev_span());
+                    e = Expr {
+                        kind: ExprKind::PostIncDec(false, Box::new(e)),
+                        span,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Some(e)
+    }
+
+    fn primary_expr(&mut self) -> Option<Expr> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Some(Expr::int(v, start))
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Some(Expr {
+                    kind: ExprKind::FloatLit(v),
+                    span: start,
+                })
+            }
+            TokenKind::CharLit(c) => {
+                self.bump();
+                Some(Expr {
+                    kind: ExprKind::CharLit(c),
+                    span: start,
+                })
+            }
+            TokenKind::StrLit(s) => {
+                self.bump();
+                Some(Expr {
+                    kind: ExprKind::StrLit(s),
+                    span: start,
+                })
+            }
+            TokenKind::Ident(_) => {
+                let id = self.expect_ident();
+                if self.at(Punct::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(Punct::RParen) {
+                        loop {
+                            args.push(self.assign_expr()?);
+                            if !self.eat(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(Punct::RParen);
+                    return Some(Expr {
+                        kind: ExprKind::Call(id, args),
+                        span: start.to(end),
+                    });
+                }
+                let span = id.span;
+                Some(Expr {
+                    kind: ExprKind::Ident(id),
+                    span,
+                })
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Punct::RParen);
+                Some(e)
+            }
+            other => {
+                self.sink.error(
+                    format!("expected expression, found {}", other.describe()),
+                    start,
+                );
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_str;
+
+    fn parse_ok(s: &str) -> Program {
+        match parse_str(s) {
+            Ok(p) => p,
+            Err(sink) => panic!("parse failed:\n{sink}"),
+        }
+    }
+
+    #[test]
+    fn parses_empty_module() {
+        let p = parse_ok("module m(input pure a, output pure b) { }");
+        let m = p.module("m").unwrap();
+        assert_eq!(m.params.len(), 2);
+        assert_eq!(m.params[0].dir, SignalDir::Input);
+        assert!(m.params[0].pure);
+        assert_eq!(m.params[1].dir, SignalDir::Output);
+    }
+
+    #[test]
+    fn parses_valued_signal_param() {
+        let p = parse_ok(
+            "typedef unsigned char byte; module m(input byte b, output int v) { }",
+        );
+        let m = p.module("m").unwrap();
+        assert!(!m.params[0].pure);
+        assert!(matches!(
+            m.params[0].ty.as_ref().unwrap().kind,
+            TypeRefKind::Named(_)
+        ));
+        assert!(matches!(
+            m.params[1].ty.as_ref().unwrap().kind,
+            TypeRefKind::Prim(PrimType::Int)
+        ));
+    }
+
+    #[test]
+    fn parses_await_emit_halt() {
+        let p = parse_ok(
+            "module m(input pure a, output pure b) { await (a); emit (b); await (); halt (); }",
+        );
+        let m = p.module("m").unwrap();
+        assert_eq!(m.body.stmts.len(), 4);
+        assert!(matches!(m.body.stmts[0].kind, StmtKind::Await(Some(_))));
+        assert!(matches!(m.body.stmts[1].kind, StmtKind::Emit(_)));
+        assert!(matches!(m.body.stmts[2].kind, StmtKind::Await(None)));
+        assert!(matches!(m.body.stmts[3].kind, StmtKind::Halt));
+    }
+
+    #[test]
+    fn parses_do_abort_with_handle() {
+        let p = parse_ok(
+            "module m(input pure r, output pure o) {\
+               do { halt(); } abort (r) handle { emit(o); } }",
+        );
+        let m = p.module("m").unwrap();
+        let StmtKind::Abort {
+            kind, handle, cond, ..
+        } = &m.body.stmts[0].kind
+        else {
+            panic!("expected abort");
+        };
+        assert_eq!(*kind, AbortKind::Strong);
+        assert!(handle.is_some());
+        assert!(matches!(cond.kind, SigExprKind::Sig(_)));
+    }
+
+    #[test]
+    fn parses_weak_abort_and_suspend() {
+        let p = parse_ok(
+            "module m(input pure r) { do { halt(); } weak_abort (r); do { halt(); } suspend (r); }",
+        );
+        let m = p.module("m").unwrap();
+        assert!(matches!(
+            m.body.stmts[0].kind,
+            StmtKind::Abort {
+                kind: AbortKind::Weak,
+                ..
+            }
+        ));
+        assert!(matches!(m.body.stmts[1].kind, StmtKind::Suspend { .. }));
+    }
+
+    #[test]
+    fn do_while_still_works() {
+        let p = parse_ok("module m(input pure r) { int i; do { i = i + 1; } while (i < 3); }");
+        let m = p.module("m").unwrap();
+        assert!(matches!(m.body.stmts[1].kind, StmtKind::DoWhile { .. }));
+    }
+
+    #[test]
+    fn parses_present_else() {
+        let p = parse_ok(
+            "module m(input pure a, input pure b, output pure o) {\
+               present (a & ~b) { emit(o); } else { halt(); } }",
+        );
+        let m = p.module("m").unwrap();
+        let StmtKind::Present { cond, els, .. } = &m.body.stmts[0].kind else {
+            panic!("expected present");
+        };
+        assert!(matches!(cond.kind, SigExprKind::And(_, _)));
+        assert!(els.is_some());
+    }
+
+    #[test]
+    fn parses_par_branches() {
+        let p = parse_ok(
+            "module m(input pure a) { par { { await(a); } { halt(); } emit_v(a, 1); } }",
+        );
+        let m = p.module("m").unwrap();
+        let StmtKind::Par(bs) = &m.body.stmts[0].kind else {
+            panic!("expected par");
+        };
+        assert_eq!(bs.len(), 3);
+    }
+
+    #[test]
+    fn parses_local_signal_decls() {
+        let p = parse_ok(
+            "typedef unsigned char byte;\
+             module m(input pure a) { signal pure k; signal byte v; }",
+        );
+        let m = p.module("m").unwrap();
+        let StmtKind::Signal(s0) = &m.body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(s0.pure);
+        let StmtKind::Signal(s1) = &m.body.stmts[1].kind else {
+            panic!()
+        };
+        assert!(!s1.pure);
+    }
+
+    #[test]
+    fn parses_struct_union_typedefs() {
+        let p = parse_ok(
+            "typedef unsigned char byte;\
+             typedef struct { byte packet[64]; } v1_t;\
+             typedef struct { byte header[6]; byte data[56]; byte crc[2]; } v2_t;\
+             typedef union { v1_t raw; v2_t cooked; } packet_t;\
+             module m(input packet_t p) { }",
+        );
+        assert_eq!(p.typedefs().count(), 4);
+    }
+
+    #[test]
+    fn parses_expressions_with_precedence() {
+        let p = parse_ok("module m(input pure a) { int x; x = 1 + 2 * 3 << 1 & 7; }");
+        let m = p.module("m").unwrap();
+        let StmtKind::Expr(Some(e)) = &m.body.stmts[1].kind else {
+            panic!()
+        };
+        // ((1 + (2*3)) << 1) & 7
+        let ExprKind::Assign(AssignOp::Assign, _, rhs) = &e.kind else {
+            panic!()
+        };
+        let ExprKind::Binary(BinOp::BitAnd, l, _) = &rhs.kind else {
+            panic!("got {rhs:?}")
+        };
+        assert!(matches!(l.kind, ExprKind::Binary(BinOp::Shl, _, _)));
+    }
+
+    #[test]
+    fn parses_cast_of_member() {
+        let p = parse_ok(
+            "typedef unsigned char byte;\
+             typedef struct { byte crc[2]; } v2_t;\
+             module m(input v2_t p) { int c; c = (c == (int) p.crc); }",
+        );
+        let m = p.module("m").unwrap();
+        assert_eq!(m.body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn parses_for_loop_with_two_inits() {
+        let p = parse_ok(
+            "module m(input pure a) { int i; unsigned int crc;\
+             for (i = 0, crc = 0; i < 64; i++) { crc = (crc ^ i) << 1; } }",
+        );
+        let m = p.module("m").unwrap();
+        let StmtKind::For { init, cond, step, .. } = &m.body.stmts[2].kind else {
+            panic!()
+        };
+        assert!(init.is_some());
+        assert!(cond.is_some());
+        assert!(step.is_some());
+    }
+
+    #[test]
+    fn parses_c_function() {
+        let p = parse_ok("int add(int a, int b) { return a + b; }");
+        let f = p.functions().next().unwrap();
+        assert_eq!(f.params.len(), 2);
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn parses_module_instantiation_call() {
+        let p = parse_ok(
+            "module sub(input pure a, output pure b) { }\
+             module top(input pure i, output pure o) { par { sub(i, o); } }",
+        );
+        let top = p.module("top").unwrap();
+        let StmtKind::Par(bs) = &top.body.stmts[0].kind else {
+            panic!()
+        };
+        let StmtKind::Expr(Some(e)) = &bs[0].kind else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Call(_, _)));
+    }
+
+    #[test]
+    fn error_recovery_continues() {
+        let err = parse_str("module m(input pure a) { int x = ; await(a); }").unwrap_err();
+        assert!(err.has_errors());
+    }
+
+    #[test]
+    fn parses_switch() {
+        let p = parse_ok(
+            "module m(input int v) { int x; switch (x) { case 1: x = 2; break; default: break; } }",
+        );
+        let m = p.module("m").unwrap();
+        let StmtKind::Switch { arms, .. } = &m.body.stmts[1].kind else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 2);
+        assert!(arms[0].value.is_some());
+        assert!(arms[1].value.is_none());
+    }
+
+    #[test]
+    fn parses_multidim_arrays_and_pointers() {
+        let p = parse_ok("module m(input pure a) { int g[2][3]; int *p; }");
+        let m = p.module("m").unwrap();
+        let StmtKind::Decl(d) = &m.body.stmts[0].kind else {
+            panic!()
+        };
+        let TypeRefKind::Array(inner, _) = &d.decls[0].ty.kind else {
+            panic!()
+        };
+        assert!(matches!(inner.kind, TypeRefKind::Array(_, _)));
+        let StmtKind::Decl(d2) = &m.body.stmts[1].kind else {
+            panic!()
+        };
+        assert!(matches!(d2.decls[0].ty.kind, TypeRefKind::Pointer(_)));
+    }
+
+    #[test]
+    fn parses_enum() {
+        let p = parse_ok("typedef enum { IDLE, RUN = 5, DONE } mode_t; module m(input mode_t x) {}");
+        assert_eq!(p.typedefs().count(), 1);
+    }
+
+    #[test]
+    fn parses_ternary_and_comma() {
+        let p = parse_ok("module m(input pure a) { int x, y; x = y > 0 ? 1 : 2; x = (x = 1, x + 1); }");
+        assert!(p.module("m").is_some());
+    }
+}

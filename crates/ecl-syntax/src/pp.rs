@@ -1,0 +1,244 @@
+//! Minimal preprocessor.
+//!
+//! The ECL examples in the paper use object-like `#define` for constants
+//! (`#define PKTSIZE HDRSIZE+DATASIZE+CRCSIZE`). This module implements
+//! exactly that: a token-level object macro facility with recursive
+//! expansion (guarded against self-reference), plus `#undef`. Other
+//! directives (`#include`, conditionals, function-like macros) are
+//! diagnosed and skipped — the reproduction's designs do not need them.
+
+use crate::diag::DiagSink;
+use crate::lexer;
+use crate::source::{SourceFile, Span};
+use crate::token::{Token, TokenKind};
+use std::collections::HashMap;
+
+/// Lex and preprocess a file: returns the macro-expanded token stream.
+pub fn preprocess(file: &SourceFile, sink: &mut DiagSink) -> Vec<Token> {
+    let raw = lexer::lex(file, sink);
+    expand(raw, sink)
+}
+
+/// Expand preprocessor directives and macros over a raw token stream.
+pub fn expand(raw: Vec<Token>, sink: &mut DiagSink) -> Vec<Token> {
+    let mut macros: HashMap<String, Vec<Token>> = HashMap::new();
+    let mut out = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        let tok = &raw[i];
+        if matches!(tok.kind, TokenKind::Punct(crate::token::Punct::Hash)) && tok.at_line_start {
+            i = directive(&raw, i, &mut macros, sink);
+            continue;
+        }
+        if matches!(tok.kind, TokenKind::Eof) {
+            out.push(tok.clone());
+            break;
+        }
+        expand_token(tok, &macros, &mut Vec::new(), &mut out, sink);
+        i += 1;
+    }
+    out
+}
+
+/// Handle one `#...` directive starting at `raw[at]`; returns the index
+/// of the first token after the directive line.
+fn directive(
+    raw: &[Token],
+    at: usize,
+    macros: &mut HashMap<String, Vec<Token>>,
+    sink: &mut DiagSink,
+) -> usize {
+    let hash_span = raw[at].span;
+    // Collect the directive's tokens: everything up to the next token
+    // that starts a new line (or EOF).
+    let mut end = at + 1;
+    while end < raw.len() && !raw[end].at_line_start && !matches!(raw[end].kind, TokenKind::Eof) {
+        end += 1;
+    }
+    let line = &raw[at + 1..end];
+    let Some(first) = line.first() else {
+        sink.error("empty preprocessor directive", hash_span);
+        return end;
+    };
+    let name = match &first.kind {
+        TokenKind::Ident(s) => s.as_str(),
+        // `#if`, `#else` lex as keywords.
+        TokenKind::Kw(k) => k.as_str(),
+        _ => {
+            sink.error("malformed preprocessor directive", first.span);
+            return end;
+        }
+    };
+    match name {
+        "define" => {
+            let Some(target) = line.get(1) else {
+                sink.error("`#define` needs a name", hash_span);
+                return end;
+            };
+            let TokenKind::Ident(macro_name) = &target.kind else {
+                sink.error("`#define` target must be an identifier", target.span);
+                return end;
+            };
+            // Reject function-like macros: `#define F(x)` has `(` glued
+            // right after the name; we cannot see adjacency at token
+            // level, so detect by `(` immediately following.
+            if matches!(
+                line.get(2).map(|t| &t.kind),
+                Some(TokenKind::Punct(crate::token::Punct::LParen))
+            ) && line.get(2).map(|t| t.span.start) == Some(target.span.end)
+            {
+                sink.error(
+                    "function-like macros are not supported by this ECL front end",
+                    target.span,
+                );
+                return end;
+            }
+            let body: Vec<Token> = line[2..].to_vec();
+            if macros.insert(macro_name.clone(), body).is_some() {
+                sink.warning(format!("macro `{macro_name}` redefined"), target.span);
+            }
+        }
+        "undef" => {
+            if let Some(TokenKind::Ident(n)) = line.get(1).map(|t| &t.kind) {
+                macros.remove(n);
+            } else {
+                sink.error("`#undef` needs a name", hash_span);
+            }
+        }
+        "include" => {
+            sink.warning("`#include` ignored (self-contained designs only)", hash_span);
+        }
+        other => {
+            sink.error(format!("unsupported preprocessor directive `#{other}`"), hash_span);
+        }
+    }
+    end
+}
+
+/// Expand one token (recursively for macros), appending to `out`.
+fn expand_token(
+    tok: &Token,
+    macros: &HashMap<String, Vec<Token>>,
+    active: &mut Vec<String>,
+    out: &mut Vec<Token>,
+    sink: &mut DiagSink,
+) {
+    if let TokenKind::Ident(name) = &tok.kind {
+        if let Some(body) = macros.get(name) {
+            if active.iter().any(|a| a == name) {
+                // Self-referential macro: emit the name literally, as C does.
+                out.push(tok.clone());
+                return;
+            }
+            active.push(name.clone());
+            for t in body {
+                // Substituted tokens carry the *use site* span so
+                // diagnostics point at the macro invocation.
+                let mut t2 = t.clone();
+                t2.span = tok.span;
+                t2.at_line_start = false;
+                expand_token(&t2, macros, active, out, sink);
+            }
+            active.pop();
+            return;
+        }
+    }
+    out.push(tok.clone());
+}
+
+/// Convenience: preprocess a bare string (used by tests).
+pub fn preprocess_str(text: &str, sink: &mut DiagSink) -> Vec<Token> {
+    let f = SourceFile::new("<pp>", text);
+    preprocess(&f, sink)
+}
+
+/// Render a token stream back to text (lossy whitespace) — useful in
+/// tests and debugging.
+pub fn tokens_to_string(toks: &[Token]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        match &t.kind {
+            TokenKind::Eof => break,
+            TokenKind::Ident(n) => s.push_str(n),
+            TokenKind::Kw(k) => s.push_str(k.as_str()),
+            TokenKind::IntLit(v) => s.push_str(&v.to_string()),
+            TokenKind::FloatLit(v) => s.push_str(&v.to_string()),
+            TokenKind::CharLit(c) => s.push_str(&format!("'{}'", *c as char)),
+            TokenKind::StrLit(v) => s.push_str(&format!("{v:?}")),
+            TokenKind::Punct(p) => s.push_str(p.as_str()),
+        }
+        s.push(' ');
+    }
+    s.trim_end().to_string()
+}
+
+#[allow(dead_code)]
+fn _span_unused(_: Span) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp(text: &str) -> (String, DiagSink) {
+        let mut sink = DiagSink::new();
+        let toks = preprocess_str(text, &mut sink);
+        (tokens_to_string(&toks), sink)
+    }
+
+    #[test]
+    fn simple_define() {
+        let (s, sink) = pp("#define N 4\nint x = N;");
+        assert!(!sink.has_errors());
+        assert_eq!(s, "int x = 4 ;");
+    }
+
+    #[test]
+    fn chained_defines_like_pktsize() {
+        let (s, sink) = pp(
+            "#define HDRSIZE 6\n#define DATASIZE 56\n#define CRCSIZE 2\n\
+             #define PKTSIZE HDRSIZE+DATASIZE+CRCSIZE\nint a[PKTSIZE];",
+        );
+        assert!(!sink.has_errors());
+        assert_eq!(s, "int a [ 6 + 56 + 2 ] ;");
+    }
+
+    #[test]
+    fn self_referential_macro_stops() {
+        let (s, sink) = pp("#define X X + 1\nint y = X;");
+        assert!(!sink.has_errors());
+        assert_eq!(s, "int y = X + 1 ;");
+    }
+
+    #[test]
+    fn undef_removes_macro() {
+        let (s, _) = pp("#define A 1\n#undef A\nint x = A;");
+        assert_eq!(s, "int x = A ;");
+    }
+
+    #[test]
+    fn redefinition_warns() {
+        let (_, sink) = pp("#define A 1\n#define A 2\n");
+        assert!(!sink.has_errors());
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn include_warns_only() {
+        let (_, sink) = pp("#include \"foo.h\"\nint x;");
+        assert!(!sink.has_errors());
+        assert!(sink.len() == 1);
+    }
+
+    #[test]
+    fn unknown_directive_errors() {
+        let (_, sink) = pp("#pragma once\n");
+        assert!(sink.has_errors());
+    }
+
+    #[test]
+    fn macro_body_can_be_empty() {
+        let (s, sink) = pp("#define EMPTY\nint EMPTY x;");
+        assert!(!sink.has_errors());
+        assert_eq!(s, "int x ;");
+    }
+}

@@ -1,0 +1,696 @@
+//! Pretty-printer: AST back to ECL source text.
+//!
+//! Used for golden tests (parse → print → parse round-trips), for
+//! debugging the splitter (printing extracted data fragments), and by
+//! the C back end in `codegen` (extracted data statements are printed
+//! with this module since the data sub-language of ECL *is* C).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Pretty-print a whole program.
+pub fn program(p: &Program) -> String {
+    let mut pr = Printer::new();
+    for item in &p.items {
+        pr.item(item);
+    }
+    pr.out
+}
+
+/// Pretty-print one statement (top-level indent).
+pub fn stmt(s: &Stmt) -> String {
+    let mut pr = Printer::new();
+    pr.stmt(s);
+    pr.out
+}
+
+/// Pretty-print one expression.
+pub fn expr(e: &Expr) -> String {
+    let mut pr = Printer::new();
+    pr.expr(e);
+    pr.out
+}
+
+/// Pretty-print a signal expression.
+pub fn sigexpr(e: &SigExpr) -> String {
+    let mut pr = Printer::new();
+    pr.sigexpr(e);
+    pr.out
+}
+
+/// Pretty-print a type with a declarator name, C style
+/// (`int x[4]`, `char *p`).
+pub fn typed_name(ty: &TypeRef, name: &str) -> String {
+    let mut pr = Printer::new();
+    pr.typed_name(ty, name);
+    pr.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn open(&mut self, s: &str) {
+        self.line(s);
+        self.indent += 1;
+    }
+
+    fn close(&mut self, s: &str) {
+        self.indent -= 1;
+        self.line(s);
+    }
+
+    fn item(&mut self, item: &Item) {
+        match item {
+            Item::Typedef(t) => {
+                let decl = typed_name(&t.ty, &t.name.name);
+                self.line(&format!("typedef {decl};"));
+            }
+            Item::TypeDecl(ty) => {
+                let s = type_str(ty);
+                self.line(&format!("{s};"));
+            }
+            Item::Global(v) => {
+                let s = self.var_decl_str(v);
+                self.line(&s);
+            }
+            Item::Function(f) => {
+                let params: Vec<String> = f
+                    .params
+                    .iter()
+                    .map(|p| typed_name(&p.ty, &p.name.name))
+                    .collect();
+                let head = format!(
+                    "{} {}({})",
+                    type_str(&f.ret),
+                    f.name.name,
+                    if params.is_empty() {
+                        "void".to_string()
+                    } else {
+                        params.join(", ")
+                    }
+                );
+                match &f.body {
+                    Some(b) => {
+                        self.open(&format!("{head} {{"));
+                        for s in &b.stmts {
+                            self.stmt(s);
+                        }
+                        self.close("}");
+                    }
+                    None => self.line(&format!("{head};")),
+                }
+            }
+            Item::Module(m) => {
+                let params: Vec<String> = m
+                    .params
+                    .iter()
+                    .map(|p| {
+                        let dir = match p.dir {
+                            SignalDir::Input => "input",
+                            SignalDir::Output => "output",
+                        };
+                        match (&p.ty, p.pure) {
+                            (_, true) => format!("{dir} pure {}", p.name.name),
+                            (Some(t), false) => format!("{dir} {} {}", type_str(t), p.name.name),
+                            (None, false) => format!("{dir} {}", p.name.name),
+                        }
+                    })
+                    .collect();
+                self.open(&format!("module {}({}) {{", m.name.name, params.join(", ")));
+                for s in &m.body.stmts {
+                    self.stmt(s);
+                }
+                self.close("}");
+            }
+        }
+    }
+
+    fn var_decl_str(&mut self, v: &VarDecl) -> String {
+        let mut parts = Vec::new();
+        for d in &v.decls {
+            let mut s = typed_name(&d.ty, &d.name.name);
+            if let Some(init) = &d.init {
+                let mut p = Printer::new();
+                p.expr(init);
+                let _ = write!(s, " = {}", p.out);
+            }
+            parts.push(s);
+        }
+        format!("{};", parts.join("; "))
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Expr(None) => self.line(";"),
+            StmtKind::Expr(Some(e)) => {
+                let mut p = Printer::new();
+                p.expr(e);
+                self.line(&format!("{};", p.out));
+            }
+            StmtKind::Decl(v) => {
+                let s = self.var_decl_str(v);
+                self.line(&s);
+            }
+            StmtKind::Signal(sd) => {
+                let s = match (&sd.ty, sd.pure) {
+                    (_, true) => format!("signal pure {};", sd.name.name),
+                    (Some(t), false) => format!("signal {} {};", type_str(t), sd.name.name),
+                    (None, false) => format!("signal {};", sd.name.name),
+                };
+                self.line(&s);
+            }
+            StmtKind::Block(b) => {
+                self.open("{");
+                for st in &b.stmts {
+                    self.stmt(st);
+                }
+                self.close("}");
+            }
+            StmtKind::If { cond, then, els } => {
+                let mut p = Printer::new();
+                p.expr(cond);
+                self.open(&format!("if ({}) {{", p.out));
+                self.stmt_inner(then);
+                match els {
+                    Some(e) => {
+                        self.indent -= 1;
+                        self.line("} else {");
+                        self.indent += 1;
+                        self.stmt_inner(e);
+                        self.close("}");
+                    }
+                    None => self.close("}"),
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let mut p = Printer::new();
+                p.expr(cond);
+                self.open(&format!("while ({}) {{", p.out));
+                self.stmt_inner(body);
+                self.close("}");
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.open("do {");
+                self.stmt_inner(body);
+                let mut p = Printer::new();
+                p.expr(cond);
+                self.close(&format!("}} while ({});", p.out));
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let init_s = match init {
+                    Some(s) => {
+                        let mut p = Printer::new();
+                        p.stmt(s);
+                        p.out.trim().trim_end_matches(';').to_string()
+                    }
+                    None => String::new(),
+                };
+                let cond_s = cond.as_ref().map(|e| expr(e)).unwrap_or_default();
+                let step_s = step.as_ref().map(|e| expr(e)).unwrap_or_default();
+                self.open(&format!("for ({init_s}; {cond_s}; {step_s}) {{"));
+                self.stmt_inner(body);
+                self.close("}");
+            }
+            StmtKind::Switch { scrutinee, arms } => {
+                let mut p = Printer::new();
+                p.expr(scrutinee);
+                self.open(&format!("switch ({}) {{", p.out));
+                for arm in arms {
+                    match &arm.value {
+                        Some(v) => {
+                            let mut p = Printer::new();
+                            p.expr(v);
+                            self.line(&format!("case {}:", p.out));
+                        }
+                        None => self.line("default:"),
+                    }
+                    self.indent += 1;
+                    for st in &arm.stmts {
+                        self.stmt(st);
+                    }
+                    self.indent -= 1;
+                }
+                self.close("}");
+            }
+            StmtKind::Break => self.line("break;"),
+            StmtKind::Continue => self.line("continue;"),
+            StmtKind::Return(None) => self.line("return;"),
+            StmtKind::Return(Some(e)) => {
+                let mut p = Printer::new();
+                p.expr(e);
+                self.line(&format!("return {};", p.out));
+            }
+            StmtKind::Await(None) => self.line("await ();"),
+            StmtKind::Await(Some(e)) => {
+                let mut p = Printer::new();
+                p.sigexpr(e);
+                self.line(&format!("await ({});", p.out));
+            }
+            StmtKind::AwaitImmediate(e) => {
+                let mut p = Printer::new();
+                p.sigexpr(e);
+                self.line(&format!("await_immediate ({});", p.out));
+            }
+            StmtKind::Emit(n) => self.line(&format!("emit ({});", n.name)),
+            StmtKind::EmitV(n, v) => {
+                let mut p = Printer::new();
+                p.expr(v);
+                self.line(&format!("emit_v ({}, {});", n.name, p.out));
+            }
+            StmtKind::Halt => self.line("halt ();"),
+            StmtKind::Present { cond, then, els } => {
+                let mut p = Printer::new();
+                p.sigexpr(cond);
+                self.open(&format!("present ({}) {{", p.out));
+                self.stmt_inner(then);
+                match els {
+                    Some(e) => {
+                        self.indent -= 1;
+                        self.line("} else {");
+                        self.indent += 1;
+                        self.stmt_inner(e);
+                        self.close("}");
+                    }
+                    None => self.close("}"),
+                }
+            }
+            StmtKind::Abort {
+                body,
+                kind,
+                cond,
+                handle,
+            } => {
+                self.open("do {");
+                self.stmt_inner(body);
+                let kw = match kind {
+                    AbortKind::Strong => "abort",
+                    AbortKind::Weak => "weak_abort",
+                };
+                let mut p = Printer::new();
+                p.sigexpr(cond);
+                match handle {
+                    Some(h) => {
+                        self.indent -= 1;
+                        self.line(&format!("}} {kw} ({}) handle {{", p.out));
+                        self.indent += 1;
+                        self.stmt_inner(h);
+                        self.close("}");
+                    }
+                    None => self.close(&format!("}} {kw} ({});", p.out)),
+                }
+            }
+            StmtKind::Suspend { body, cond } => {
+                self.open("do {");
+                self.stmt_inner(body);
+                let mut p = Printer::new();
+                p.sigexpr(cond);
+                self.close(&format!("}} suspend ({});", p.out));
+            }
+            StmtKind::Par(branches) => {
+                self.open("par {");
+                for b in branches {
+                    self.stmt(b);
+                }
+                self.close("}");
+            }
+        }
+    }
+
+    /// Print a statement that is the body of a braced construct: unwrap
+    /// one block level to avoid doubled braces.
+    fn stmt_inner(&mut self, s: &Stmt) {
+        if let StmtKind::Block(b) = &s.kind {
+            for st in &b.stmts {
+                self.stmt(st);
+            }
+        } else {
+            self.stmt(s);
+        }
+    }
+
+    fn typed_name(&mut self, ty: &TypeRef, name: &str) {
+        // Collect array dims from outside in.
+        let mut dims = Vec::new();
+        let mut cur = ty;
+        loop {
+            match &cur.kind {
+                TypeRefKind::Array(inner, len) => {
+                    dims.push(len.clone());
+                    cur = inner;
+                }
+                _ => break,
+            }
+        }
+        let mut prefix = String::new();
+        let mut base = cur;
+        while let TypeRefKind::Pointer(inner) = &base.kind {
+            prefix.push('*');
+            base = inner;
+        }
+        let _ = write!(self.out, "{} {prefix}{name}", type_str(base));
+        for d in dims {
+            match d {
+                Some(e) => {
+                    let mut p = Printer::new();
+                    p.expr(&e);
+                    let _ = write!(self.out, "[{}]", p.out);
+                }
+                None => {
+                    let _ = write!(self.out, "[]");
+                }
+            }
+        }
+    }
+
+    fn sigexpr(&mut self, e: &SigExpr) {
+        match &e.kind {
+            SigExprKind::Sig(id) => self.out.push_str(&id.name),
+            SigExprKind::Not(inner) => {
+                self.out.push('~');
+                let needs_paren = matches!(inner.kind, SigExprKind::And(_, _) | SigExprKind::Or(_, _));
+                if needs_paren {
+                    self.out.push('(');
+                }
+                self.sigexpr(inner);
+                if needs_paren {
+                    self.out.push(')');
+                }
+            }
+            SigExprKind::And(a, b) => {
+                self.sig_operand(a, true);
+                self.out.push_str(" & ");
+                self.sig_operand(b, true);
+            }
+            SigExprKind::Or(a, b) => {
+                self.sig_operand(a, false);
+                self.out.push_str(" | ");
+                self.sig_operand(b, false);
+            }
+        }
+    }
+
+    fn sig_operand(&mut self, e: &SigExpr, in_and: bool) {
+        let needs_paren = in_and && matches!(e.kind, SigExprKind::Or(_, _));
+        if needs_paren {
+            self.out.push('(');
+        }
+        self.sigexpr(e);
+        if needs_paren {
+            self.out.push(')');
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        self.expr_prec(e, 0);
+    }
+
+    /// Precedence of an expression node for parenthesization.
+    fn prec(e: &Expr) -> u8 {
+        match &e.kind {
+            ExprKind::Comma(_, _) => 1,
+            ExprKind::Assign(_, _, _) => 2,
+            ExprKind::Ternary(_, _, _) => 3,
+            ExprKind::Binary(op, _, _) => match op {
+                BinOp::LogOr => 4,
+                BinOp::LogAnd => 5,
+                BinOp::BitOr => 6,
+                BinOp::BitXor => 7,
+                BinOp::BitAnd => 8,
+                BinOp::Eq | BinOp::Ne => 9,
+                BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => 10,
+                BinOp::Shl | BinOp::Shr => 11,
+                BinOp::Add | BinOp::Sub => 12,
+                BinOp::Mul | BinOp::Div | BinOp::Rem => 13,
+            },
+            ExprKind::Unary(_, _)
+            | ExprKind::PreIncDec(_, _)
+            | ExprKind::Cast(_, _)
+            | ExprKind::SizeofExpr(_)
+            | ExprKind::SizeofType(_) => 14,
+            _ => 15,
+        }
+    }
+
+    fn expr_prec(&mut self, e: &Expr, min: u8) {
+        let p = Self::prec(e);
+        let paren = p < min;
+        if paren {
+            self.out.push('(');
+        }
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                let _ = write!(self.out, "{v}");
+            }
+            ExprKind::FloatLit(v) => {
+                let _ = write!(self.out, "{v:?}");
+            }
+            ExprKind::CharLit(c) => {
+                let _ = write!(self.out, "'{}'", (*c as char).escape_default());
+            }
+            ExprKind::StrLit(s) => {
+                let _ = write!(self.out, "{s:?}");
+            }
+            ExprKind::Ident(id) => self.out.push_str(&id.name),
+            ExprKind::Unary(op, inner) => {
+                let s = match op {
+                    UnOp::Neg => "-",
+                    UnOp::Plus => "+",
+                    UnOp::Not => "!",
+                    UnOp::BitNot => "~",
+                    UnOp::Deref => "*",
+                    UnOp::AddrOf => "&",
+                };
+                self.out.push_str(s);
+                self.expr_prec(inner, 14);
+            }
+            ExprKind::Binary(op, a, b) => {
+                self.expr_prec(a, p);
+                let _ = write!(self.out, " {} ", op.as_str());
+                self.expr_prec(b, p + 1);
+            }
+            ExprKind::Assign(op, a, b) => {
+                self.expr_prec(a, 15);
+                let _ = write!(self.out, " {} ", op.as_str());
+                self.expr_prec(b, 2);
+            }
+            ExprKind::PreIncDec(inc, inner) => {
+                self.out.push_str(if *inc { "++" } else { "--" });
+                self.expr_prec(inner, 14);
+            }
+            ExprKind::PostIncDec(inc, inner) => {
+                self.expr_prec(inner, 15);
+                self.out.push_str(if *inc { "++" } else { "--" });
+            }
+            ExprKind::Ternary(c, t, f) => {
+                self.expr_prec(c, 4);
+                self.out.push_str(" ? ");
+                self.expr_prec(t, 2);
+                self.out.push_str(" : ");
+                self.expr_prec(f, 2);
+            }
+            ExprKind::Call(name, args) => {
+                self.out.push_str(&name.name);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr_prec(a, 2);
+                }
+                self.out.push(')');
+            }
+            ExprKind::Index(a, i) => {
+                self.expr_prec(a, 15);
+                self.out.push('[');
+                self.expr_prec(i, 0);
+                self.out.push(']');
+            }
+            ExprKind::Member(a, f) => {
+                self.expr_prec(a, 15);
+                let _ = write!(self.out, ".{}", f.name);
+            }
+            ExprKind::Arrow(a, f) => {
+                self.expr_prec(a, 15);
+                let _ = write!(self.out, "->{}", f.name);
+            }
+            ExprKind::Cast(ty, inner) => {
+                let _ = write!(self.out, "({}) ", type_str(ty));
+                self.expr_prec(inner, 14);
+            }
+            ExprKind::SizeofType(ty) => {
+                let _ = write!(self.out, "sizeof({})", type_str(ty));
+            }
+            ExprKind::SizeofExpr(inner) => {
+                self.out.push_str("sizeof ");
+                self.expr_prec(inner, 14);
+            }
+            ExprKind::Comma(a, b) => {
+                self.expr_prec(a, 1);
+                self.out.push_str(", ");
+                self.expr_prec(b, 2);
+            }
+        }
+        if paren {
+            self.out.push(')');
+        }
+    }
+}
+
+/// Render a type (without declarator name).
+pub fn type_str(ty: &TypeRef) -> String {
+    match &ty.kind {
+        TypeRefKind::Prim(p) => prim_str(*p).to_string(),
+        TypeRefKind::Named(id) => id.name.clone(),
+        TypeRefKind::Struct(r) => record_str("struct", r),
+        TypeRefKind::Union(r) => record_str("union", r),
+        TypeRefKind::Enum(e) => {
+            let mut s = String::from("enum");
+            if let Some(t) = &e.tag {
+                let _ = write!(s, " {}", t.name);
+            }
+            if let Some(vs) = &e.variants {
+                s.push_str(" { ");
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&v.name.name);
+                    if let Some(val) = &v.value {
+                        let _ = write!(s, " = {}", expr(val));
+                    }
+                }
+                s.push_str(" }");
+            }
+            s
+        }
+        TypeRefKind::Pointer(inner) => format!("{} *", type_str(inner)),
+        TypeRefKind::Array(inner, len) => {
+            let l = len
+                .as_ref()
+                .map(|e| expr(e))
+                .unwrap_or_default();
+            format!("{}[{l}]", type_str(inner))
+        }
+    }
+}
+
+fn record_str(kw: &str, r: &RecordRef) -> String {
+    let mut s = String::from(kw);
+    if let Some(t) = &r.tag {
+        let _ = write!(s, " {}", t.name);
+    }
+    if let Some(fields) = &r.fields {
+        s.push_str(" { ");
+        for f in fields {
+            let _ = write!(s, "{}; ", typed_name(&f.ty, &f.name.name));
+        }
+        s.push('}');
+    }
+    s
+}
+
+fn prim_str(p: PrimType) -> &'static str {
+    match p {
+        PrimType::Void => "void",
+        PrimType::Bool => "bool",
+        PrimType::Char => "char",
+        PrimType::UChar => "unsigned char",
+        PrimType::Short => "short",
+        PrimType::UShort => "unsigned short",
+        PrimType::Int => "int",
+        PrimType::UInt => "unsigned int",
+        PrimType::Long => "long",
+        PrimType::ULong => "unsigned long",
+        PrimType::Float => "float",
+        PrimType::Double => "double",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_str;
+
+    /// Parse, print, re-parse: the two ASTs must match (modulo spans,
+    /// which `PartialEq` on the AST does compare — so we compare printed
+    /// forms instead).
+    fn round_trip(src: &str) {
+        let p1 = parse_str(src).expect("first parse");
+        let printed = program(&p1);
+        let p2 = parse_str(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed:\n{e}\nprinted:\n{printed}"));
+        let printed2 = program(&p2);
+        assert_eq!(printed, printed2, "printing is not a fixed point");
+    }
+
+    #[test]
+    fn round_trips_modules() {
+        round_trip(
+            "typedef unsigned char byte;\
+             module m(input pure r, input byte b, output pure o) {\
+               int cnt;\
+               while (1) { do { await (b); cnt = cnt + 1; emit (o); } abort (r); } }",
+        );
+    }
+
+    #[test]
+    fn round_trips_expressions() {
+        round_trip(
+            "module m(input pure a) { int x; int y;\
+               x = (1 + 2) * 3 - -y;\
+               x <<= 2; x = y > 0 ? x : -x;\
+               x = x & ~y | 4 ^ 2; }",
+        );
+    }
+
+    #[test]
+    fn round_trips_reactive_forms() {
+        round_trip(
+            "module m(input pure a, input pure b, output pure o) {\
+               signal pure k;\
+               par {\
+                 do { halt (); } abort (a & ~b) handle { emit (o); }\
+                 do { await (k); } suspend (b);\
+                 present (a | b) { emit (o); } else { emit (k); }\
+               } }",
+        );
+    }
+
+    #[test]
+    fn round_trips_c_constructs() {
+        round_trip(
+            "int f(int n) { int acc; for (acc = 0; n > 0; n--) { acc += n; } return acc; }\
+             module m(input int v) { int x; switch (v) { case 1: x = 1; break; default: x = 0; } }",
+        );
+    }
+
+    #[test]
+    fn prints_arrays_c_style() {
+        let p = parse_str("module m(input pure a) { int buf[4][2]; }").unwrap();
+        let s = program(&p);
+        assert!(s.contains("int buf[4][2];"), "got: {s}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Source files and spans.
+//!
+//! A [`SourceFile`] owns the text of one translation unit; a [`Span`] is a
+//! half-open byte range into that text. Spans are attached to every token,
+//! AST node and diagnostic so that errors can be reported with line and
+//! column numbers.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a [`SourceFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Create a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// A zero-length placeholder span (used for synthesized nodes).
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A line/column position (both 1-based) computed from a [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (byte-based within the line).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One source file: a name (for diagnostics) plus its full text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    name: String,
+    text: String,
+    /// Byte offsets at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    /// Build a source file, precomputing the line table.
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile {
+            name: name.into(),
+            text,
+            line_starts,
+        }
+    }
+
+    /// The file name used in diagnostics.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The complete source text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The text slice covered by `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds for this file.
+    pub fn snippet(&self, span: Span) -> &str {
+        &self.text[span.start as usize..span.end as usize]
+    }
+
+    /// Line/column of a byte offset.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Line/column of the start of `span`.
+    pub fn span_start(&self, span: Span) -> LineCol {
+        self.line_col(span.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_and_len() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::dummy().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn span_rejects_inverted_range() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn line_col_mapping() {
+        let f = SourceFile::new("t.ecl", "ab\ncd\n\nxyz");
+        assert_eq!(f.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(f.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(f.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(f.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(f.line_col(7), LineCol { line: 4, col: 1 });
+        assert_eq!(f.line_col(9), LineCol { line: 4, col: 3 });
+    }
+
+    #[test]
+    fn snippet_extracts_text() {
+        let f = SourceFile::new("t.ecl", "hello world");
+        assert_eq!(f.snippet(Span::new(6, 11)), "world");
+    }
+}

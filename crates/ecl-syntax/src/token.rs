@@ -1,0 +1,363 @@
+//! Token definitions for the C + ECL lexical grammar.
+
+use crate::source::Span;
+use std::fmt;
+
+/// Keywords of the C subset and of the ECL extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    // C storage / type keywords.
+    Typedef,
+    Struct,
+    Union,
+    Enum,
+    Void,
+    Char,
+    Short,
+    Int,
+    Long,
+    Float,
+    Double,
+    Signed,
+    Unsigned,
+    Bool,
+    Const,
+    Static,
+    Extern,
+    Sizeof,
+    // C statement keywords.
+    If,
+    Else,
+    While,
+    For,
+    Do,
+    Switch,
+    Case,
+    Default,
+    Break,
+    Continue,
+    Return,
+    Goto,
+    // ECL keywords.
+    Module,
+    Signal,
+    Input,
+    Output,
+    Pure,
+    Await,
+    AwaitImmediate,
+    Emit,
+    EmitV,
+    Halt,
+    Present,
+    Abort,
+    WeakAbort,
+    Suspend,
+    Handle,
+    Par,
+}
+
+impl Keyword {
+    /// Map an identifier spelling to a keyword, if it is one.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "typedef" => Typedef,
+            "struct" => Struct,
+            "union" => Union,
+            "enum" => Enum,
+            "void" => Void,
+            "char" => Char,
+            "short" => Short,
+            "int" => Int,
+            "long" => Long,
+            "float" => Float,
+            "double" => Double,
+            "signed" => Signed,
+            "unsigned" => Unsigned,
+            "bool" => Bool,
+            "const" => Const,
+            "static" => Static,
+            "extern" => Extern,
+            "sizeof" => Sizeof,
+            "if" => If,
+            "else" => Else,
+            "while" => While,
+            "for" => For,
+            "do" => Do,
+            "switch" => Switch,
+            "case" => Case,
+            "default" => Default,
+            "break" => Break,
+            "continue" => Continue,
+            "return" => Return,
+            "goto" => Goto,
+            "module" => Module,
+            "signal" => Signal,
+            "input" => Input,
+            "output" => Output,
+            "pure" => Pure,
+            "await" => Await,
+            "await_immediate" => AwaitImmediate,
+            "emit" => Emit,
+            "emit_v" => EmitV,
+            "halt" => Halt,
+            "present" => Present,
+            "abort" => Abort,
+            "weak_abort" => WeakAbort,
+            "suspend" => Suspend,
+            "handle" => Handle,
+            "par" => Par,
+            _ => return None,
+        })
+    }
+
+    /// Canonical source spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Typedef => "typedef",
+            Struct => "struct",
+            Union => "union",
+            Enum => "enum",
+            Void => "void",
+            Char => "char",
+            Short => "short",
+            Int => "int",
+            Long => "long",
+            Float => "float",
+            Double => "double",
+            Signed => "signed",
+            Unsigned => "unsigned",
+            Bool => "bool",
+            Const => "const",
+            Static => "static",
+            Extern => "extern",
+            Sizeof => "sizeof",
+            If => "if",
+            Else => "else",
+            While => "while",
+            For => "for",
+            Do => "do",
+            Switch => "switch",
+            Case => "case",
+            Default => "default",
+            Break => "break",
+            Continue => "continue",
+            Return => "return",
+            Goto => "goto",
+            Module => "module",
+            Signal => "signal",
+            Input => "input",
+            Output => "output",
+            Pure => "pure",
+            Await => "await",
+            AwaitImmediate => "await_immediate",
+            Emit => "emit",
+            EmitV => "emit_v",
+            Halt => "halt",
+            Present => "present",
+            Abort => "abort",
+            WeakAbort => "weak_abort",
+            Suspend => "suspend",
+            Handle => "handle",
+            Par => "par",
+        }
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // names mirror the symbols directly
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    BangEq,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    PlusPlus,
+    MinusMinus,
+    Hash,
+}
+
+impl Punct {
+    /// Canonical source spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            Question => "?",
+            Dot => ".",
+            Arrow => "->",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            BangEq => "!=",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Shl => "<<",
+            Shr => ">>",
+            Eq => "=",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            StarEq => "*=",
+            SlashEq => "/=",
+            PercentEq => "%=",
+            AmpEq => "&=",
+            PipeEq => "|=",
+            CaretEq => "^=",
+            ShlEq => "<<=",
+            ShrEq => ">>=",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Hash => "#",
+        }
+    }
+}
+
+/// The kind of one token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (not a keyword).
+    Ident(String),
+    /// Keyword.
+    Kw(Keyword),
+    /// Integer literal with its value (suffixes folded away).
+    IntLit(i64),
+    /// Floating literal.
+    FloatLit(f64),
+    /// Character literal (value of the character).
+    CharLit(u8),
+    /// String literal (unescaped contents).
+    StrLit(String),
+    /// Operator or punctuation.
+    Punct(Punct),
+    /// End of file.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Kw(k) => format!("keyword `{}`", k.as_str()),
+            TokenKind::IntLit(v) => format!("integer literal `{v}`"),
+            TokenKind::FloatLit(v) => format!("float literal `{v}`"),
+            TokenKind::CharLit(c) => format!("char literal `{}`", *c as char),
+            TokenKind::StrLit(s) => format!("string literal {s:?}"),
+            TokenKind::Punct(p) => format!("`{}`", p.as_str()),
+            TokenKind::Eof => "end of file".to_string(),
+        }
+    }
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+    /// True when this token is the first on its source line (needed by
+    /// the line-oriented preprocessor).
+    pub at_line_start: bool,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Module,
+            Keyword::Await,
+            Keyword::EmitV,
+            Keyword::WeakAbort,
+            Keyword::Unsigned,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("not_a_keyword"), None);
+    }
+
+    #[test]
+    fn punct_spellings() {
+        assert_eq!(Punct::ShlEq.as_str(), "<<=");
+        assert_eq!(Punct::Arrow.as_str(), "->");
+    }
+
+    #[test]
+    fn token_describe() {
+        assert_eq!(
+            TokenKind::Ident("foo".into()).describe(),
+            "identifier `foo`"
+        );
+        assert_eq!(TokenKind::Punct(Punct::Semi).describe(), "`;`");
+    }
+}

@@ -1,0 +1,212 @@
+//! Constant expression evaluation.
+//!
+//! Used for array lengths and enumerator values while the type table is
+//! being built (so it cannot depend on the full interpreter). Supports
+//! integer literals, enumerator names, the usual unary/binary integer
+//! operators and the ternary operator — everything the paper's designs
+//! need after `#define` expansion.
+
+use ecl_syntax::ast::{BinOp, Expr, ExprKind, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced when an expression is not compile-time constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstError {
+    /// Explanation of the failure.
+    pub msg: String,
+}
+
+impl fmt::Display for ConstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ConstError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ConstError> {
+    Err(ConstError { msg: msg.into() })
+}
+
+/// Named constants visible to the evaluator (enumerators).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstEnv<'a> {
+    /// Name → value.
+    pub consts: &'a HashMap<String, i64>,
+}
+
+impl<'a> ConstEnv<'a> {
+    /// Wrap a map of named constants.
+    pub fn new(consts: &'a HashMap<String, i64>) -> Self {
+        ConstEnv { consts }
+    }
+}
+
+// A `Default` for the borrowed map needs a static empty map.
+static EMPTY: std::sync::OnceLock<HashMap<String, i64>> = std::sync::OnceLock::new();
+
+impl Default for ConstEnv<'static> {
+    fn default() -> Self {
+        ConstEnv {
+            consts: EMPTY.get_or_init(HashMap::new),
+        }
+    }
+}
+
+/// Evaluate `e` as a compile-time integer constant.
+///
+/// # Errors
+///
+/// Returns [`ConstError`] when the expression references non-constant
+/// names, uses unsupported operators (floats, calls, assignment), or
+/// divides by zero.
+pub fn eval(e: &Expr, env: &ConstEnv<'_>) -> Result<i64, ConstError> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Ok(*v),
+        ExprKind::CharLit(c) => Ok(*c as i64),
+        ExprKind::Ident(id) => match env.consts.get(&id.name) {
+            Some(v) => Ok(*v),
+            None => err(format!("`{}` is not a constant", id.name)),
+        },
+        ExprKind::Unary(op, inner) => {
+            let v = eval(inner, env)?;
+            Ok(match op {
+                UnOp::Neg => v.wrapping_neg(),
+                UnOp::Plus => v,
+                UnOp::Not => (v == 0) as i64,
+                UnOp::BitNot => !v,
+                UnOp::Deref | UnOp::AddrOf => {
+                    return err("pointers are not compile-time constants")
+                }
+            })
+        }
+        ExprKind::Binary(op, a, b) => {
+            let x = eval(a, env)?;
+            // Short-circuit forms first.
+            match op {
+                BinOp::LogAnd => {
+                    return Ok(if x != 0 && eval(b, env)? != 0 { 1 } else { 0 });
+                }
+                BinOp::LogOr => {
+                    return Ok(if x != 0 || eval(b, env)? != 0 { 1 } else { 0 });
+                }
+                _ => {}
+            }
+            let y = eval(b, env)?;
+            Ok(match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        return err("division by zero in constant");
+                    }
+                    x.wrapping_div(y)
+                }
+                BinOp::Rem => {
+                    if y == 0 {
+                        return err("remainder by zero in constant");
+                    }
+                    x.wrapping_rem(y)
+                }
+                BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+                BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+                BinOp::Lt => (x < y) as i64,
+                BinOp::Gt => (x > y) as i64,
+                BinOp::Le => (x <= y) as i64,
+                BinOp::Ge => (x >= y) as i64,
+                BinOp::Eq => (x == y) as i64,
+                BinOp::Ne => (x != y) as i64,
+                BinOp::BitAnd => x & y,
+                BinOp::BitXor => x ^ y,
+                BinOp::BitOr => x | y,
+                BinOp::LogAnd | BinOp::LogOr => unreachable!("handled above"),
+            })
+        }
+        ExprKind::Ternary(c, t, f) => {
+            if eval(c, env)? != 0 {
+                eval(t, env)
+            } else {
+                eval(f, env)
+            }
+        }
+        ExprKind::Cast(_, inner) => eval(inner, env),
+        other => err(format!("not a constant expression: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_syntax::parse_str;
+
+    /// Parse `src` as `int x = <expr>;` inside a module and return the
+    /// initializer expression.
+    fn expr_of(src: &str) -> Expr {
+        let p = parse_str(&format!("module m(input pure a) {{ int x = {src}; }}")).unwrap();
+        let m = p.module("m").unwrap();
+        let ecl_syntax::ast::StmtKind::Decl(d) = &m.body.stmts[0].kind else {
+            panic!()
+        };
+        d.decls[0].init.clone().unwrap()
+    }
+
+    fn ev(src: &str) -> Result<i64, ConstError> {
+        eval(&expr_of(src), &ConstEnv::default())
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ev("6+56+2").unwrap(), 64);
+        assert_eq!(ev("2*3+4").unwrap(), 10);
+        assert_eq!(ev("1 << 4").unwrap(), 16);
+        assert_eq!(ev("-5 + +2").unwrap(), -3);
+        assert_eq!(ev("7 / 2").unwrap(), 3);
+        assert_eq!(ev("7 % 2").unwrap(), 1);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(ev("3 > 2").unwrap(), 1);
+        assert_eq!(ev("3 == 2").unwrap(), 0);
+        assert_eq!(ev("1 && 0").unwrap(), 0);
+        assert_eq!(ev("1 || 0").unwrap(), 1);
+        assert_eq!(ev("!0").unwrap(), 1);
+        assert_eq!(ev("~0").unwrap(), -1);
+        assert_eq!(ev("1 ? 10 : 20").unwrap(), 10);
+    }
+
+    #[test]
+    fn named_constants() {
+        let mut consts = HashMap::new();
+        consts.insert("N".to_string(), 8i64);
+        let env = ConstEnv::new(&consts);
+        assert_eq!(eval(&expr_of("N * 2"), &env).unwrap(), 16);
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        assert!(ev("1 / 0").is_err());
+        assert!(ev("1 % 0").is_err());
+    }
+
+    #[test]
+    fn short_circuit_protects_rhs() {
+        // RHS of `&&` is not evaluated when LHS is 0 — even if it would
+        // divide by zero.
+        assert_eq!(ev("0 && (1 / 0)").unwrap(), 0);
+        assert_eq!(ev("1 || (1 / 0)").unwrap(), 1);
+    }
+
+    #[test]
+    fn non_constants_are_rejected() {
+        assert!(ev("y + 1").is_err());
+    }
+
+    #[test]
+    fn char_literals_and_casts() {
+        assert_eq!(ev("'A'").unwrap(), 65);
+        assert_eq!(ev("(char) 300").unwrap(), 300); // cast is transparent here
+    }
+}

@@ -1,0 +1,227 @@
+//! A small growable bit set.
+//!
+//! Used for pause-point selections in the Esterel engine and for state
+//! sets in EFSM analyses. Implemented over `u64` words; all operations
+//! are value-semantic and allocation is amortized.
+
+use std::fmt;
+
+/// A set of small non-negative integers backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        BitSet::default()
+    }
+
+    /// Empty set with capacity for `bits` elements.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitSet {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    fn grow(&mut self, bit: usize) {
+        let need = bit / 64 + 1;
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// Insert `bit`; returns whether it was newly inserted.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        self.grow(bit);
+        let w = &mut self.words[bit / 64];
+        let mask = 1u64 << (bit % 64);
+        let was = *w & mask != 0;
+        *w |= mask;
+        !was
+    }
+
+    /// Remove `bit`; returns whether it was present.
+    pub fn remove(&mut self, bit: usize) -> bool {
+        if bit / 64 >= self.words.len() {
+            return false;
+        }
+        let w = &mut self.words[bit / 64];
+        let mask = 1u64 << (bit % 64);
+        let was = *w & mask != 0;
+        *w &= !mask;
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, bit: usize) -> bool {
+        self.words
+            .get(bit / 64)
+            .is_some_and(|w| w & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference (`self -= other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Does `self` intersect `other`?
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Intersection restricted to the half-open range `[lo, hi)`:
+    /// does the set contain any element in the range?
+    pub fn any_in_range(&self, lo: usize, hi: usize) -> bool {
+        (lo..hi).any(|b| self.contains(b))
+    }
+
+    /// Iterate over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let w = *w;
+            (0..64).filter_map(move |b| {
+                if w & (1u64 << b) != 0 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// A canonical (trailing-zero-trimmed) copy, suitable as a map key.
+    pub fn normalized(&self) -> BitSet {
+        let mut words = self.words.clone();
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        BitSet { words }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, b) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = BitSet::new();
+        for b in iter {
+            s.insert(b);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<T: IntoIterator<Item = usize>>(&mut self, iter: T) {
+        for b in iter {
+            self.insert(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(100));
+        assert!(s.contains(3));
+        assert!(s.contains(100));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a: BitSet = [1, 5, 64].into_iter().collect();
+        let b: BitSet = [5, 6].into_iter().collect();
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 5, 6, 64]);
+        let mut d = u.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 64]);
+    }
+
+    #[test]
+    fn range_queries() {
+        let s: BitSet = [2, 9].into_iter().collect();
+        assert!(s.any_in_range(0, 3));
+        assert!(!s.any_in_range(3, 9));
+        assert!(s.any_in_range(9, 10));
+    }
+
+    #[test]
+    fn normalized_is_canonical_key() {
+        let mut a = BitSet::with_capacity(1000);
+        a.insert(1);
+        let b: BitSet = [1].into_iter().collect();
+        assert_ne!(a, b); // different capacities
+        assert_eq!(a.normalized(), b.normalized());
+    }
+
+    #[test]
+    fn intersects() {
+        let a: BitSet = [1, 2].into_iter().collect();
+        let b: BitSet = [2, 3].into_iter().collect();
+        let c: BitSet = [4].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn debug_format() {
+        let s: BitSet = [7, 1].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1,7}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Graphviz (DOT) export of EFSMs.
+//!
+//! Each control state is a graph node; each flat transition (root-to-leaf
+//! s-graph path) becomes an edge labelled with its guard cube, predicate
+//! literals, actions and emissions. Useful for debugging small machines
+//! and for documentation figures.
+
+use crate::machine::{Efsm, StateId};
+use std::fmt::Write as _;
+
+/// Render the machine as a DOT digraph. Path enumeration per state is
+/// capped at `path_cap`; states whose s-graph exceeds the cap get a
+/// single edge labelled "…".
+pub fn to_dot(m: &Efsm, path_cap: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", m.name);
+    let _ = writeln!(s, "  rankdir=LR;");
+    let _ = writeln!(s, "  node [shape=circle, fontsize=10];");
+    let _ = writeln!(
+        s,
+        "  init [shape=point]; init -> s{};",
+        m.init.0
+    );
+    for (i, st) in m.states.iter().enumerate() {
+        let _ = writeln!(s, "  s{i} [label=\"{}\"];", escape(&st.name));
+    }
+    for (i, _) in m.states.iter().enumerate() {
+        match m.paths_of(StateId(i as u32), path_cap) {
+            Some(paths) => {
+                for p in paths {
+                    let mut label = String::new();
+                    for (sig, pos) in &p.cube {
+                        let _ = write!(
+                            label,
+                            "{}{} ",
+                            if *pos { "" } else { "!" },
+                            m.signal_info(*sig).name
+                        );
+                    }
+                    for (pred, pos) in &p.preds {
+                        let _ = write!(label, "{}p{} ", if *pos { "" } else { "!" }, pred.0);
+                    }
+                    if !p.actions.is_empty() || !p.emits.is_empty() {
+                        label.push('/');
+                        for a in &p.actions {
+                            let _ = write!(label, " a{}", a.0);
+                        }
+                        for (e, _) in &p.emits {
+                            let _ = write!(label, " {}!", m.signal_info(*e).name);
+                        }
+                    }
+                    let _ = writeln!(
+                        s,
+                        "  s{i} -> s{} [label=\"{}\", fontsize=8];",
+                        p.target.0,
+                        escape(label.trim())
+                    );
+                }
+            }
+            None => {
+                let _ = writeln!(s, "  s{i} -> s{i} [label=\"…\", style=dashed];");
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::EfsmBuilder;
+
+    #[test]
+    fn renders_dot() {
+        let mut b = EfsmBuilder::new("demo");
+        let a = b.input("a");
+        let o = b.output("o");
+        let g1 = b.goto(StateId(1));
+        let e = b.emit(o, g1);
+        let g0 = b.goto(StateId(0));
+        let r0 = b.test(a, e, g0);
+        b.state("idle", r0);
+        let g0b = b.goto(StateId(0));
+        b.state("done", g0b);
+        let m = b.build();
+        let dot = to_dot(&m, 100);
+        assert!(dot.contains("digraph \"demo\""));
+        assert!(dot.contains("s0 -> s1"));
+        assert!(dot.contains("o!"));
+        assert!(dot.contains("!a"));
+    }
+
+    #[test]
+    fn cap_falls_back_to_dashed_edge() {
+        let mut b = EfsmBuilder::new("big");
+        let sigs: Vec<_> = (0..10).map(|i| b.input(&format!("i{i}"))).collect();
+        let mut node = b.goto(StateId(0));
+        for s in sigs {
+            let other = b.goto(StateId(0));
+            node = b.test(s, node, other);
+        }
+        b.state("s0", node);
+        let m = b.build();
+        let dot = to_dot(&m, 4);
+        assert!(dot.contains("…"));
+    }
+}

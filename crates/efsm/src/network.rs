@@ -1,0 +1,462 @@
+//! Unit-delay networks of EFSMs.
+//!
+//! The paper's Section 4 contrasts two implementations of the top-level
+//! module: a single synchronous EFSM (whole-program compilation) and an
+//! asynchronous interconnection of per-module machines communicating via
+//! signals. This module provides the *semantic* network composition:
+//! machines are wired by signal *name*, and internal emissions become
+//! visible to consumers in the **next** instant (one-place buffers, as
+//! in POLIS CFSM networks — events not consumed are overwritten).
+//!
+//! Cost-accounted asynchronous execution under an RTOS lives in the
+//! `rtk`/`sim` crates; this composition is used for functional analysis
+//! and differential testing.
+
+use crate::machine::{Efsm, SigKind, Signal, StateId};
+use crate::DataHooks;
+use std::collections::{HashMap, HashSet};
+
+/// A network of machines wired by signal name.
+#[derive(Debug, Clone)]
+pub struct Network {
+    machines: Vec<Efsm>,
+    /// Current control state of each machine.
+    states: Vec<StateId>,
+    /// Internal signal values latched from the previous instant
+    /// (by name).
+    latched: HashSet<String>,
+    /// Names that are outputs of some machine (hence internal or
+    /// network outputs).
+    produced: HashSet<String>,
+}
+
+/// The observable outcome of one network instant.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetworkStep {
+    /// All signals emitted this instant (by name, with emitting machine
+    /// index), in machine order.
+    pub emitted: Vec<(usize, String)>,
+    /// Total s-graph nodes visited (latency proxy).
+    pub nodes_visited: u32,
+}
+
+impl Network {
+    /// Build a network from machines; wiring is implicit by name.
+    pub fn new(machines: Vec<Efsm>) -> Self {
+        let states = machines.iter().map(|m| m.init).collect();
+        let mut produced = HashSet::new();
+        for m in &machines {
+            for (_, info) in m.outputs() {
+                produced.insert(info.name.clone());
+            }
+        }
+        Network {
+            machines,
+            states,
+            latched: HashSet::new(),
+            produced,
+        }
+    }
+
+    /// The machines in the network.
+    pub fn machines(&self) -> &[Efsm] {
+        &self.machines
+    }
+
+    /// Current control states.
+    pub fn states(&self) -> &[StateId] {
+        &self.states
+    }
+
+    /// Reset every machine to its initial state and clear latches.
+    pub fn reset(&mut self) {
+        for (s, m) in self.states.iter_mut().zip(&self.machines) {
+            *s = m.init;
+        }
+        self.latched.clear();
+    }
+
+    /// Names that are produced by some machine in the network.
+    pub fn produced_names(&self) -> &HashSet<String> {
+        &self.produced
+    }
+
+    /// Execute one instant.
+    ///
+    /// `external` is the set of externally present signal names;
+    /// `hooks[i]` resolves machine `i`'s data ids. Emissions by any
+    /// machine this instant are latched and become visible to input
+    /// ports of the same name in the *next* instant (unit delay).
+    pub fn step<H: DataHooks>(&mut self, external: &HashSet<String>, hooks: &mut [H]) -> NetworkStep {
+        assert_eq!(
+            hooks.len(),
+            self.machines.len(),
+            "one hooks instance per machine"
+        );
+        let mut out = NetworkStep::default();
+        let mut new_latch = HashSet::new();
+        for (i, m) in self.machines.iter().enumerate() {
+            let mut present: HashSet<Signal> = HashSet::new();
+            for (sig, info) in m.inputs() {
+                let from_inside = self.produced.contains(&info.name);
+                let on = if from_inside {
+                    // Internal wire: previous-instant emission, but an
+                    // external override is also allowed (open inputs).
+                    self.latched.contains(&info.name) || external.contains(&info.name)
+                } else {
+                    external.contains(&info.name)
+                };
+                if on {
+                    present.insert(sig);
+                }
+            }
+            let r = m.step(self.states[i], &present, &mut hooks[i]);
+            out.nodes_visited += r.nodes_visited;
+            for sig in &r.emitted {
+                let name = m.signal_info(*sig).name.clone();
+                new_latch.insert(name.clone());
+                out.emitted.push((i, name));
+            }
+            self.states[i] = r.next;
+        }
+        self.latched = new_latch;
+        out
+    }
+
+    /// Exhaustive reachability of the composite state space under free
+    /// external inputs, up to `cap` composite states.
+    ///
+    /// Returns the number of composite (machine-states × latch) states
+    /// found, or `None` if the cap was exceeded. Only meaningful for
+    /// pure-control networks (data predicates are not explored).
+    pub fn explore(&self, external_names: &[String], cap: usize) -> Option<usize> {
+        // Composite state: per-machine StateId + latched internal set.
+        type CState = (Vec<StateId>, Vec<String>);
+        let start: CState = (self.states.clone(), {
+            let mut v: Vec<String> = self.latched.iter().cloned().collect();
+            v.sort();
+            v
+        });
+        let mut seen: HashSet<CState> = HashSet::new();
+        seen.insert(start.clone());
+        let mut frontier = vec![start];
+        let n_ext = external_names.len().min(12);
+        while let Some((states, latch)) = frontier.pop() {
+            for mask in 0..(1u32 << n_ext) {
+                let mut net = self.clone();
+                net.states = states.clone();
+                net.latched = latch.iter().cloned().collect();
+                let mut ext = HashSet::new();
+                for (b, name) in external_names.iter().enumerate().take(n_ext) {
+                    if mask & (1 << b) != 0 {
+                        ext.insert(name.clone());
+                    }
+                }
+                let mut hooks: Vec<crate::NoHooks> =
+                    vec![crate::NoHooks; self.machines.len()];
+                net.step(&ext, &mut hooks);
+                let mut latch_v: Vec<String> = net.latched.iter().cloned().collect();
+                latch_v.sort();
+                let cs = (net.states.clone(), latch_v);
+                if seen.insert(cs.clone()) {
+                    if seen.len() > cap {
+                        return None;
+                    }
+                    frontier.push(cs);
+                }
+            }
+        }
+        Some(seen.len())
+    }
+}
+
+/// Build an explicit product EFSM of a pure-control network (unit-delay
+/// semantics), up to `cap` states.
+///
+/// The product's inputs are the network's external inputs; its outputs
+/// are all machine outputs. Internal signals are folded into the product
+/// state (the latch). Used by the ablation benches to compare against
+/// whole-program synchronous compilation.
+///
+/// # Errors
+///
+/// Returns an error string when a machine has data predicates (the
+/// product is only defined for pure control here) or when `cap` is
+/// exceeded.
+pub fn product_unit_delay(net: &Network, cap: usize) -> Result<Efsm, String> {
+    for m in net.machines() {
+        if m.stats().pred_tests > 0 {
+            return Err(format!(
+                "machine `{}` has data predicates; unit-delay product is pure-control only",
+                m.name
+            ));
+        }
+    }
+    // External inputs = inputs not produced inside.
+    let mut ext_names: Vec<String> = Vec::new();
+    for m in net.machines() {
+        for (_, info) in m.inputs() {
+            if !net.produced_names().contains(&info.name) && !ext_names.contains(&info.name) {
+                ext_names.push(info.name.clone());
+            }
+        }
+    }
+    let mut out_names: Vec<String> = Vec::new();
+    for m in net.machines() {
+        for (_, info) in m.outputs() {
+            if !out_names.contains(&info.name) {
+                out_names.push(info.name.clone());
+            }
+        }
+    }
+    let mut prod = Efsm::new(format!("product_{}", net.machines().len()));
+    let in_sigs: Vec<Signal> = ext_names
+        .iter()
+        .map(|n| prod.add_signal(n.clone(), SigKind::Input, false))
+        .collect();
+    let out_sigs: HashMap<String, Signal> = out_names
+        .iter()
+        .map(|n| (n.clone(), prod.add_signal(n.clone(), SigKind::Output, false)))
+        .collect();
+
+    type CState = (Vec<StateId>, Vec<String>);
+    // Pre-create states on demand; their s-graphs are filled after
+    // exploration (we must know all state ids first).
+    fn get_id(
+        cs: &CState,
+        ids: &mut HashMap<CState, StateId>,
+        prod: &mut Efsm,
+        work: &mut Vec<CState>,
+    ) -> StateId {
+        if let Some(id) = ids.get(cs) {
+            return *id;
+        }
+        // Temporary root; patched later.
+        let placeholder = prod.add_node(crate::sgraph::Node::Goto {
+            target: StateId(0),
+        });
+        let id = prod.add_state(format!("p{}", ids.len()), placeholder);
+        ids.insert(cs.clone(), id);
+        work.push(cs.clone());
+        id
+    }
+    let mut ids: HashMap<CState, StateId> = HashMap::new();
+    let mut work: Vec<CState> = Vec::new();
+    let start: CState = (net.states().to_vec(), Vec::new());
+    let _ = get_id(&start, &mut ids, &mut prod, &mut work);
+
+    let mut processed = 0usize;
+    while processed < work.len() {
+        let cs = work[processed].clone();
+        processed += 1;
+        if processed > cap {
+            return Err(format!("unit-delay product exceeded {cap} states"));
+        }
+        // Build a complete decision tree over external inputs.
+        let n = ext_names.len().min(12);
+        // For each input valuation, run the network and record result.
+        let mut leaves: Vec<(u32, Vec<Signal>, StateId)> = Vec::new();
+        for mask in 0..(1u32 << n) {
+            let mut sim = net.clone();
+            sim_set(&mut sim, &cs);
+            let mut ext = HashSet::new();
+            for (b, name) in ext_names.iter().enumerate().take(n) {
+                if mask & (1 << b) != 0 {
+                    ext.insert(name.clone());
+                }
+            }
+            let mut hooks: Vec<crate::NoHooks> = vec![crate::NoHooks; net.machines().len()];
+            let step = sim.step(&ext, &mut hooks);
+            let emits: Vec<Signal> = step
+                .emitted
+                .iter()
+                .filter_map(|(_, name)| out_sigs.get(name).copied())
+                .collect();
+            let mut latch_v: Vec<String> = sim_latch(&sim);
+            latch_v.sort();
+            let next_cs = (sim.states().to_vec(), latch_v);
+            let next_id = get_id(&next_cs, &mut ids, &mut prod, &mut work);
+            leaves.push((mask, emits, next_id));
+        }
+        // Assemble the decision tree bottom-up over input bits.
+        let root = build_tree(&mut prod, &in_sigs[..n], &leaves);
+        let sid = ids[&cs];
+        prod.states[sid.0 as usize].root = root;
+    }
+    crate::opt::reduce(&mut prod);
+    prod.validate()?;
+    Ok(prod)
+}
+
+fn sim_set(net: &mut Network, cs: &(Vec<StateId>, Vec<String>)) {
+    net.states = cs.0.clone();
+    net.latched = cs.1.iter().cloned().collect();
+}
+
+fn sim_latch(net: &Network) -> Vec<String> {
+    net.latched.iter().cloned().collect()
+}
+
+/// Build a complete binary decision tree testing `sigs[0..]` in order,
+/// with `leaves[mask]` giving emissions and target per valuation.
+fn build_tree(m: &mut Efsm, sigs: &[Signal], leaves: &[(u32, Vec<Signal>, StateId)]) -> crate::sgraph::NodeId {
+    fn rec(
+        m: &mut Efsm,
+        sigs: &[Signal],
+        bit: usize,
+        prefix: u32,
+        leaves: &[(u32, Vec<Signal>, StateId)],
+    ) -> crate::sgraph::NodeId {
+        if bit == sigs.len() {
+            let (_, emits, target) = leaves
+                .iter()
+                .find(|(mask, _, _)| *mask == prefix)
+                .expect("every valuation has a leaf");
+            let mut node = m.add_node(crate::sgraph::Node::Goto { target: *target });
+            for (sig, _) in emits.iter().map(|s| (*s, ())).rev() {
+                node = m.add_node(crate::sgraph::Node::Emit {
+                    sig,
+                    value: None,
+                    next: node,
+                });
+            }
+            return node;
+        }
+        let then_ = rec(m, sigs, bit + 1, prefix | (1 << bit), leaves);
+        let else_ = rec(m, sigs, bit + 1, prefix, leaves);
+        m.add_node(crate::sgraph::Node::Test {
+            sig: sigs[bit],
+            then_,
+            else_,
+        })
+    }
+    rec(m, sigs, 0, 0, leaves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::EfsmBuilder;
+    use crate::NoHooks;
+
+    /// Machine: on input `a` emit `b` and toggle between 2 states.
+    fn stage(name: &str, input: &str, output: &str) -> Efsm {
+        let mut b = EfsmBuilder::new(name);
+        let i = b.input(input);
+        let o = b.output(output);
+        let g1 = b.goto(StateId(1));
+        let e = b.emit(o, g1);
+        let g0 = b.goto(StateId(0));
+        let r0 = b.test(i, e, g0);
+        b.state("s0", r0);
+        let g0b = b.goto(StateId(0));
+        let e2 = b.emit(o, g0b);
+        let g1b = b.goto(StateId(1));
+        let r1 = b.test(i, e2, g1b);
+        b.state("s1", r1);
+        b.build()
+    }
+
+    #[test]
+    fn pipeline_delays_by_one_instant_per_stage() {
+        // a -> m1 -> x -> m2 -> y
+        let m1 = stage("m1", "a", "x");
+        let m2 = stage("m2", "x", "y");
+        let mut net = Network::new(vec![m1, m2]);
+        let mut hooks = [NoHooks, NoHooks];
+        let mut ext = HashSet::new();
+        ext.insert("a".to_string());
+        // Instant 0: a present → m1 emits x; m2 sees nothing yet.
+        let s0 = net.step(&ext, &mut hooks);
+        assert_eq!(s0.emitted, vec![(0, "x".to_string())]);
+        // Instant 1: no external a; m2 sees latched x → emits y.
+        let s1 = net.step(&HashSet::new(), &mut hooks);
+        assert_eq!(s1.emitted, vec![(1, "y".to_string())]);
+        // Instant 2: nothing.
+        let s2 = net.step(&HashSet::new(), &mut hooks);
+        assert!(s2.emitted.is_empty());
+    }
+
+    #[test]
+    fn reset_restores_initial_configuration() {
+        let m1 = stage("m1", "a", "x");
+        let mut net = Network::new(vec![m1]);
+        let mut hooks = [NoHooks];
+        let mut ext = HashSet::new();
+        ext.insert("a".to_string());
+        net.step(&ext, &mut hooks);
+        assert_eq!(net.states()[0], StateId(1));
+        net.reset();
+        assert_eq!(net.states()[0], StateId(0));
+    }
+
+    #[test]
+    fn explore_counts_composite_states() {
+        let m1 = stage("m1", "a", "x");
+        let m2 = stage("m2", "x", "y");
+        let net = Network::new(vec![m1, m2]);
+        let n = net
+            .explore(&["a".to_string()], 10_000)
+            .expect("within cap");
+        // 2 × 2 machine states × latch configurations; at most 16.
+        assert!(n >= 4, "found only {n}");
+        assert!(n <= 16, "found {n}");
+    }
+
+    #[test]
+    fn product_matches_network_traces() {
+        use rand::{Rng, SeedableRng};
+        let m1 = stage("m1", "a", "x");
+        let m2 = stage("m2", "x", "y");
+        let mut net = Network::new(vec![m1, m2]);
+        let prod = product_unit_delay(&net, 10_000).expect("product");
+        prod.validate().unwrap();
+        let a_p = prod.signal("a").unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut ps = prod.init;
+        net.reset();
+        let mut hooks = [NoHooks, NoHooks];
+        for _ in 0..300 {
+            let on = rng.gen_bool(0.4);
+            let mut ext_names = HashSet::new();
+            let mut ext_sigs = HashSet::new();
+            if on {
+                ext_names.insert("a".to_string());
+                ext_sigs.insert(a_p);
+            }
+            let ns = net.step(&ext_names, &mut hooks);
+            let pr = prod.step(ps, &ext_sigs, &mut NoHooks);
+            ps = pr.next;
+            let mut net_emits: Vec<String> =
+                ns.emitted.iter().map(|(_, n)| n.clone()).collect();
+            let mut prod_emits: Vec<String> = pr
+                .emitted
+                .iter()
+                .map(|s| prod.signal_info(*s).name.clone())
+                .collect();
+            net_emits.sort();
+            prod_emits.sort();
+            assert_eq!(net_emits, prod_emits);
+        }
+    }
+
+    #[test]
+    fn product_rejects_pred_machines() {
+        let mut m = Efsm::new("withpred");
+        let a = m.add_signal("a", SigKind::Input, false);
+        let g = m.add_node(crate::sgraph::Node::Goto { target: StateId(0) });
+        let p = m.add_node(crate::sgraph::Node::TestPred {
+            pred: crate::PredId(0),
+            then_: g,
+            else_: g,
+        });
+        let t = m.add_node(crate::sgraph::Node::Test {
+            sig: a,
+            then_: p,
+            else_: g,
+        });
+        m.add_state("s0", t);
+        let net = Network::new(vec![m]);
+        assert!(product_unit_delay(&net, 100).is_err());
+    }
+}

@@ -1,0 +1,527 @@
+//! EFSM optimization passes.
+//!
+//! These are the "logic optimization algorithms" the paper says apply to
+//! the EFSM (Section 3): the s-graph analogue of two-level minimization
+//! (node sharing + dead-test elimination) and classical FSM state
+//! minimization by partition refinement. All passes preserve observable
+//! behavior: the sequence of emissions/actions for every input sequence.
+
+use crate::machine::{Efsm, State, StateId};
+use crate::sgraph::{Node, NodeId};
+use std::collections::HashMap;
+
+/// Outcome of running [`optimize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptReport {
+    /// Nodes before / after.
+    pub nodes_before: u32,
+    /// Nodes after all passes.
+    pub nodes_after: u32,
+    /// States before / after.
+    pub states_before: u32,
+    /// States after all passes.
+    pub states_after: u32,
+}
+
+/// Run the full pipeline: reduce, prune, minimize, reduce again.
+pub fn optimize(m: &mut Efsm) -> OptReport {
+    let before = m.stats();
+    reduce(m);
+    prune_unreachable(m);
+    minimize_states(m);
+    reduce(m);
+    let after = m.stats();
+    OptReport {
+        nodes_before: before.nodes,
+        nodes_after: after.nodes,
+        states_before: before.states,
+        states_after: after.states,
+    }
+}
+
+/// Hash-consing reduction + dead-test elimination.
+///
+/// Rebuilds the node arena bottom-up so that structurally identical
+/// subgraphs are shared, and replaces any test whose branches are the
+/// same node with that node (the BDD reduction rules applied to
+/// s-graphs). Unreferenced nodes are dropped.
+pub fn reduce(m: &mut Efsm) {
+    let mut new_nodes: Vec<Node> = Vec::new();
+    let mut intern: HashMap<Node, NodeId> = HashMap::new();
+    let mut memo: HashMap<NodeId, NodeId> = HashMap::new();
+
+    // Iterative post-order rebuild (avoids recursion depth limits).
+    fn rebuild(
+        old: &[Node],
+        root: NodeId,
+        new_nodes: &mut Vec<Node>,
+        intern: &mut HashMap<Node, NodeId>,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        let mut stack = vec![(root, false)];
+        while let Some((id, children_done)) = stack.pop() {
+            if memo.contains_key(&id) {
+                continue;
+            }
+            if !children_done {
+                stack.push((id, true));
+                for s in old[id.0 as usize].successors() {
+                    if !memo.contains_key(&s) {
+                        stack.push((s, false));
+                    }
+                }
+                continue;
+            }
+            let mapped = old[id.0 as usize].map_successors(|s| memo[&s]);
+            // Dead-test elimination: both branches identical.
+            let mapped = match mapped {
+                Node::Test { then_, else_, .. } if then_ == else_ => {
+                    memo.insert(id, then_);
+                    continue;
+                }
+                Node::TestPred { then_, else_, .. } if then_ == else_ => {
+                    memo.insert(id, then_);
+                    continue;
+                }
+                other => other,
+            };
+            let nid = *intern.entry(mapped).or_insert_with(|| {
+                new_nodes.push(mapped);
+                NodeId(new_nodes.len() as u32 - 1)
+            });
+            memo.insert(id, nid);
+        }
+        memo[&root]
+    }
+
+    let mut new_states = Vec::with_capacity(m.states.len());
+    for st in &m.states {
+        let root = rebuild(&m.nodes, st.root, &mut new_nodes, &mut intern, &mut memo);
+        new_states.push(State {
+            name: st.name.clone(),
+            root,
+        });
+    }
+    m.nodes = new_nodes;
+    m.states = new_states;
+}
+
+/// Remove control states unreachable from the initial state, renumbering
+/// the survivors (and their `Goto` targets).
+pub fn prune_unreachable(m: &mut Efsm) {
+    let n = m.states.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![m.init];
+    seen[m.init.0 as usize] = true;
+    while let Some(s) = stack.pop() {
+        for id in crate::sgraph::reachable_nodes(&m.nodes, m.states[s.0 as usize].root) {
+            if let Node::Goto { target } = m.nodes[id.0 as usize] {
+                if !seen[target.0 as usize] {
+                    seen[target.0 as usize] = true;
+                    stack.push(target);
+                }
+            }
+        }
+    }
+    if seen.iter().all(|x| *x) {
+        return;
+    }
+    // Renumber.
+    let mut remap = vec![StateId(u32::MAX); n];
+    let mut kept = Vec::new();
+    for (i, s) in m.states.iter().enumerate() {
+        if seen[i] {
+            remap[i] = StateId(kept.len() as u32);
+            kept.push(s.clone());
+        }
+    }
+    // Only rewrite nodes that are live in kept states — nodes of pruned
+    // states keep stale targets and are garbage-collected right after.
+    let mut live = vec![false; m.nodes.len()];
+    for st in &kept {
+        for id in crate::sgraph::reachable_nodes(&m.nodes, st.root) {
+            live[id.0 as usize] = true;
+        }
+    }
+    for (i, node) in m.nodes.iter_mut().enumerate() {
+        if live[i] {
+            *node = node.map_target(|t| remap[t.0 as usize]);
+        }
+    }
+    m.init = remap[m.init.0 as usize];
+    m.states = kept;
+    // Drop the dead nodes (they may reference pruned states).
+    reduce(m);
+}
+
+/// Observational state minimization by partition refinement.
+///
+/// Two states are equivalent when their s-graphs are structurally equal
+/// after replacing `Goto` targets with equivalence-class indices.
+/// Iterates to a fixpoint (Moore-style refinement), then merges each
+/// class into its representative.
+pub fn minimize_states(m: &mut Efsm) {
+    let n = m.states.len();
+    if n <= 1 {
+        return;
+    }
+    // Start with a single class.
+    let mut class: Vec<u32> = vec![0; n];
+    loop {
+        // Signature of each state under the current classes.
+        let mut sigs: Vec<String> = Vec::with_capacity(n);
+        for st in &m.states {
+            sigs.push(signature(&m.nodes, st.root, &class));
+        }
+        let mut next_class = vec![0u32; n];
+        let mut index: HashMap<(u32, &str), u32> = HashMap::new();
+        let mut count = 0u32;
+        for i in 0..n {
+            let key = (class[i], sigs[i].as_str());
+            let c = *index.entry(key).or_insert_with(|| {
+                let c = count;
+                count += 1;
+                c
+            });
+            next_class[i] = c;
+        }
+        let stable = next_class == class;
+        class = next_class;
+        if stable {
+            break;
+        }
+    }
+    let num_classes = class.iter().copied().max().map(|c| c + 1).unwrap_or(0) as usize;
+    if num_classes == n {
+        return; // already minimal
+    }
+    // Representative per class = lowest-numbered member.
+    let mut rep: Vec<Option<StateId>> = vec![None; num_classes];
+    for (i, c) in class.iter().enumerate() {
+        if rep[*c as usize].is_none() {
+            rep[*c as usize] = Some(StateId(i as u32));
+        }
+    }
+    // New state list: one per class, ordered by representative.
+    let mut reps: Vec<StateId> = rep.iter().map(|r| r.expect("class has a member")).collect();
+    reps.sort();
+    let mut class_of_rep: HashMap<StateId, u32> = HashMap::new();
+    for (new_idx, r) in reps.iter().enumerate() {
+        class_of_rep.insert(*r, new_idx as u32);
+    }
+    // old state -> new id (via its class representative).
+    let remap: Vec<StateId> = (0..n)
+        .map(|i| {
+            let r = rep[class[i] as usize].expect("class has a member");
+            StateId(class_of_rep[&r])
+        })
+        .collect();
+    for node in &mut m.nodes {
+        *node = node.map_target(|t| remap[t.0 as usize]);
+    }
+    m.init = remap[m.init.0 as usize];
+    m.states = reps
+        .iter()
+        .map(|r| m.states[r.0 as usize].clone())
+        .collect();
+}
+
+/// Canonical string signature of an s-graph with state classes
+/// substituted for targets. Memoized per call via an explicit stack.
+fn signature(nodes: &[Node], root: NodeId, class: &[u32]) -> String {
+    fn go(nodes: &[Node], id: NodeId, class: &[u32], memo: &mut HashMap<NodeId, String>) -> String {
+        if let Some(s) = memo.get(&id) {
+            return s.clone();
+        }
+        let s = match nodes[id.0 as usize] {
+            Node::Test { sig, then_, else_ } => format!(
+                "T{}({},{})",
+                sig.0,
+                go(nodes, then_, class, memo),
+                go(nodes, else_, class, memo)
+            ),
+            Node::TestPred { pred, then_, else_ } => format!(
+                "P{}({},{})",
+                pred.0,
+                go(nodes, then_, class, memo),
+                go(nodes, else_, class, memo)
+            ),
+            Node::Do { action, next } => {
+                format!("D{};{}", action.0, go(nodes, next, class, memo))
+            }
+            Node::Emit { sig, value, next } => format!(
+                "E{}{};{}",
+                sig.0,
+                value.map(|v| format!("v{}", v.0)).unwrap_or_default(),
+                go(nodes, next, class, memo)
+            ),
+            Node::Goto { target } => format!("G{}", class[target.0 as usize]),
+        };
+        memo.insert(id, s.clone());
+        s
+    }
+    go(nodes, root, class, &mut HashMap::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::EfsmBuilder;
+    use crate::NoHooks;
+    use std::collections::HashSet;
+
+    /// A machine with two behaviorally identical states (1 and 2).
+    fn redundant() -> Efsm {
+        let mut b = EfsmBuilder::new("redundant");
+        let a = b.input("a");
+        let o = b.output("o");
+        // s0: a ? goto 1 : goto 2
+        let g1 = b.goto(StateId(1));
+        let g2 = b.goto(StateId(2));
+        let r0 = b.test(a, g1, g2);
+        b.state("s0", r0);
+        // s1: a ? emit o; goto 0 : goto 1
+        let g0 = b.goto(StateId(0));
+        let e1 = b.emit(o, g0);
+        let g1b = b.goto(StateId(1));
+        let r1 = b.test(a, e1, g1b);
+        b.state("s1", r1);
+        // s2: a ? emit o; goto 0 : goto 2   (same behavior as s1)
+        let g0b = b.goto(StateId(0));
+        let e2 = b.emit(o, g0b);
+        let g2b = b.goto(StateId(2));
+        let r2 = b.test(a, e2, g2b);
+        b.state("s2", r2);
+        b.build()
+    }
+
+    #[test]
+    fn minimize_merges_equivalent_states() {
+        let mut m = redundant();
+        minimize_states(&mut m);
+        assert_eq!(m.states.len(), 2);
+        m.validate().unwrap();
+        // Behavior preserved: from s0 with a present we reach the merged
+        // state; another a emits o.
+        let a = m.signal("a").unwrap();
+        let o = m.signal("o").unwrap();
+        let mut on = HashSet::new();
+        on.insert(a);
+        let r = m.step(m.init, &on, &mut NoHooks);
+        let r2 = m.step(r.next, &on, &mut NoHooks);
+        assert_eq!(r2.emitted, vec![o]);
+    }
+
+    #[test]
+    fn reduce_shares_identical_subgraphs() {
+        let mut b = EfsmBuilder::new("dup");
+        let a = b.input("a");
+        let o = b.output("o");
+        // Two identical emit chains, duplicated on both test branches.
+        let g0 = b.goto(StateId(0));
+        let e1 = b.emit(o, g0);
+        let g0b = b.goto(StateId(0));
+        let e2 = b.emit(o, g0b);
+        let r = b.test(a, e1, e2);
+        b.state("s0", r);
+        let mut m = b.build();
+        let before = m.stats().nodes;
+        reduce(&mut m);
+        let after = m.stats().nodes;
+        assert!(after < before, "{after} !< {before}");
+        // The test now has both branches equal and is itself eliminated.
+        assert_eq!(m.stats().tests, 0);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn prune_removes_unreachable() {
+        let mut b = EfsmBuilder::new("island");
+        let a = b.input("a");
+        let g0 = b.goto(StateId(0));
+        let g0b = b.goto(StateId(0));
+        let r0 = b.test(a, g0, g0b);
+        b.state("s0", r0);
+        let g1 = b.goto(StateId(1));
+        b.state("island", g1);
+        let mut m = b.build();
+        prune_unreachable(&mut m);
+        assert_eq!(m.states.len(), 1);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn optimize_reports_shrinkage() {
+        let mut m = redundant();
+        let rep = optimize(&mut m);
+        assert!(rep.states_after < rep.states_before);
+        assert!(rep.nodes_after <= rep.nodes_before);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn minimize_preserves_behavior_on_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let m1 = redundant();
+        let mut m2 = redundant();
+        optimize(&mut m2);
+        let a = m1.signal("a").unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut s1 = m1.init;
+        let mut s2 = m2.init;
+        for _ in 0..200 {
+            let mut inputs = HashSet::new();
+            if rng.gen_bool(0.5) {
+                inputs.insert(a);
+            }
+            let r1 = m1.step(s1, &inputs, &mut NoHooks);
+            let r2 = m2.step(s2, &inputs, &mut NoHooks);
+            assert_eq!(r1.emitted, r2.emitted);
+            s1 = r1.next;
+            s2 = r2.next;
+        }
+    }
+
+    #[test]
+    fn single_state_machine_is_untouched() {
+        let mut b = EfsmBuilder::new("one");
+        let _ = b.input("x");
+        let g = b.goto(StateId(0));
+        b.state("s0", g);
+        let mut m = b.build();
+        minimize_states(&mut m);
+        assert_eq!(m.states.len(), 1);
+    }
+
+    #[test]
+    fn prune_keeps_all_when_connected() {
+        let mut m = redundant();
+        let before = m.states.len();
+        prune_unreachable(&mut m);
+        assert_eq!(m.states.len(), before);
+    }
+
+    #[test]
+    fn signature_distinguishes_emissions() {
+        let mut b = EfsmBuilder::new("sig");
+        let a = b.input("a");
+        let o = b.output("o");
+        let p = b.output("p");
+        let g0 = b.goto(StateId(0));
+        let e_o = b.emit(o, g0);
+        let g1 = b.goto(StateId(1));
+        let e_p = b.emit(p, g1);
+        let r0 = b.test(a, e_o, e_p);
+        b.state("s0", r0);
+        let g0b = b.goto(StateId(0));
+        b.state("s1", g0b);
+        let mut m = b.build();
+        let before = m.states.len();
+        minimize_states(&mut m);
+        // s0 and s1 behave differently; nothing merges.
+        assert_eq!(m.states.len(), before);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::machine::{Efsm, SigKind};
+    use crate::sgraph::{Node, NodeId};
+    use crate::{NoHooks, Signal};
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    /// Generate a random (valid, acyclic) pure-control machine.
+    fn arb_efsm(max_states: u32, max_sigs: u32) -> impl Strategy<Value = Efsm> {
+        (2..=max_states, 1..=max_sigs, any::<u64>()).prop_map(|(nstates, nsigs, seed)| {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut m = Efsm::new("random");
+            let inputs: Vec<Signal> = (0..nsigs)
+                .map(|i| m.add_signal(format!("i{i}"), SigKind::Input, false))
+                .collect();
+            let outputs: Vec<Signal> = (0..nsigs)
+                .map(|i| m.add_signal(format!("o{i}"), SigKind::Output, false))
+                .collect();
+            for s in 0..nstates {
+                // Build a small random decision tree bottom-up.
+                let mut pool: Vec<NodeId> = (0..3)
+                    .map(|_| {
+                        m.add_node(Node::Goto {
+                            target: crate::StateId(rng.gen_range(0..nstates)),
+                        })
+                    })
+                    .collect();
+                for _ in 0..rng.gen_range(0..5) {
+                    let pick = |rng: &mut rand::rngs::StdRng, pool: &Vec<NodeId>| {
+                        pool[rng.gen_range(0..pool.len())]
+                    };
+                    let node = match rng.gen_range(0..3) {
+                        0 => Node::Test {
+                            sig: inputs[rng.gen_range(0..inputs.len())],
+                            then_: pick(&mut rng, &pool),
+                            else_: pick(&mut rng, &pool),
+                        },
+                        1 => Node::Emit {
+                            sig: outputs[rng.gen_range(0..outputs.len())],
+                            value: None,
+                            next: pick(&mut rng, &pool),
+                        },
+                        _ => Node::Test {
+                            sig: inputs[rng.gen_range(0..inputs.len())],
+                            then_: pick(&mut rng, &pool),
+                            else_: pick(&mut rng, &pool),
+                        },
+                    };
+                    let id = m.add_node(node);
+                    pool.push(id);
+                }
+                let root = *pool.last().expect("pool nonempty");
+                m.add_state(format!("s{s}"), root);
+            }
+            m.validate().expect("generator builds valid machines");
+            m
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Optimization must preserve the observable trace for random
+        /// machines and random input sequences.
+        #[test]
+        fn optimize_preserves_traces(m in arb_efsm(6, 3), inputs_seed in any::<u64>()) {
+            use rand::{Rng, SeedableRng};
+            let mut opt = m.clone();
+            optimize(&mut opt);
+            opt.validate().unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(inputs_seed);
+            let all_inputs: Vec<Signal> = m.inputs().map(|(s, _)| s).collect();
+            let mut s1 = m.init;
+            let mut s2 = opt.init;
+            for _ in 0..64 {
+                let mut present = HashSet::new();
+                for s in &all_inputs {
+                    if rng.gen_bool(0.5) {
+                        present.insert(*s);
+                    }
+                }
+                let r1 = m.step(s1, &present, &mut NoHooks);
+                let r2 = opt.step(s2, &present, &mut NoHooks);
+                prop_assert_eq!(&r1.emitted, &r2.emitted);
+                s1 = r1.next;
+                s2 = r2.next;
+            }
+        }
+
+        /// Optimization never increases node or state counts.
+        #[test]
+        fn optimize_never_grows(m in arb_efsm(6, 3)) {
+            let mut opt = m.clone();
+            let rep = optimize(&mut opt);
+            prop_assert!(rep.nodes_after <= rep.nodes_before);
+            prop_assert!(rep.states_after <= rep.states_before);
+        }
+    }
+}

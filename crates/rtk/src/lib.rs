@@ -1,0 +1,294 @@
+//! A POLIS-style real-time kernel simulator.
+//!
+//! The paper's asynchronous implementation runs each ECL module "as
+//! separate tasks under control of a simple real-time kernel" [1]. This
+//! crate models that kernel the way POLIS generates it:
+//!
+//! * static-priority, run-to-completion scheduling (a task's reaction is
+//!   never preempted — CFSM reactions are atomic);
+//! * one-place mailboxes per (task, signal): a new event *overwrites* an
+//!   unconsumed one (CFSM semantics — "events can be lost"), counted in
+//!   [`Kernel::events_lost`];
+//! * explicit cycle accounting split into **task** cycles (reaction
+//!   bodies, charged by the caller) and **RTOS** cycles (dispatch,
+//!   event delivery, input buffering) — the two "Execution time"
+//!   columns of the paper's Table 1.
+//!
+//! The kernel is deliberately independent of what a "task" computes: the
+//! simulator in the `sim` crate runs compiled EFSMs inside tasks.
+
+use std::collections::{HashMap, HashSet};
+
+/// Handle of a registered task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// Cycle costs of kernel services (defaults roughly R3000-sized).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelParams {
+    /// Cycles to pick and dispatch the next ready task.
+    pub dispatch_cycles: u64,
+    /// Cycles to deliver one inter-task event (post + wakeup).
+    pub send_cycles: u64,
+    /// Cycles to buffer one external input event.
+    pub input_cycles: u64,
+}
+
+impl Default for KernelParams {
+    fn default() -> Self {
+        KernelParams {
+            dispatch_cycles: 60,
+            send_cycles: 45,
+            input_cycles: 25,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TaskCb {
+    name: String,
+    priority: u8,
+    /// Signal names this task consumes.
+    watches: HashSet<String>,
+    /// Pending events (1-place per signal: a set).
+    pending: HashSet<String>,
+}
+
+/// The kernel: tasks, mailboxes, scheduler and cycle accounting.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    params: KernelParams,
+    tasks: Vec<TaskCb>,
+    /// Reverse index: signal name → watching tasks.
+    watchers: HashMap<String, Vec<TaskId>>,
+    /// Total cycles charged to application reactions.
+    pub task_cycles: u64,
+    /// Total cycles charged to kernel services.
+    pub rtos_cycles: u64,
+    /// Events overwritten in a 1-place mailbox before being consumed.
+    pub events_lost: u64,
+    /// Dispatches performed.
+    pub dispatches: u64,
+    /// Events delivered (external + internal).
+    pub deliveries: u64,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new(KernelParams::default())
+    }
+}
+
+impl Kernel {
+    /// Create a kernel with the given service costs.
+    pub fn new(params: KernelParams) -> Self {
+        Kernel {
+            params,
+            tasks: Vec::new(),
+            watchers: HashMap::new(),
+            task_cycles: 0,
+            rtos_cycles: 0,
+            events_lost: 0,
+            dispatches: 0,
+            deliveries: 0,
+        }
+    }
+
+    /// Register a task with a static priority (higher runs first) and
+    /// the set of signal names it consumes.
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        priority: u8,
+        watches: HashSet<String>,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        for w in &watches {
+            self.watchers.entry(w.clone()).or_default().push(id);
+        }
+        self.tasks.push(TaskCb {
+            name: name.into(),
+            priority,
+            watches,
+            pending: HashSet::new(),
+        });
+        id
+    }
+
+    /// Number of registered tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Task name.
+    pub fn task_name(&self, id: TaskId) -> &str {
+        &self.tasks[id.0].name
+    }
+
+    /// Post an *external* event (environment input). Charged as input
+    /// buffering per watching task.
+    pub fn post_external(&mut self, signal: &str) {
+        let watchers = self.watchers.get(signal).cloned().unwrap_or_default();
+        for t in watchers {
+            self.rtos_cycles += self.params.input_cycles;
+            self.deliveries += 1;
+            if !self.tasks[t.0].pending.insert(signal.to_string()) {
+                self.events_lost += 1;
+            }
+        }
+    }
+
+    /// Post an *internal* event (emitted by `from`). Charged as an
+    /// inter-task send per receiving task. The emitting task never
+    /// receives its own emission.
+    pub fn post_internal(&mut self, from: TaskId, signal: &str) {
+        let watchers = self.watchers.get(signal).cloned().unwrap_or_default();
+        for t in watchers {
+            if t == from {
+                continue;
+            }
+            self.rtos_cycles += self.params.send_cycles;
+            self.deliveries += 1;
+            if !self.tasks[t.0].pending.insert(signal.to_string()) {
+                self.events_lost += 1;
+            }
+        }
+    }
+
+    /// Is any task ready (has pending events)?
+    pub fn any_ready(&self) -> bool {
+        self.tasks.iter().any(|t| !t.pending.is_empty())
+    }
+
+    /// Pick the highest-priority ready task and drain its mailbox
+    /// (run-to-completion: the caller executes one reaction with all
+    /// pending events as the input snapshot). Charges a dispatch.
+    pub fn schedule(&mut self) -> Option<(TaskId, HashSet<String>)> {
+        let best = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.pending.is_empty())
+            .max_by_key(|(i, t)| (t.priority, usize::MAX - i))?;
+        let id = TaskId(best.0);
+        self.rtos_cycles += self.params.dispatch_cycles;
+        self.dispatches += 1;
+        let events = std::mem::take(&mut self.tasks[id.0].pending);
+        Some((id, events))
+    }
+
+    /// Dispatch a *specific* task (the periodic tick of the paper's
+    /// footnote: modules with pending `await ()` deltas must be
+    /// rescheduled even without events). Drains its mailbox and charges
+    /// a dispatch.
+    pub fn dispatch(&mut self, id: TaskId) -> HashSet<String> {
+        self.rtos_cycles += self.params.dispatch_cycles;
+        self.dispatches += 1;
+        std::mem::take(&mut self.tasks[id.0].pending)
+    }
+
+    /// Charge application cycles (the caller measured a reaction).
+    pub fn charge_task(&mut self, cycles: u64) {
+        self.task_cycles += cycles;
+    }
+
+    /// Does `task` watch `signal`?
+    pub fn watches(&self, task: TaskId, signal: &str) -> bool {
+        self.tasks[task.0].watches.contains(signal)
+    }
+
+    /// Tasks watching a signal.
+    pub fn watchers_of(&self, signal: &str) -> Vec<TaskId> {
+        self.watchers.get(signal).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(names: &[&str]) -> HashSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn external_events_wake_watchers() {
+        let mut k = Kernel::default();
+        let a = k.add_task("a", 1, set(&["x"]));
+        let _b = k.add_task("b", 2, set(&["y"]));
+        k.post_external("x");
+        assert!(k.any_ready());
+        let (t, ev) = k.schedule().unwrap();
+        assert_eq!(t, a);
+        assert!(ev.contains("x"));
+        assert!(!k.any_ready());
+    }
+
+    #[test]
+    fn priority_order() {
+        let mut k = Kernel::default();
+        let _lo = k.add_task("lo", 1, set(&["x"]));
+        let hi = k.add_task("hi", 9, set(&["x"]));
+        k.post_external("x");
+        let (t, _) = k.schedule().unwrap();
+        assert_eq!(t, hi, "higher priority runs first");
+    }
+
+    #[test]
+    fn one_place_mailbox_loses_events() {
+        let mut k = Kernel::default();
+        let _a = k.add_task("a", 1, set(&["x"]));
+        k.post_external("x");
+        k.post_external("x"); // overwrites
+        assert_eq!(k.events_lost, 1);
+        let (_, ev) = k.schedule().unwrap();
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn internal_send_skips_sender() {
+        let mut k = Kernel::default();
+        let a = k.add_task("a", 1, set(&["m"]));
+        let b = k.add_task("b", 1, set(&["m"]));
+        k.post_internal(a, "m");
+        let (t, _) = k.schedule().unwrap();
+        assert_eq!(t, b, "emitter must not receive its own event");
+        assert!(!k.any_ready());
+    }
+
+    #[test]
+    fn cycle_accounting_separates_task_and_rtos() {
+        let p = KernelParams::default();
+        let mut k = Kernel::new(p);
+        let a = k.add_task("a", 1, set(&["x"]));
+        k.post_external("x");
+        let _ = k.schedule().unwrap();
+        k.charge_task(123);
+        k.post_internal(a, "y"); // no watchers: free
+        assert_eq!(k.task_cycles, 123);
+        assert_eq!(k.rtos_cycles, p.input_cycles + p.dispatch_cycles);
+    }
+
+    #[test]
+    fn equal_priority_ties_break_by_index() {
+        let mut k = Kernel::default();
+        let a = k.add_task("a", 1, set(&["x"]));
+        let b = k.add_task("b", 1, set(&["x"]));
+        k.post_external("x");
+        let (t1, _) = k.schedule().unwrap();
+        assert_eq!(t1, a);
+        let (t2, _) = k.schedule().unwrap();
+        assert_eq!(t2, b);
+    }
+
+    #[test]
+    fn watchers_index() {
+        let mut k = Kernel::default();
+        let a = k.add_task("a", 1, set(&["x", "y"]));
+        assert!(k.watches(a, "x"));
+        assert!(!k.watches(a, "z"));
+        assert_eq!(k.watchers_of("y"), vec![a]);
+        assert_eq!(k.task_count(), 1);
+        assert_eq!(k.task_name(a), "a");
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end measurement: produce one Table 1 row.
+//!
+//! A measurement takes a set of compiled designs (1 = synchronous, N =
+//! asynchronous tasks), sizes them with the `codegen` cost model, runs
+//! a testbench through the RTOS runner, and reports the paper's six
+//! numbers: task code/data bytes, RTOS code/data bytes, task kcycles,
+//! RTOS kcycles.
+
+use crate::runner::{AsyncRunner, SimError};
+use crate::tb::InstantEvents;
+use codegen::cost::{rtos_cost, task_cost, CostParams, RtosCost, TaskCost};
+use ecl_core::Design;
+use esterel::compile::CompileOptions;
+use rtk::KernelParams;
+use std::collections::HashMap;
+
+/// One Table 1 row.
+#[derive(Debug, Clone, Default)]
+pub struct Measurement {
+    /// Partition label (e.g. "1 task", "3 tasks").
+    pub label: String,
+    /// Summed task footprint.
+    pub task: TaskCost,
+    /// RTOS footprint.
+    pub rtos: RtosCost,
+    /// Application cycles, in thousands.
+    pub task_kcycles: f64,
+    /// Kernel cycles, in thousands.
+    pub rtos_kcycles: f64,
+    /// Events lost to 1-place mailboxes.
+    pub events_lost: u64,
+    /// Emission counts by signal name (sanity checks).
+    pub outputs: HashMap<String, u64>,
+    /// EFSM sizes (states) per task.
+    pub states_per_task: Vec<u32>,
+}
+
+/// Run a full measurement.
+///
+/// # Errors
+///
+/// Propagates compilation and simulation failures.
+pub fn measure(
+    designs: Vec<Design>,
+    events: &[InstantEvents],
+    label: &str,
+    compile_opts: &CompileOptions,
+    cost: &CostParams,
+) -> Result<Measurement, SimError> {
+    let mut runner = AsyncRunner::new(
+        designs,
+        compile_opts,
+        *cost,
+        KernelParams {
+            dispatch_cycles: cost.cyc_rtos_dispatch,
+            send_cycles: cost.cyc_rtos_send,
+            input_cycles: cost.cyc_rtos_input,
+        },
+    )?;
+    // Static sizing.
+    let mut task = TaskCost::default();
+    let mut states = Vec::new();
+    let mut mailbox_bytes = 0u32;
+    let mut mailboxes = 0u32;
+    let pairs: Vec<(TaskCost, u32)> = runner
+        .designs()
+        .zip(runner.machines())
+        .map(|(d, m)| (task_cost(m, d, cost), m.states.len() as u32))
+        .collect();
+    for (c, s) in pairs {
+        task = task + c;
+        states.push(s);
+    }
+    let n_tasks = states.len() as u32;
+    // Mailboxes: every input of every task is buffered by the kernel;
+    // valued ones also hold a value buffer.
+    for d in runner.designs() {
+        for s in d.program().signals() {
+            if s.kind == efsm::SigKind::Input {
+                mailboxes += 1;
+                if s.valued {
+                    mailbox_bytes += 64; // buffer sized by the kernel page
+                }
+            }
+        }
+    }
+    let rtos = rtos_cost(n_tasks, mailboxes, mailbox_bytes, cost);
+    // Dynamic run.
+    for ev in events {
+        for (name, v) in &ev.valued {
+            runner.set_input_i64(name, *v)?;
+        }
+        let names: Vec<&str> = ev.names();
+        runner.instant(&names)?;
+    }
+    Ok(Measurement {
+        label: label.to_string(),
+        task,
+        rtos,
+        task_kcycles: runner.kernel().task_cycles as f64 / 1000.0,
+        rtos_kcycles: runner.kernel().rtos_cycles as f64 / 1000.0,
+        events_lost: runner.kernel().events_lost,
+        outputs: runner.counts.clone(),
+        states_per_task: states,
+    })
+}
+
+impl Measurement {
+    /// Render as a paper-style table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<10} | code {:>6} data {:>6} | RTOS code {:>6} data {:>6} | task {:>10.0} kcyc | RTOS {:>10.0} kcyc",
+            self.label,
+            self.task.code_bytes,
+            self.task.data_bytes,
+            self.rtos.code_bytes,
+            self.rtos.data_bytes,
+            self.task_kcycles,
+            self.rtos_kcycles
+        )
+    }
+}

@@ -1,0 +1,396 @@
+//! Task runners: compiled EFSMs on the RTOS, and an interpreter-backed
+//! reference runner for differential testing.
+
+use codegen::cost::CostParams;
+use ecl_core::{Design, Rt};
+use efsm::{DataHooks, Efsm, Signal, StateId};
+use esterel::compile::CompileOptions;
+use rtk::{Kernel, KernelParams, TaskId};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Simulation failure.
+#[derive(Debug)]
+pub struct SimError {
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SimError> {
+    Err(SimError { msg: msg.into() })
+}
+
+/// One RTOS task: a compiled design plus its data runtime.
+struct Task {
+    design: Design,
+    efsm: Efsm,
+    rt: Rt,
+    state: StateId,
+    id: TaskId,
+}
+
+/// N compiled designs running as RTOS tasks (N = 1 models the paper's
+/// synchronous single-task implementation: the whole design is one EFSM
+/// and only external I/O passes through the kernel).
+pub struct AsyncRunner {
+    tasks: Vec<Task>,
+    kernel: Kernel,
+    cost: CostParams,
+    /// Current environment instant number.
+    pub instant: u64,
+    /// (instant, signal name) emission trace.
+    pub trace: Vec<(u64, String)>,
+    /// Emission counts by signal name.
+    pub counts: HashMap<String, u64>,
+}
+
+impl AsyncRunner {
+    /// Build a runner from compiled designs (one task each).
+    ///
+    /// # Errors
+    ///
+    /// Propagates EFSM compilation and runtime construction failures.
+    pub fn new(
+        designs: Vec<Design>,
+        compile_opts: &CompileOptions,
+        cost: CostParams,
+        kernel_params: KernelParams,
+    ) -> Result<AsyncRunner, SimError> {
+        let mut kernel = Kernel::new(kernel_params);
+        let mut tasks = Vec::new();
+        for (i, design) in designs.into_iter().enumerate() {
+            let efsm = design
+                .to_efsm(compile_opts)
+                .map_err(|e| SimError { msg: e.to_string() })?;
+            let rt = design
+                .new_rt()
+                .map_err(|e| SimError { msg: e.to_string() })?;
+            let watches: HashSet<String> =
+                efsm.inputs().map(|(_, info)| info.name.clone()).collect();
+            let id = kernel.add_task(design.entry.clone(), (10 - i.min(9)) as u8, watches);
+            tasks.push(Task {
+                state: efsm.init,
+                design,
+                efsm,
+                rt,
+                id,
+            });
+        }
+        Ok(AsyncRunner {
+            tasks,
+            kernel,
+            cost,
+            instant: 0,
+            trace: Vec::new(),
+            counts: HashMap::new(),
+        })
+    }
+
+    /// Access the kernel (cycle counters, loss statistics).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The designs running in the tasks.
+    pub fn designs(&self) -> impl Iterator<Item = &Design> {
+        self.tasks.iter().map(|t| &t.design)
+    }
+
+    /// The compiled machines.
+    pub fn machines(&self) -> impl Iterator<Item = &Efsm> {
+        self.tasks.iter().map(|t| &t.efsm)
+    }
+
+    /// Set the value of a valued *external* input on every task that
+    /// reads it (the testbench side of `emit_v`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no task knows the signal.
+    pub fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), SimError> {
+        let mut hit = false;
+        for t in &mut self.tasks {
+            if t.design.signal(name).is_some() {
+                t.rt
+                    .set_input_i64(name, v)
+                    .map_err(|e| SimError { msg: e.to_string() })?;
+                hit = true;
+            }
+        }
+        if !hit {
+            return err(format!("no task reads signal `{name}`"));
+        }
+        Ok(())
+    }
+
+    /// Run one environment instant: post the external `events`, tick
+    /// every task once (the paper's footnote: tasks with pending
+    /// `await ()` deltas must be rescheduled even without events), then
+    /// run event cascades to quiescence. Returns the names emitted
+    /// during the instant (in delivery order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates data-evaluation errors from any task.
+    pub fn instant(&mut self, events: &[&str]) -> Result<Vec<String>, SimError> {
+        for e in events {
+            self.kernel.post_external(e);
+        }
+        let mut emitted_names = Vec::new();
+        // Phase 1: periodic tick — every task reacts once.
+        for ti in 0..self.tasks.len() {
+            let evset = self.kernel.dispatch(self.tasks[ti].id);
+            self.react_task(ti, &evset, &mut emitted_names)?;
+        }
+        // Phase 2: cascades from internal emissions.
+        let mut budget = 100_000u32; // runaway guard
+        while let Some((tid, evset)) = self.kernel.schedule() {
+            budget = budget.checked_sub(1).ok_or(SimError {
+                msg: "asynchronous network livelock (tasks keep waking each other)".into(),
+            })?;
+            let ti = self
+                .tasks
+                .iter()
+                .position(|t| t.id == tid)
+                .expect("scheduled task exists");
+            self.react_task(ti, &evset, &mut emitted_names)?;
+        }
+        self.instant += 1;
+        Ok(emitted_names)
+    }
+
+    /// Run one reaction of task `ti` with `evset` as present inputs.
+    fn react_task(
+        &mut self,
+        ti: usize,
+        evset: &HashSet<String>,
+        emitted_names: &mut Vec<String>,
+    ) -> Result<(), SimError> {
+        let tid = self.tasks[ti].id;
+        // Map names to this task's signal handles.
+        let inputs: HashSet<Signal> = evset
+            .iter()
+            .filter_map(|n| self.tasks[ti].efsm.signal(n))
+            .collect();
+            let fuel_before = self.tasks[ti].rt.machine().fuel();
+            let (r, emitted_with_values) = {
+                let t = &mut self.tasks[ti];
+                let r = t.efsm.step(t.state, &inputs, &mut t.rt);
+                t.state = r.next;
+                if let Some(e) = t.rt.take_error() {
+                    return err(format!("task `{}`: {e}", t.design.entry));
+                }
+                let ev: Vec<(String, Option<ecl_types::Value>)> = r
+                    .emitted
+                    .iter()
+                    .map(|s| {
+                        let name = t.efsm.signal_info(*s).name.clone();
+                        let v = t.rt.signal_value_by_name(&name).cloned();
+                        (name, v)
+                    })
+                    .collect();
+                (r, ev)
+            };
+            // Cycle charges for the reaction.
+            let fuel_after = self.tasks[ti].rt.machine().fuel();
+            let ops = fuel_before.saturating_sub(fuel_after);
+            let cycles = self.cost.cyc_reaction_base
+                + r.nodes_visited as u64 * self.cost.cyc_test
+                + ops * self.cost.cyc_per_op
+                + r.emitted.len() as u64 * self.cost.cyc_emit;
+            self.kernel.charge_task(cycles);
+            // Deliver emissions: values first, then events.
+            for (name, value) in emitted_with_values {
+                // Copy the value into every *other* task that reads it.
+                if let Some(v) = &value {
+                    for rj in 0..self.tasks.len() {
+                        if rj == ti {
+                            continue;
+                        }
+                        if self.tasks[rj].design.signal(&name).is_some() {
+                            let _ = self.tasks[rj].rt.set_input_value(&name, v.clone());
+                            self.kernel
+                                .charge_task(v.bytes.len() as u64 * self.cost.cyc_per_value_byte);
+                        }
+                    }
+                }
+                self.kernel.post_internal(tid, &name);
+                *self.counts.entry(name.clone()).or_insert(0) += 1;
+                self.trace.push((self.instant, name.clone()));
+                emitted_names.push(name);
+            }
+        Ok(())
+    }
+}
+
+/// Interpreter-backed single-design runner (reference semantics, used
+/// for differential testing against [`AsyncRunner`] with one task).
+pub struct InterpRunner<'d> {
+    design: &'d Design,
+    machine: esterel::Machine<'d>,
+    rt: Rt,
+    /// Emission counts by name.
+    pub counts: HashMap<String, u64>,
+}
+
+impl<'d> InterpRunner<'d> {
+    /// Build a runner over a design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime construction failures.
+    pub fn new(design: &'d Design) -> Result<InterpRunner<'d>, SimError> {
+        let rt = design
+            .new_rt()
+            .map_err(|e| SimError { msg: e.to_string() })?;
+        Ok(InterpRunner {
+            design,
+            machine: esterel::Machine::new(design.program()),
+            rt,
+            counts: HashMap::new(),
+        })
+    }
+
+    /// Set a valued input.
+    ///
+    /// # Errors
+    ///
+    /// Unknown/pure signal.
+    pub fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), SimError> {
+        self.rt
+            .set_input_i64(name, v)
+            .map_err(|e| SimError { msg: e.to_string() })
+    }
+
+    /// Run one instant; returns emitted names.
+    ///
+    /// # Errors
+    ///
+    /// Non-constructive programs and data errors.
+    pub fn instant(&mut self, events: &[&str]) -> Result<Vec<String>, SimError> {
+        let present: HashSet<Signal> = events
+            .iter()
+            .filter_map(|n| self.design.signal(n))
+            .collect();
+        let r = self
+            .machine
+            .react(&present, &mut self.rt as &mut dyn DataHooks)
+            .map_err(|e| SimError { msg: e.to_string() })?;
+        if let Some(e) = self.rt.take_error() {
+            return err(e.to_string());
+        }
+        let mut out = Vec::new();
+        for s in &r.emitted {
+            let name = self.design.program().signals()[s.0 as usize].name.clone();
+            *self.counts.entry(name.clone()).or_insert(0) += 1;
+            out.push(name);
+        }
+        Ok(out)
+    }
+
+    /// Access the runtime (inspect signal values).
+    pub fn rt(&self) -> &Rt {
+        &self.rt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_core::Compiler;
+
+    const RELAY: &str = "
+        module a(input pure i, output pure m) { while (1) { await (i); emit (m); } }
+        module b(input pure m, output pure o) { while (1) { await (m); emit (o); } }
+        module top(input pure i, output pure o) {
+          signal pure mid;
+          par { a(i, mid); b(mid, o); }
+        }";
+
+    #[test]
+    fn single_task_runner_relays() {
+        let d = Compiler::default().compile_str(RELAY, "top").unwrap();
+        let mut r = AsyncRunner::new(
+            vec![d],
+            &Default::default(),
+            CostParams::default(),
+            KernelParams::default(),
+        )
+        .unwrap();
+        // Warm-up instant (awaits start), then i.
+        r.instant(&[]).unwrap();
+        r.instant(&["i"]).unwrap();
+        // Synchronous whole-program machine: mid and o fire in the same
+        // reaction chain... mid is compiled away as a local; o needs a
+        // second i? No: within one EFSM, await(mid) sees the emission
+        // only in a later instant (delayed await). Drive more instants.
+        let mut got_o = false;
+        for _ in 0..4 {
+            let e = r.instant(&["i"]).unwrap();
+            if e.iter().any(|n| n == "o") {
+                got_o = true;
+            }
+        }
+        assert!(got_o, "o should fire; trace: {:?}", r.trace);
+        assert!(r.kernel().task_cycles > 0);
+        assert!(r.kernel().rtos_cycles > 0);
+    }
+
+    #[test]
+    fn partitioned_runner_relays_via_mailboxes() {
+        let parts = Compiler::default().partition(RELAY, "top").unwrap();
+        let mut r = AsyncRunner::new(
+            parts,
+            &Default::default(),
+            CostParams::default(),
+            KernelParams::default(),
+        )
+        .unwrap();
+        r.instant(&[]).unwrap();
+        let mut got_o = false;
+        for _ in 0..6 {
+            let e = r.instant(&["i"]).unwrap();
+            if e.iter().any(|n| n == "o") {
+                got_o = true;
+            }
+        }
+        assert!(got_o, "trace: {:?}", r.trace);
+        // Internal deliveries happened.
+        assert!(r.kernel().deliveries > 0);
+    }
+
+    #[test]
+    fn interp_runner_matches_async_single_task() {
+        use rand::{Rng, SeedableRng};
+        let d = Compiler::default().compile_str(RELAY, "top").unwrap();
+        let mut interp = InterpRunner::new(&d).unwrap();
+        let mut efsm_run = AsyncRunner::new(
+            vec![d.clone()],
+            &Default::default(),
+            CostParams::default(),
+            KernelParams::default(),
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for step in 0..120 {
+            let on = rng.gen_bool(0.5);
+            let ev: Vec<&str> = if on { vec!["i"] } else { vec![] };
+            let mut a = interp.instant(&ev).unwrap();
+            let mut b = efsm_run.instant(&ev).unwrap();
+            // Only compare design outputs (locals are reported by the
+            // interpreter too; the compiled machine also reports them —
+            // both should agree on `o`).
+            a.retain(|n| n == "o");
+            b.retain(|n| n == "o");
+            assert_eq!(a, b, "step {step}");
+        }
+    }
+}

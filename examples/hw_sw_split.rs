@@ -1,0 +1,41 @@
+//! Hardware/software partitioning (paper Section 4: "the CRC
+//! computation may be [a] good candidate for hardware"): emit C for the
+//! software side and Verilog + a gate estimate for a pure-control
+//! controller.
+//!
+//! Run with: `cargo run --example hw_sw_split`
+
+use ecl_core::Compiler;
+use sim::designs::PROTOCOL_STACK;
+
+fn main() {
+    // Software side: checkcrc (has a data part → software only, exactly
+    // as the paper says).
+    let sw = Compiler::default()
+        .compile_str(PROTOCOL_STACK, "checkcrc")
+        .expect("compiles");
+    let sw_m = sw.to_efsm(&Default::default()).expect("EFSM");
+    println!("=== checkcrc: software (C) implementation ===");
+    println!("{}", codegen::c_backend::emit_c(&sw_m, &sw));
+    match codegen::verilog::emit_verilog(&sw_m) {
+        Err(e) => println!("hardware synthesis of checkcrc: {e}\n"),
+        Ok(_) => unreachable!("checkcrc has a data part"),
+    }
+
+    // Hardware side: a pure-control packet-framing controller.
+    let src = "
+        module framer(input pure reset, input pure byte_in, output pure pkt_done) {
+          while (1) {
+            do {
+              await (byte_in); await (byte_in); await (byte_in); await (byte_in);
+              emit (pkt_done);
+            } abort (reset);
+          }
+        }";
+    let hw = Compiler::default().compile_str(src, "framer").unwrap();
+    let hw_m = hw.to_efsm(&Default::default()).unwrap();
+    println!("=== framer: hardware (Verilog) implementation ===");
+    println!("{}", codegen::verilog::emit_verilog(&hw_m).unwrap());
+    let g = codegen::verilog::estimate_gates(&hw_m);
+    println!("// gate estimate: {} flops, ~{} gates", g.flops, g.gates);
+}

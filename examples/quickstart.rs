@@ -1,0 +1,51 @@
+//! Quickstart: compile a small ECL module, inspect the split, simulate
+//! a few instants, and print the EFSM.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ecl_core::Compiler;
+use sim::runner::InterpRunner;
+
+fn main() {
+    let src = "
+        module debounce(input pure raw, input pure clk, output pure clean) {
+          int stable;
+          while (1) {
+            await (clk);
+            present (raw) {
+              stable = stable + 1;
+              if (stable >= 3) { emit (clean); stable = 0; }
+            } else {
+              stable = 0;
+            }
+          }
+        }";
+    let design = Compiler::default()
+        .compile_str(src, "debounce")
+        .expect("compiles");
+    println!(
+        "split: {} reactive statements, {} extracted actions, {} predicates",
+        design.split.report.reactive_stmts,
+        design.split.report.actions,
+        design.split.report.preds
+    );
+    let efsm = design.to_efsm(&Default::default()).expect("EFSM");
+    println!("EFSM: {}", efsm.stats());
+    println!("\n{}", efsm::dot::to_dot(&efsm, 64));
+
+    // Simulate: 3 noisy then 4 clean clock edges.
+    let mut run = InterpRunner::new(&design).expect("runtime");
+    let pattern: &[&[&str]] = &[
+        &[],
+        &["clk", "raw"],
+        &["clk"],
+        &["clk", "raw"],
+        &["clk", "raw"],
+        &["clk", "raw"],
+        &["clk", "raw"],
+    ];
+    for (t, ev) in pattern.iter().enumerate() {
+        let out = run.instant(ev).expect("instant");
+        println!("t={t} inputs={ev:?} -> {out:?}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # ecl-repro — facade crate
+//!
+//! Reproduction of "ECL: A Specification Environment for System-Level
+//! Design" (Lavagno & Sentovich, DAC 1999). This crate re-exports the
+//! workspace's public surface so downstream users can depend on one
+//! crate; the implementation lives in the member crates (see README.md
+//! and DESIGN.md for the architecture).
+//!
+//! ```
+//! use ecl_repro::prelude::*;
+//!
+//! let src = "module m(input pure a, output pure o) {
+//!              while (1) { await (a); emit (o); } }";
+//! let design = Compiler::default().compile_str(src, "m").unwrap();
+//! let efsm = design.to_efsm(&Default::default()).unwrap();
+//! assert!(efsm.validate().is_ok());
+//! ```
+
+pub use codegen;
+pub use ecl_core;
+pub use ecl_syntax;
+pub use ecl_types;
+pub use efsm;
+pub use esterel;
+pub use rtk;
+pub use sim;
+
+/// The names most users need.
+pub mod prelude {
+    pub use codegen::cost::{rtos_cost, task_cost, CostParams};
+    pub use ecl_core::{Compiler, Design, Options, SplitStrategy};
+    pub use efsm::{DataHooks, Efsm, NoHooks};
+    pub use esterel::CompileOptions;
+    pub use sim::measure::measure;
+    pub use sim::runner::{AsyncRunner, InterpRunner};
+    pub use sim::tb::{PacketTb, PagerTb};
+}
