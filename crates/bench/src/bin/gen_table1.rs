@@ -28,7 +28,12 @@ fn main() {
     println!("  Buffer 3 tasks: {:?}", p3.states_per_task);
 
     println!("\nFunctional sanity (emission counts):");
-    for (name, m) in [("Stack 1t", &s1), ("Stack 3t", &s3), ("Buffer 1t", &p1), ("Buffer 3t", &p3)] {
+    for (name, m) in [
+        ("Stack 1t", &s1),
+        ("Stack 3t", &s3),
+        ("Buffer 1t", &p1),
+        ("Buffer 3t", &p3),
+    ] {
         let mut keys: Vec<_> = m.outputs.iter().collect();
         keys.sort();
         println!("  {name}: {keys:?} (events lost: {})", m.events_lost);

@@ -163,9 +163,7 @@ pub fn stmt_insns(s: &Stmt) -> u32 {
             .sum(),
         StmtKind::Block(b) => b.stmts.iter().map(stmt_insns).sum(),
         StmtKind::If { cond, then, els } => {
-            2 + expr_insns(cond)
-                + stmt_insns(then)
-                + els.as_deref().map(stmt_insns).unwrap_or(0)
+            2 + expr_insns(cond) + stmt_insns(then) + els.as_deref().map(stmt_insns).unwrap_or(0)
         }
         StmtKind::While { cond, body } | StmtKind::DoWhile { body, cond } => {
             3 + expr_insns(cond) + stmt_insns(body)
@@ -285,7 +283,7 @@ pub fn task_cost(m: &Efsm, design: &Design, p: &CostParams) -> TaskCost {
         }
         let _ = table;
     }
-    data_bytes += (design.elab.signals.len() as u32 + 3) / 4 * 4;
+    data_bytes += (design.elab.signals.len() as u32).div_ceil(4) * 4;
     TaskCost {
         code_bytes,
         data_bytes,
@@ -310,7 +308,9 @@ mod tests {
     use ecl_core::Compiler;
 
     fn design(src: &str, entry: &str) -> Design {
-        Compiler::default().compile_str(src, entry).expect("compile")
+        Compiler::default()
+            .compile_str(src, entry)
+            .expect("compile")
     }
 
     const SIMPLE: &str = "

@@ -18,8 +18,10 @@
 //!   regenerated with this model (shape, not absolute bytes — see
 //!   EXPERIMENTS.md).
 
+pub mod artifacts;
 pub mod c_backend;
 pub mod cost;
 pub mod verilog;
 
+pub use artifacts::{Artifacts, WorkspaceCodegenExt};
 pub use cost::{CostParams, RtosCost, TaskCost};

@@ -1,19 +1,28 @@
-//! The public ECL compiler API.
+//! The legacy one-shot compiler facade.
 //!
-//! [`Compiler`] drives the paper's three-phase flow: parse → split
-//! (elaboration + reactive/data separation) → EFSM generation. The
-//! result, a [`Design`], bundles everything later stages need: the
+//! **Deprecated surface** (kept working for existing callers): new
+//! code should drive the staged pipeline in [`crate::pipeline`]
+//! directly, or the batch [`crate::workspace::Workspace`] driver —
+//! both expose every intermediate artifact and the unified
+//! [`EclError`] diagnostics. `Compiler` is now a thin shim over those
+//! stages: each method is one line of stage-walking.
+//!
+//! The result, a [`Design`], bundles everything later stages need: the
 //! Esterel program, the extracted data tables, the elaboration tables,
-//! and constructors for the runtime and for compiled EFSMs.
+//! and constructors for the runtime and for compiled EFSMs. `Design`
+//! is `Arc`-backed, so cloning one (e.g. to hand to a simulator task)
+//! is cheap.
 
-use crate::elab::{self, Elab, Instantiation};
-use crate::rt::{Rt, RtError};
-use crate::split::{self, SplitResult, SplitStrategy};
+use crate::elab::{Elab, Instantiation};
+use crate::pipeline::{Parsed, Source};
+use crate::rt::Rt;
+use crate::split::{SplitResult, SplitStrategy};
 use ecl_syntax::ast::Program as Ast;
-use ecl_syntax::{parse_named, DiagSink};
+use ecl_syntax::diag::{EclError, Stage};
+use ecl_syntax::source::Span;
 use efsm::Efsm;
-use esterel::compile::{CompileError, CompileOptions};
-use std::fmt;
+use esterel::compile::CompileOptions;
+use std::sync::Arc;
 
 /// Compiler options.
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,56 +31,7 @@ pub struct Options {
     pub strategy: SplitStrategy,
 }
 
-/// Any failure along the compilation pipeline.
-#[derive(Debug)]
-pub enum CompilerError {
-    /// Lex/parse errors.
-    Parse(DiagSink),
-    /// Elaboration errors (unknown modules, recursion, arity…).
-    Elab(elab::ElabError),
-    /// Splitting errors (unsupported constructs, loop shape…).
-    Split(split::SplitError),
-    /// Two different instances emit the same signal.
-    MultipleWriters {
-        /// The contested signal.
-        signal: String,
-        /// The emitting instance paths.
-        writers: Vec<String>,
-    },
-    /// An instance emits one of the design's *input* signals.
-    EmitsInput {
-        /// The signal.
-        signal: String,
-    },
-    /// EFSM generation failed.
-    Efsm(CompileError),
-    /// Runtime construction failed.
-    Rt(RtError),
-}
-
-impl fmt::Display for CompilerError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CompilerError::Parse(sink) => write!(f, "parse errors:\n{sink}"),
-            CompilerError::Elab(e) => write!(f, "{e}"),
-            CompilerError::Split(e) => write!(f, "{e}"),
-            CompilerError::MultipleWriters { signal, writers } => write!(
-                f,
-                "signal `{signal}` has multiple writers: {writers:?} \
-                 (ECL requires a single writer per signal)"
-            ),
-            CompilerError::EmitsInput { signal } => {
-                write!(f, "design input `{signal}` is emitted internally")
-            }
-            CompilerError::Efsm(e) => write!(f, "{e}"),
-            CompilerError::Rt(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for CompilerError {}
-
-/// The ECL compiler.
+/// The ECL compiler (legacy facade over [`crate::pipeline`]).
 #[derive(Debug, Clone, Default)]
 pub struct Compiler {
     options: Options,
@@ -83,14 +43,26 @@ impl Compiler {
         Compiler { options }
     }
 
+    /// The configured options.
+    pub fn options(&self) -> Options {
+        self.options
+    }
+
     /// Compile source text with `entry` as the top-level module.
+    ///
+    /// Shim for `Source::named(entry, src).parse()?.elaborate(entry)?
+    /// .split()?.to_design()`.
     ///
     /// # Errors
     ///
-    /// See [`CompilerError`].
-    pub fn compile_str(&self, src: &str, entry: &str) -> Result<Design, CompilerError> {
-        let ast = parse_named(src, entry).map_err(CompilerError::Parse)?;
-        self.compile_ast(ast, entry, None)
+    /// [`EclError`] from the first failing stage.
+    pub fn compile_str(&self, src: &str, entry: &str) -> Result<Design, EclError> {
+        Ok(Source::named(entry, src)
+            .with_options(self.options)
+            .parse()?
+            .elaborate(entry)?
+            .split()?
+            .to_design())
     }
 
     /// Compile an already-parsed program.
@@ -100,87 +72,68 @@ impl Compiler {
     ///
     /// # Errors
     ///
-    /// See [`CompilerError`].
+    /// [`EclError`] from the first failing stage.
     pub fn compile_ast(
         &self,
         ast: Ast,
         entry: &str,
         actuals: Option<&[String]>,
-    ) -> Result<Design, CompilerError> {
-        let elab = elab::elaborate(&ast, entry, actuals).map_err(CompilerError::Elab)?;
-        // Single-writer check (paper Section 4 item 8).
-        let mut writers: std::collections::HashMap<&str, Vec<&str>> =
-            std::collections::HashMap::new();
-        for (sig, path) in &elab.emitters {
-            let w = writers.entry(sig.as_str()).or_default();
-            if !w.contains(&path.as_str()) {
-                w.push(path.as_str());
-            }
-        }
-        for (sig, w) in &writers {
-            if w.len() > 1 {
-                return Err(CompilerError::MultipleWriters {
-                    signal: sig.to_string(),
-                    writers: w.iter().map(|s| s.to_string()).collect(),
-                });
-            }
-            if let Some(idx) = elab.signal(sig) {
-                if elab.signals[idx].kind == efsm::SigKind::Input {
-                    return Err(CompilerError::EmitsInput {
-                        signal: sig.to_string(),
-                    });
-                }
-            }
-        }
-        let split = split::split(&elab, self.options.strategy).map_err(CompilerError::Split)?;
-        Ok(Design {
-            entry: entry.to_string(),
-            ast,
-            elab,
-            split,
-        })
+    ) -> Result<Design, EclError> {
+        Ok(Parsed::from_ast(ast, self.options)
+            .elaborate_bound(entry, actuals)?
+            .split()?
+            .to_design())
     }
 
     /// Partition a top-level module into its direct sub-instantiations
     /// and compile each as an independent design (the paper's
-    /// "asynchronous implementation": one task per source file).
+    /// "asynchronous implementation": one task per source file). The
+    /// source is parsed once; each submodule re-enters the shared
+    /// [`Parsed`] stage.
     ///
     /// # Errors
     ///
     /// Fails if the top level has no instantiations, or any submodule
     /// fails to compile.
-    pub fn partition(
-        &self,
-        src: &str,
-        toplevel: &str,
-    ) -> Result<Vec<Design>, CompilerError> {
-        let ast = parse_named(src, toplevel).map_err(CompilerError::Parse)?;
-        let insts = elab::instantiations(&ast, toplevel);
+    pub fn partition(&self, src: &str, toplevel: &str) -> Result<Vec<Design>, EclError> {
+        let parsed = Source::named(toplevel, src)
+            .with_options(self.options)
+            .parse()?;
+        let insts = parsed.instantiations(toplevel);
         if insts.is_empty() {
-            return Err(CompilerError::Elab(elab::ElabError {
-                msg: format!("module `{toplevel}` instantiates no submodules"),
-                span: ecl_syntax::source::Span::dummy(),
-            }));
+            return Err(EclError::msg(
+                Stage::Elaborate,
+                format!("module `{toplevel}` instantiates no submodules"),
+                Span::dummy(),
+            ));
         }
-        let mut out = Vec::new();
-        for Instantiation { module, actuals } in insts {
-            out.push(self.compile_ast(ast.clone(), &module, Some(&actuals))?);
-        }
-        Ok(out)
+        insts
+            .into_iter()
+            .map(|Instantiation { module, actuals }| {
+                Ok(parsed
+                    .elaborate_bound(&module, Some(&actuals))?
+                    .split()?
+                    .to_design())
+            })
+            .collect()
     }
 }
 
 /// A fully split design, ready for simulation or EFSM synthesis.
+///
+/// `Arc`-backed: clones share the parse, elaboration and split
+/// results, which is what makes the [`crate::workspace::Workspace`]
+/// memoization and the simulator's per-task design copies cheap.
 #[derive(Debug, Clone)]
 pub struct Design {
     /// Entry module name.
     pub entry: String,
     /// The parsed translation unit (typedefs + functions + modules).
-    pub ast: Ast,
+    pub ast: Arc<Ast>,
     /// Elaboration tables.
-    pub elab: Elab,
+    pub elab: Arc<Elab>,
     /// Reactive program + data tables.
-    pub split: SplitResult,
+    pub split: Arc<SplitResult>,
 }
 
 impl Design {
@@ -193,18 +146,18 @@ impl Design {
     ///
     /// # Errors
     ///
-    /// Propagates [`CompileError`] (state explosion, incoherence…).
-    pub fn to_efsm(&self, opts: &CompileOptions) -> Result<Efsm, CompilerError> {
-        esterel::compile::compile(&self.split.program, opts).map_err(CompilerError::Efsm)
+    /// [`EclError`] with stage `efsm` (state explosion, incoherence…).
+    pub fn to_efsm(&self, opts: &CompileOptions) -> Result<Efsm, EclError> {
+        esterel::compile::compile(&self.split.program, opts).map_err(EclError::from)
     }
 
     /// Build a fresh data runtime for this design.
     ///
     /// # Errors
     ///
-    /// Propagates [`RtError`] (unresolvable types).
-    pub fn new_rt(&self) -> Result<Rt, CompilerError> {
-        Rt::new(&self.ast, &self.elab, &self.split.data).map_err(CompilerError::Rt)
+    /// [`EclError`] with stage `runtime` (unresolvable types).
+    pub fn new_rt(&self) -> Result<Rt, EclError> {
+        Rt::new(&self.ast, &self.elab, &self.split.data).map_err(EclError::from)
     }
 
     /// Signal handle by global name (valid for both the interpreter and
@@ -325,7 +278,8 @@ mod tests {
             module w(input pure t, output pure s) { while (1) { await(t); emit (s); } }
             module top(input pure t, output pure s) { par { w(t, s); w(t, s); } }";
         let e = Compiler::default().compile_str(src, "top").unwrap_err();
-        assert!(matches!(e, CompilerError::MultipleWriters { .. }), "{e}");
+        assert_eq!(e.stage(), ecl_syntax::Stage::Elaborate);
+        assert!(e.to_string().contains("multiple writers"), "{e}");
     }
 
     #[test]
@@ -384,5 +338,13 @@ mod tests {
         .compile_str(src, "m")
         .unwrap();
         assert!(min.split.data.actions.len() < max.split.data.actions.len());
+    }
+
+    #[test]
+    fn design_clones_share_storage() {
+        let d = Compiler::default().compile_str(COUNTER, "counter").unwrap();
+        let d2 = d.clone();
+        assert!(Arc::ptr_eq(&d.ast, &d2.ast));
+        assert!(Arc::ptr_eq(&d.split, &d2.split));
     }
 }

@@ -131,20 +131,18 @@ fn collect_insts(prog: &Program, stmts: &[Stmt], out: &mut Vec<Instantiation>) {
             StmtKind::Expr(Some(Expr {
                 kind: ExprKind::Call(name, args),
                 ..
-            })) => {
-                if prog.module(&name.name).is_some() {
-                    let actuals = args
-                        .iter()
-                        .filter_map(|a| match &a.kind {
-                            ExprKind::Ident(id) => Some(id.name.clone()),
-                            _ => None,
-                        })
-                        .collect();
-                    out.push(Instantiation {
-                        module: name.name.clone(),
-                        actuals,
-                    });
-                }
+            })) if prog.module(&name.name).is_some() => {
+                let actuals = args
+                    .iter()
+                    .filter_map(|a| match &a.kind {
+                        ExprKind::Ident(id) => Some(id.name.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                out.push(Instantiation {
+                    module: name.name.clone(),
+                    actuals,
+                });
             }
             StmtKind::Par(branches) => collect_insts(prog, branches, out),
             StmtKind::Block(b) => collect_insts(prog, &b.stmts, out),
@@ -162,10 +160,7 @@ pub fn elaborate(
     actual_names: Option<&[String]>,
 ) -> Result<Elab, ElabError> {
     let Some(module) = prog.module(entry) else {
-        return err(
-            format!("no module named `{entry}`"),
-            Span::dummy(),
-        );
+        return err(format!("no module named `{entry}`"), Span::dummy());
     };
     let mut ctx = Ctx {
         prog,
@@ -182,13 +177,10 @@ pub fn elaborate(
     let mut scope = Scope::new();
     for (i, p) in module.params.iter().enumerate() {
         let global = match actual_names {
-            Some(names) => names
-                .get(i)
-                .cloned()
-                .ok_or_else(|| ElabError {
-                    msg: format!("missing actual for parameter `{}`", p.name.name),
-                    span: p.span,
-                })?,
+            Some(names) => names.get(i).cloned().ok_or_else(|| ElabError {
+                msg: format!("missing actual for parameter `{}`", p.name.name),
+                span: p.span,
+            })?,
             None => p.name.name.clone(),
         };
         let kind = match p.dir {
@@ -559,10 +551,7 @@ impl<'p> Ctx<'p> {
                 Box::new(self.sigexpr(b, scope)?),
             ),
         };
-        Ok(SigExpr {
-            kind,
-            span: e.span,
-        })
+        Ok(SigExpr { kind, span: e.span })
     }
 
     fn type_ref(&mut self, t: &TypeRef, _scope: &Scope) -> Result<TypeRef, ElabError> {
@@ -632,10 +621,12 @@ impl<'p> Ctx<'p> {
                 Box::new(self.expr(b, scope)?),
             ),
         };
-        Ok(Expr {
-            kind,
-            span: e.span,
-        })
+        Ok(Expr { kind, span: e.span })
+    }
+}
+impl From<ElabError> for ecl_syntax::EclError {
+    fn from(e: ElabError) -> Self {
+        ecl_syntax::EclError::msg(ecl_syntax::Stage::Elaborate, e.msg.clone(), e.span)
     }
 }
 
@@ -684,10 +675,7 @@ mod tests {
 
     #[test]
     fn local_signals_get_global_names() {
-        let e = elab(
-            "module m(input pure a) { signal pure k; emit(k); }",
-            "m",
-        );
+        let e = elab("module m(input pure a) { signal pure k; emit(k); }", "m");
         assert_eq!(e.signals.len(), 2);
         assert_eq!(e.signals[1].name, "top::k");
         assert_eq!(e.signals[1].kind, SigKind::Local);
@@ -695,10 +683,7 @@ mod tests {
 
     #[test]
     fn recursion_rejected() {
-        let prog = parse_str(
-            "module a(input pure x) { a(x); }",
-        )
-        .unwrap();
+        let prog = parse_str("module a(input pure x) { a(x); }").unwrap();
         let e = elaborate(&prog, "a", None).unwrap_err();
         assert!(e.msg.contains("recursive"));
     }
@@ -729,12 +714,7 @@ mod tests {
     fn actual_names_rename_entry_params() {
         let prog =
             parse_str("module m(input pure a, output pure b) { await(a); emit(b); }").unwrap();
-        let e = elaborate(
-            &prog,
-            "m",
-            Some(&["reset".to_string(), "done".to_string()]),
-        )
-        .unwrap();
+        let e = elaborate(&prog, "m", Some(&["reset".to_string(), "done".to_string()])).unwrap();
         assert_eq!(e.signals[0].name, "reset");
         assert_eq!(e.signals[1].name, "done");
     }
@@ -761,9 +741,7 @@ mod tests {
             "m",
         );
         // The expression references the signal's global name `b`.
-        let s = ecl_syntax::pretty::program(&ecl_syntax::ast::Program {
-            items: vec![],
-        });
+        let s = ecl_syntax::pretty::program(&ecl_syntax::ast::Program { items: vec![] });
         let _ = s;
         let StmtKind::Expr(Some(expr)) = &e.body.stmts[1].kind else {
             panic!()

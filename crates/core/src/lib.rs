@@ -17,7 +17,11 @@
 //!    data part executes through the glue runtime ([`rt`]) backed by the
 //!    C interpreter in `ecl-types`.
 //!
-//! The top-level entry point is [`Compiler`].
+//! The preferred entry points are the staged [`pipeline`] (typed
+//! artifacts for every phase, re-enterable without rework) and the
+//! batch [`workspace::Workspace`] driver (shared parses, parallel
+//! compilation, memoization). The one-shot [`Compiler`] facade remains
+//! as a thin shim over the pipeline.
 //!
 //! # Example
 //!
@@ -42,9 +46,14 @@
 
 pub mod compiler;
 pub mod elab;
+pub mod pipeline;
 pub mod rt;
 pub mod split;
+pub mod workspace;
 
-pub use compiler::{Compiler, CompilerError, Design, Options};
+pub use compiler::{Compiler, Design, Options};
+pub use ecl_syntax::diag::{Diagnostics, EclError, Stage};
+pub use pipeline::Source;
 pub use rt::Rt;
 pub use split::{DataTable, SplitStrategy};
+pub use workspace::Workspace;

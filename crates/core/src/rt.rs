@@ -100,9 +100,12 @@ impl Rt {
                 let ty = match &s.ty {
                     Some(t) => {
                         let mut sink = DiagSink::new();
-                        machine.table_mut().resolve(t, &mut sink).ok_or_else(|| RtError {
-                            msg: format!("cannot resolve type of signal `{}`", s.name),
-                        })?
+                        machine
+                            .table_mut()
+                            .resolve(t, &mut sink)
+                            .ok_or_else(|| RtError {
+                                msg: format!("cannot resolve type of signal `{}`", s.name),
+                            })?
                     }
                     None => {
                         return Err(RtError {
@@ -143,9 +146,7 @@ impl Rt {
 
     /// Current value of a signal by name.
     pub fn signal_value_by_name(&self, name: &str) -> Option<&Value> {
-        self.by_name
-            .get(name)
-            .and_then(|i| self.signal_value(*i))
+        self.by_name.get(name).and_then(|i| self.signal_value(*i))
     }
 
     /// Set an *input* signal's value for the coming instant (the
@@ -201,7 +202,6 @@ impl Rt {
             .get(mangled)
             .map(|v| v.as_i64(self.machine.table()))
     }
-
 }
 
 impl DataHooks for Rt {
@@ -299,5 +299,15 @@ impl<'a> SignalReader for OwnedReader<'a> {
             .get(name)
             .and_then(|i| self.values.get(*i))
             .and_then(|v| v.clone())
+    }
+}
+
+impl From<RtError> for ecl_syntax::EclError {
+    fn from(e: RtError) -> Self {
+        ecl_syntax::EclError::msg(
+            ecl_syntax::Stage::Runtime,
+            e.msg.clone(),
+            ecl_syntax::Span::dummy(),
+        )
     }
 }

@@ -27,8 +27,7 @@
 
 use crate::elab::Elab;
 use ecl_syntax::ast::{
-    AbortKind, AssignOp, Expr, ExprKind, Ident, SigExpr as AstSigExpr, SigExprKind, Stmt,
-    StmtKind,
+    AbortKind, AssignOp, Expr, ExprKind, Ident, SigExpr as AstSigExpr, SigExprKind, Stmt, StmtKind,
 };
 use ecl_syntax::source::Span;
 use efsm::{ActionId, ExprId, PredId, Signal};
@@ -36,7 +35,7 @@ use esterel::ir::{IrError, ProgramBuilder, SigExpr, Stmt as EStmt};
 use std::fmt;
 
 /// Which compilation scheme to use (paper Sections 3 and 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SplitStrategy {
     /// Translate as much as possible into Esterel: per-statement
     /// actions, data `if`s become EFSM predicate branches.
@@ -136,7 +135,10 @@ pub fn contains_reactive(s: &Stmt) -> bool {
         | StmtKind::Suspend { .. }
         | StmtKind::Par(_)
         | StmtKind::Signal(_) => true,
-        StmtKind::Expr(_) | StmtKind::Decl(_) | StmtKind::Break | StmtKind::Continue
+        StmtKind::Expr(_)
+        | StmtKind::Decl(_)
+        | StmtKind::Break
+        | StmtKind::Continue
         | StmtKind::Return(_) => false,
         StmtKind::Block(b) => b.stmts.iter().any(contains_reactive),
         StmtKind::If { then, els, .. } => {
@@ -146,9 +148,7 @@ pub fn contains_reactive(s: &Stmt) -> bool {
         StmtKind::For { body, init, .. } => {
             contains_reactive(body) || init.as_deref().is_some_and(contains_reactive)
         }
-        StmtKind::Switch { arms, .. } => {
-            arms.iter().any(|a| a.stmts.iter().any(contains_reactive))
-        }
+        StmtKind::Switch { arms, .. } => arms.iter().any(|a| a.stmts.iter().any(contains_reactive)),
     }
 }
 
@@ -188,9 +188,9 @@ fn contains_return_stmt(s: &Stmt) -> bool {
         StmtKind::While { body, .. }
         | StmtKind::DoWhile { body, .. }
         | StmtKind::For { body, .. } => contains_return_stmt(body),
-        StmtKind::Switch { arms, .. } => {
-            arms.iter().any(|a| a.stmts.iter().any(contains_return_stmt))
-        }
+        StmtKind::Switch { arms, .. } => arms
+            .iter()
+            .any(|a| a.stmts.iter().any(contains_return_stmt)),
         _ => false,
     }
 }
@@ -225,9 +225,11 @@ pub fn split(elab: &Elab, strategy: SplitStrategy) -> Result<SplitResult, SplitE
     let body = ctx.tr_block(&elab.body.stmts)?;
     let program = builder.finish(body).map_err(|e| SplitError {
         msg: match e {
-            IrError::InstantaneousLoop => "reactive loop may be instantaneous: every path through \
+            IrError::InstantaneousLoop => {
+                "reactive loop may be instantaneous: every path through \
                  a reactive loop body needs an `await` or `halt` (otherwise write a pure data loop)"
-                .to_string(),
+                    .to_string()
+            }
             other => other.to_string(),
         },
         span: elab.body.span,
@@ -305,7 +307,7 @@ impl<'e> Splitter<'e> {
         let stmts = std::mem::take(run);
         match self.strategy {
             SplitStrategy::MinEsterel => {
-                let lowered: Vec<Stmt> = stmts.iter().filter_map(|s| lower_data(s)).collect();
+                let lowered: Vec<Stmt> = stmts.iter().filter_map(lower_data).collect();
                 if !lowered.is_empty() {
                     let id = self.data.action(lowered);
                     self.report.actions += 1;
@@ -331,9 +333,7 @@ impl<'e> Splitter<'e> {
             StmtKind::If { cond, then, els } => {
                 let p = self.data.pred(cond.clone());
                 self.report.preds += 1;
-                let t = self
-                    .tr_data_fine(then)?
-                    .unwrap_or(EStmt::nothing());
+                let t = self.tr_data_fine(then)?.unwrap_or(EStmt::nothing());
                 let e = match els {
                     Some(e) => self.tr_data_fine(e)?.unwrap_or(EStmt::nothing()),
                     None => EStmt::nothing(),
@@ -383,10 +383,7 @@ impl<'e> Splitter<'e> {
                 let sig = self.signal_by_name(&n.name, n.span)?;
                 let entry = &self.elab.signals[self.elab.signal(&n.name).expect("resolved")];
                 if entry.pure {
-                    return err(
-                        format!("signal `{}` is pure: use emit", n.name),
-                        n.span,
-                    );
+                    return err(format!("signal `{}` is pure: use emit", n.name), n.span);
                 }
                 let e = self.data.emit_expr(v.clone(), sig);
                 self.report.emits_valued += 1;
@@ -452,9 +449,7 @@ impl<'e> Splitter<'e> {
                 match cond {
                     CondKind::True => self.reactive_loop(None, None, body, None, s.span),
                     CondKind::False => Ok(EStmt::nothing()),
-                    CondKind::Dynamic(c) => {
-                        self.reactive_loop(None, Some(c), body, None, s.span)
-                    }
+                    CondKind::Dynamic(c) => self.reactive_loop(None, Some(c), body, None, s.span),
                 }
             }
             StmtKind::For {
@@ -466,7 +461,10 @@ impl<'e> Splitter<'e> {
                 let init_e = match init {
                     Some(i) => {
                         if contains_reactive(i) {
-                            return err("reactive statements in for-init are not supported", i.span);
+                            return err(
+                                "reactive statements in for-init are not supported",
+                                i.span,
+                            );
                         }
                         lower_data(i).map(|s| vec![s])
                     }
@@ -503,8 +501,7 @@ impl<'e> Splitter<'e> {
                     }
                     None => None,
                 };
-                let body_loop =
-                    self.reactive_loop(cond, None, body, step_stmt, s.span)?;
+                let body_loop = self.reactive_loop(cond, None, body, step_stmt, s.span)?;
                 Ok(EStmt::seq(match init_stmt {
                     Some(i) => vec![i, body_loop],
                     None => vec![body_loop],
@@ -569,7 +566,10 @@ impl<'e> Splitter<'e> {
             StmtKind::Expr(_) | StmtKind::Decl(_) => {
                 // Reaches here only when not batchable — i.e. it
                 // contains escaping flow, which the cases above handle.
-                err("internal: unexpected data statement in reactive position", s.span)
+                err(
+                    "internal: unexpected data statement in reactive position",
+                    s.span,
+                )
             }
         }
     }
@@ -782,6 +782,11 @@ fn lower_data(s: &Stmt) -> Option<Stmt> {
         _ => Some(s.clone()),
     }
 }
+impl From<SplitError> for ecl_syntax::EclError {
+    fn from(e: SplitError) -> Self {
+        ecl_syntax::EclError::msg(ecl_syntax::Stage::Split, e.msg.clone(), e.span)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -897,10 +902,8 @@ mod tests {
 
     #[test]
     fn instantaneous_reactive_loop_rejected() {
-        let prog = parse_str(
-            "module m(input pure a, output pure o) { while (1) { emit (o); } }",
-        )
-        .unwrap();
+        let prog =
+            parse_str("module m(input pure a, output pure o) { while (1) { emit (o); } }").unwrap();
         let elab = elaborate(&prog, "m", None).unwrap();
         let e = split(&elab, SplitStrategy::MaxEsterel).unwrap_err();
         assert!(e.msg.contains("instantaneous"), "{}", e.msg);

@@ -72,7 +72,13 @@ impl Diagnostic {
     /// Render with file/line/column resolved against `file`.
     pub fn render(&self, file: &SourceFile) -> String {
         let lc = file.span_start(self.span);
-        format!("{}:{}: {}: {}", file.name(), lc, self.severity, self.message)
+        format!(
+            "{}:{}: {}: {}",
+            file.name(),
+            lc,
+            self.severity,
+            self.message
+        )
     }
 }
 
@@ -153,6 +159,234 @@ impl IntoIterator for DiagSink {
     type IntoIter = std::vec::IntoIter<Diagnostic>;
     fn into_iter(self) -> Self::IntoIter {
         self.diags.into_iter()
+    }
+}
+
+/// The compilation stage that produced a diagnostic.
+///
+/// This is the shared vocabulary for the whole workspace: every crate
+/// reports failures as an [`EclError`] tagged with the stage that
+/// detected the problem, so drivers (CLI, `Workspace`, servers) can
+/// render and group diagnostics uniformly without knowing each
+/// crate's private error types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Preprocessing, lexing and parsing (`ecl-syntax`).
+    Parse,
+    /// Module inlining and renaming (`ecl-core::elab`).
+    Elaborate,
+    /// Reactive/data separation (`ecl-core::split`).
+    Split,
+    /// Esterel IR construction and structural checks (`esterel::ir`).
+    Ir,
+    /// EFSM generation and validation (`esterel::compile`, `efsm`).
+    Efsm,
+    /// Back-end emission (`codegen`).
+    Codegen,
+    /// Data-runtime construction and evaluation (`ecl-core::rt`).
+    Runtime,
+    /// Simulation (`sim`).
+    Sim,
+}
+
+impl Stage {
+    /// Stable lowercase name (used in rendered diagnostics).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Elaborate => "elaborate",
+            Stage::Split => "split",
+            Stage::Ir => "ir",
+            Stage::Efsm => "efsm",
+            Stage::Codegen => "codegen",
+            Stage::Runtime => "runtime",
+            Stage::Sim => "sim",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stage-tagged diagnostics accumulated along a compilation pipeline.
+///
+/// Unlike [`DiagSink`] (which lives inside one phase), `Diagnostics`
+/// travels *across* stages: each pipeline stage appends what it found
+/// and hands the collection forward, so the final artifact can report
+/// every warning from parse to codegen with its origin.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    entries: Vec<(Stage, Diagnostic)>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one diagnostic under `stage`.
+    pub fn push(&mut self, stage: Stage, d: Diagnostic) {
+        self.entries.push((stage, d));
+    }
+
+    /// Record an error under `stage`.
+    pub fn error(&mut self, stage: Stage, message: impl Into<String>, span: Span) {
+        self.push(stage, Diagnostic::error(message, span));
+    }
+
+    /// Record a warning under `stage`.
+    pub fn warning(&mut self, stage: Stage, message: impl Into<String>, span: Span) {
+        self.push(stage, Diagnostic::warning(message, span));
+    }
+
+    /// Record a note under `stage`.
+    pub fn note(&mut self, stage: Stage, message: impl Into<String>, span: Span) {
+        self.push(stage, Diagnostic::note(message, span));
+    }
+
+    /// Absorb a phase-local [`DiagSink`], tagging everything with `stage`.
+    pub fn absorb_sink(&mut self, stage: Stage, sink: DiagSink) {
+        for d in sink {
+            self.push(stage, d);
+        }
+    }
+
+    /// Append all entries of `other`.
+    pub fn merge(&mut self, other: Diagnostics) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Whether any error-severity diagnostic has been recorded.
+    pub fn has_errors(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|(_, d)| d.severity == Severity::Error)
+    }
+
+    /// All entries in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, &Diagnostic)> {
+        self.entries.iter().map(|(s, d)| (*s, d))
+    }
+
+    /// Entries produced by one stage.
+    pub fn for_stage(&self, stage: Stage) -> impl Iterator<Item = &Diagnostic> {
+        self.entries
+            .iter()
+            .filter(move |(s, _)| *s == stage)
+            .map(|(_, d)| d)
+    }
+
+    /// Number of recorded diagnostics (all severities, all stages).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (stage, d) in self.iter() {
+            writeln!(f, "[{stage}] {}: {} (at {})", d.severity, d.message, d.span)?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = (Stage, Diagnostic);
+    type IntoIter = std::vec::IntoIter<(Stage, Diagnostic)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// The unified workspace error: span-annotated diagnostics plus the
+/// stage that failed.
+///
+/// Every fallible operation along the compilation pipeline — parsing,
+/// elaboration, splitting, EFSM generation, codegen, runtime
+/// construction, simulation — converges on this type, so callers only
+/// handle one error shape regardless of how deep the failure occurred.
+#[derive(Debug, Clone)]
+pub struct EclError {
+    stage: Stage,
+    diags: Diagnostics,
+}
+
+impl EclError {
+    /// Wrap already-collected diagnostics.
+    pub fn new(stage: Stage, diags: Diagnostics) -> Self {
+        EclError { stage, diags }
+    }
+
+    /// Single-message constructor.
+    pub fn msg(stage: Stage, message: impl Into<String>, span: Span) -> Self {
+        let mut diags = Diagnostics::new();
+        diags.error(stage, message, span);
+        EclError { stage, diags }
+    }
+
+    /// The stage that failed.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// The diagnostics carried by this error.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diags
+    }
+
+    /// Prepend earlier-stage context (e.g. warnings accumulated before
+    /// the failure) to the error's diagnostics.
+    pub fn with_context(mut self, mut earlier: Diagnostics) -> Self {
+        earlier.merge(std::mem::take(&mut self.diags));
+        self.diags = earlier;
+        self
+    }
+
+    /// The first error-severity message, if any (convenience for tests
+    /// and log lines).
+    pub fn first_message(&self) -> Option<&str> {
+        self.diags
+            .iter()
+            .find(|(_, d)| d.severity == Severity::Error)
+            .map(|(_, d)| d.message.as_str())
+    }
+}
+
+impl fmt::Display for EclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} stage failed", self.stage)?;
+        if self.diags.is_empty() {
+            return Ok(());
+        }
+        writeln!(f, ":")?;
+        for (stage, d) in self.diags.iter() {
+            writeln!(
+                f,
+                "  [{stage}] {}: {} (at {})",
+                d.severity, d.message, d.span
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for EclError {}
+
+impl From<DiagSink> for EclError {
+    fn from(sink: DiagSink) -> Self {
+        let mut diags = Diagnostics::new();
+        diags.absorb_sink(Stage::Parse, sink);
+        EclError::new(Stage::Parse, diags)
     }
 }
 

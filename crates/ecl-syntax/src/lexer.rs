@@ -111,8 +111,10 @@ impl<'a> Lexer<'a> {
                         }
                     }
                     if !closed {
-                        self.sink
-                            .error("unterminated block comment", Span::new(start, self.pos as u32));
+                        self.sink.error(
+                            "unterminated block comment",
+                            Span::new(start, self.pos as u32),
+                        );
                     }
                 }
                 _ => return,
@@ -182,7 +184,8 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let is_float = self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit())
+        let is_float = self.peek() == Some(b'.')
+            && self.peek2().is_some_and(|c| c.is_ascii_digit())
             || matches!(self.peek(), Some(b'e') | Some(b'E'))
                 && (self.peek2().is_some_and(|c| c.is_ascii_digit())
                     || matches!(self.peek2(), Some(b'+') | Some(b'-'))
@@ -235,7 +238,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn eat_int_suffix(&mut self) {
-        while matches!(self.peek(), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+        while matches!(
+            self.peek(),
+            Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')
+        ) {
             self.pos += 1;
         }
     }
@@ -272,8 +278,10 @@ impl<'a> Lexer<'a> {
         let v = match self.bump() {
             Some(b'\\') => self.escape(start),
             Some(b'\'') => {
-                self.sink
-                    .error("empty char literal", Span::new(start as u32, self.pos as u32));
+                self.sink.error(
+                    "empty char literal",
+                    Span::new(start as u32, self.pos as u32),
+                );
                 return TokenKind::CharLit(0);
             }
             Some(c) => c,

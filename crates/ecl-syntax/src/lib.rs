@@ -36,7 +36,7 @@ pub mod source;
 pub mod token;
 
 pub use ast::Program;
-pub use diag::{DiagSink, Diagnostic, Severity};
+pub use diag::{DiagSink, Diagnostic, Diagnostics, EclError, Severity, Stage};
 pub use source::{SourceFile, Span};
 
 /// Parse a complete ECL translation unit from a string.
@@ -61,13 +61,26 @@ pub fn parse_str(text: &str) -> Result<Program, DiagSink> {
 /// Returns the accumulated [`DiagSink`] if any error-severity
 /// diagnostic was produced.
 pub fn parse_named(text: &str, name: &str) -> Result<Program, DiagSink> {
-    let file = SourceFile::new(name, text);
-    let mut sink = DiagSink::new();
-    let toks = pp::preprocess(&file, &mut sink);
-    let program = parser::Parser::new(&file, toks, &mut sink).parse_program();
+    let (program, sink) = parse_collect(text, name);
     if sink.has_errors() {
         Err(sink)
     } else {
         Ok(program)
     }
+}
+
+/// Parse a translation unit, returning the program *and* every
+/// diagnostic produced — including warnings and notes on success.
+///
+/// This is the entry point the staged pipeline uses: the [`DiagSink`]
+/// is absorbed into the pipeline's cross-stage
+/// [`diag::Diagnostics`] so later stages carry parse warnings along.
+/// Callers decide how to treat errors (check
+/// [`DiagSink::has_errors`]).
+pub fn parse_collect(text: &str, name: &str) -> (Program, DiagSink) {
+    let file = SourceFile::new(name, text);
+    let mut sink = DiagSink::new();
+    let toks = pp::preprocess(&file, &mut sink);
+    let program = parser::Parser::new(&file, toks, &mut sink).parse_program();
+    (program, sink)
 }

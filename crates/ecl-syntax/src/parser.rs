@@ -97,7 +97,11 @@ impl<'a> Parser<'a> {
         if self.at(p) {
             self.bump().span
         } else {
-            let msg = format!("expected `{}`, found {}", p.as_str(), self.peek().describe());
+            let msg = format!(
+                "expected `{}`, found {}",
+                p.as_str(),
+                self.peek().describe()
+            );
             let sp = self.span();
             self.sink.error(msg, sp);
             sp
@@ -127,8 +131,10 @@ impl<'a> Parser<'a> {
             Ident { name, span: t.span }
         } else {
             let sp = self.span();
-            self.sink
-                .error(format!("expected identifier, found {}", self.peek().describe()), sp);
+            self.sink.error(
+                format!("expected identifier, found {}", self.peek().describe()),
+                sp,
+            );
             Ident::new("<error>", sp)
         }
     }
@@ -239,7 +245,7 @@ impl<'a> Parser<'a> {
         let start = self.span();
         self.expect_kw(Kw::Typedef);
         let base = self.type_specifier()?;
-        let (name, ty, _init) = self.declarator(base, false)?;
+        let (name, ty, _init) = self.declarator(base)?;
         self.expect(Punct::Semi);
         self.typedefs.insert(name.name.clone());
         Some(Item::Typedef(Typedef {
@@ -337,14 +343,18 @@ impl<'a> Parser<'a> {
             self.bump();
             let mut params = Vec::new();
             if !self.at(Punct::RParen) {
-                if self.at_kw(Kw::Void) && matches!(self.peek_nth(1), TokenKind::Punct(Punct::RParen))
+                if self.at_kw(Kw::Void)
+                    && matches!(self.peek_nth(1), TokenKind::Punct(Punct::RParen))
                 {
                     self.bump(); // `(void)`
                 } else {
                     loop {
                         let pty = self.type_specifier()?;
-                        let (pname, pty, _) = self.declarator(pty, false)?;
-                        params.push(FnParam { ty: pty, name: pname });
+                        let (pname, pty, _) = self.declarator(pty)?;
+                        params.push(FnParam {
+                            ty: pty,
+                            name: pname,
+                        });
                         if !self.eat(Punct::Comma) {
                             break;
                         }
@@ -369,7 +379,7 @@ impl<'a> Parser<'a> {
         let first = self.declarator_suffix(ty, name)?;
         let mut decls = vec![first];
         while self.eat(Punct::Comma) {
-            let (n2, t2, i2) = self.declarator(base.clone(), true)?;
+            let (n2, t2, i2) = self.declarator(base.clone())?;
             decls.push(Declarator {
                 name: n2,
                 ty: t2,
@@ -441,11 +451,8 @@ impl<'a> Parser<'a> {
         // Scalar keyword combinations.
         let mut signed: Option<bool> = None;
         let mut base: Option<PrimType> = None;
-        loop {
-            let k = match self.peek() {
-                TokenKind::Kw(k) => *k,
-                _ => break,
-            };
+        while let TokenKind::Kw(k) = self.peek() {
+            let k = *k;
             match k {
                 Kw::Signed => {
                     signed = Some(true);
@@ -517,8 +524,10 @@ impl<'a> Parser<'a> {
                     }
                 } else {
                     let sp = self.span();
-                    self.sink
-                        .error(format!("expected type, found {}", self.peek().describe()), sp);
+                    self.sink.error(
+                        format!("expected type, found {}", self.peek().describe()),
+                        sp,
+                    );
                     return None;
                 }
             }
@@ -559,7 +568,7 @@ impl<'a> Parser<'a> {
                 let fstart = self.span();
                 let base = self.type_specifier()?;
                 loop {
-                    let (name, ty, init) = self.declarator(base.clone(), false)?;
+                    let (name, ty, init) = self.declarator(base.clone())?;
                     if init.is_some() {
                         self.sink
                             .error("struct fields cannot have initializers", name.span);
@@ -621,12 +630,10 @@ impl<'a> Parser<'a> {
         Some(EnumRef { tag, variants })
     }
 
-    /// Parse a declarator: `*... name [len]... [= init]`.
-    fn declarator(
-        &mut self,
-        base: TypeRef,
-        allow_init: bool,
-    ) -> Option<(Ident, TypeRef, Option<Expr>)> {
+    /// Parse a declarator: `*... name [len]... [= init]`. The
+    /// initializer is always parsed (and returned) so contexts where
+    /// it is illegal can diagnose it instead of choking on the `=`.
+    fn declarator(&mut self, base: TypeRef) -> Option<(Ident, TypeRef, Option<Expr>)> {
         let mut ty = base;
         while self.eat(Punct::Star) {
             let sp = ty.span;
@@ -637,12 +644,7 @@ impl<'a> Parser<'a> {
         }
         let name = self.expect_ident();
         let d = self.declarator_suffix(ty, name)?;
-        let init = if allow_init && d.init.is_some() {
-            d.init.clone()
-        } else {
-            d.init.clone()
-        };
-        Some((d.name, d.ty, init))
+        Some((d.name, d.ty, d.init.clone()))
     }
 
     /// Array suffixes and initializer after the declared name.
@@ -976,7 +978,7 @@ impl<'a> Parser<'a> {
         let base = self.type_specifier()?;
         let mut decls = Vec::new();
         loop {
-            let (name, ty, init) = self.declarator(base.clone(), true)?;
+            let (name, ty, init) = self.declarator(base.clone())?;
             decls.push(Declarator { name, ty, init });
             if !self.eat(Punct::Comma) {
                 break;
@@ -1410,9 +1412,7 @@ mod tests {
 
     #[test]
     fn parses_valued_signal_param() {
-        let p = parse_ok(
-            "typedef unsigned char byte; module m(input byte b, output int v) { }",
-        );
+        let p = parse_ok("typedef unsigned char byte; module m(input byte b, output int v) { }");
         let m = p.module("m").unwrap();
         assert!(!m.params[0].pure);
         assert!(matches!(
@@ -1495,9 +1495,8 @@ mod tests {
 
     #[test]
     fn parses_par_branches() {
-        let p = parse_ok(
-            "module m(input pure a) { par { { await(a); } { halt(); } emit_v(a, 1); } }",
-        );
+        let p =
+            parse_ok("module m(input pure a) { par { { await(a); } { halt(); } emit_v(a, 1); } }");
         let m = p.module("m").unwrap();
         let StmtKind::Par(bs) = &m.body.stmts[0].kind else {
             panic!("expected par");
@@ -1569,7 +1568,10 @@ mod tests {
              for (i = 0, crc = 0; i < 64; i++) { crc = (crc ^ i) << 1; } }",
         );
         let m = p.module("m").unwrap();
-        let StmtKind::For { init, cond, step, .. } = &m.body.stmts[2].kind else {
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &m.body.stmts[2].kind
+        else {
             panic!()
         };
         assert!(init.is_some());
@@ -1640,13 +1642,25 @@ mod tests {
 
     #[test]
     fn parses_enum() {
-        let p = parse_ok("typedef enum { IDLE, RUN = 5, DONE } mode_t; module m(input mode_t x) {}");
+        let p =
+            parse_ok("typedef enum { IDLE, RUN = 5, DONE } mode_t; module m(input mode_t x) {}");
         assert_eq!(p.typedefs().count(), 1);
     }
 
     #[test]
     fn parses_ternary_and_comma() {
-        let p = parse_ok("module m(input pure a) { int x, y; x = y > 0 ? 1 : 2; x = (x = 1, x + 1); }");
+        let p =
+            parse_ok("module m(input pure a) { int x, y; x = y > 0 ? 1 : 2; x = (x = 1, x + 1); }");
         assert!(p.module("m").is_some());
+    }
+    #[test]
+    fn struct_field_initializer_is_diagnosed() {
+        let err = crate::parse_str("typedef struct { int x = 1; } t;").unwrap_err();
+        let msgs: Vec<&str> = err.iter().map(|d| d.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("struct fields cannot have initializers")),
+            "{msgs:?}"
+        );
     }
 }

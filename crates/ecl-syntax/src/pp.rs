@@ -106,16 +106,23 @@ fn directive(
             }
         }
         "include" => {
-            sink.warning("`#include` ignored (self-contained designs only)", hash_span);
+            sink.warning(
+                "`#include` ignored (self-contained designs only)",
+                hash_span,
+            );
         }
         other => {
-            sink.error(format!("unsupported preprocessor directive `#{other}`"), hash_span);
+            sink.error(
+                format!("unsupported preprocessor directive `#{other}`"),
+                hash_span,
+            );
         }
     }
     end
 }
 
 /// Expand one token (recursively for macros), appending to `out`.
+#[allow(clippy::only_used_in_recursion)]
 fn expand_token(
     tok: &Token,
     macros: &HashMap<String, Vec<Token>>,

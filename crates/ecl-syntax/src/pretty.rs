@@ -228,8 +228,8 @@ impl Printer {
                     }
                     None => String::new(),
                 };
-                let cond_s = cond.as_ref().map(|e| expr(e)).unwrap_or_default();
-                let step_s = step.as_ref().map(|e| expr(e)).unwrap_or_default();
+                let cond_s = cond.as_ref().map(expr).unwrap_or_default();
+                let step_s = step.as_ref().map(expr).unwrap_or_default();
                 self.open(&format!("for ({init_s}; {cond_s}; {step_s}) {{"));
                 self.stmt_inner(body);
                 self.close("}");
@@ -355,14 +355,9 @@ impl Printer {
         // Collect array dims from outside in.
         let mut dims = Vec::new();
         let mut cur = ty;
-        loop {
-            match &cur.kind {
-                TypeRefKind::Array(inner, len) => {
-                    dims.push(len.clone());
-                    cur = inner;
-                }
-                _ => break,
-            }
+        while let TypeRefKind::Array(inner, len) = &cur.kind {
+            dims.push(len.clone());
+            cur = inner;
         }
         let mut prefix = String::new();
         let mut base = cur;
@@ -390,7 +385,8 @@ impl Printer {
             SigExprKind::Sig(id) => self.out.push_str(&id.name),
             SigExprKind::Not(inner) => {
                 self.out.push('~');
-                let needs_paren = matches!(inner.kind, SigExprKind::And(_, _) | SigExprKind::Or(_, _));
+                let needs_paren =
+                    matches!(inner.kind, SigExprKind::And(_, _) | SigExprKind::Or(_, _));
                 if needs_paren {
                     self.out.push('(');
                 }
@@ -588,10 +584,7 @@ pub fn type_str(ty: &TypeRef) -> String {
         }
         TypeRefKind::Pointer(inner) => format!("{} *", type_str(inner)),
         TypeRefKind::Array(inner, len) => {
-            let l = len
-                .as_ref()
-                .map(|e| expr(e))
-                .unwrap_or_default();
+            let l = len.as_ref().map(|e| expr(e)).unwrap_or_default();
             format!("{}[{l}]", type_str(inner))
         }
     }

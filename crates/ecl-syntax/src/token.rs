@@ -59,6 +59,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Map an identifier spelling to a keyword, if it is one.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {

@@ -231,8 +231,7 @@ impl Machine {
                 let rv = self.eval(rhs, sigs)?;
                 let place = self.resolve_place(lhs, sigs)?;
                 let new = match op.binop() {
-                    None => self
-                        .convert_or_err(rv, place.ty, rhs.span)?,
+                    None => self.convert_or_err(rv, place.ty, rhs.span)?,
                     Some(bop) => {
                         let old = self.read_place(&place);
                         let combined = self.apply_binop(bop, &old, &rv, e.span)?;
@@ -353,11 +352,7 @@ impl Machine {
             }
             UnOp::Not => {
                 let int = self.table.int();
-                Ok(Value::from_i64(
-                    &self.table,
-                    int,
-                    (!v.is_truthy()) as i64,
-                ))
+                Ok(Value::from_i64(&self.table, int, (!v.is_truthy()) as i64))
             }
             UnOp::BitNot => {
                 if !t.is_integer() {
@@ -471,8 +466,14 @@ impl Machine {
         let common = self.usual_arith(va.ty, vb.ty);
         let tc = self.table.get(common);
         if tc.is_float() {
-            let x = va.convert(&self.table, common).expect("float conv").as_f64(&self.table);
-            let y = vb.convert(&self.table, common).expect("float conv").as_f64(&self.table);
+            let x = va
+                .convert(&self.table, common)
+                .expect("float conv")
+                .as_f64(&self.table);
+            let y = vb
+                .convert(&self.table, common)
+                .expect("float conv")
+                .as_f64(&self.table);
             let fv = |m: &Self, v: f64| Value::from_f64(&m.table, common, v);
             let bv = |m: &mut Self, v: bool| {
                 let int = m.table.int();
@@ -499,8 +500,14 @@ impl Machine {
         }
         // Integer path. Shifts keep the promoted LHS type.
         let unsigned = tc.is_unsigned();
-        let x = va.convert(&self.table, common).expect("int conv").as_i64(&self.table);
-        let y = vb.convert(&self.table, common).expect("int conv").as_i64(&self.table);
+        let x = va
+            .convert(&self.table, common)
+            .expect("int conv")
+            .as_i64(&self.table);
+        let y = vb
+            .convert(&self.table, common)
+            .expect("int conv")
+            .as_i64(&self.table);
         let iv = |m: &Self, v: i64| Value::from_i64(&m.table, common, v);
         let bv = |m: &mut Self, v: bool| {
             let int = m.table.int();
@@ -540,10 +547,38 @@ impl Machine {
                     iv(self, x.wrapping_shr(y as u32 & 63))
                 }
             }
-            BinOp::Lt => bv(self, if unsigned { (x as u64) < y as u64 } else { x < y }),
-            BinOp::Gt => bv(self, if unsigned { (x as u64) > y as u64 } else { x > y }),
-            BinOp::Le => bv(self, if unsigned { x as u64 <= y as u64 } else { x <= y }),
-            BinOp::Ge => bv(self, if unsigned { x as u64 >= y as u64 } else { x >= y }),
+            BinOp::Lt => bv(
+                self,
+                if unsigned {
+                    (x as u64) < y as u64
+                } else {
+                    x < y
+                },
+            ),
+            BinOp::Gt => bv(
+                self,
+                if unsigned {
+                    (x as u64) > y as u64
+                } else {
+                    x > y
+                },
+            ),
+            BinOp::Le => bv(
+                self,
+                if unsigned {
+                    x as u64 <= y as u64
+                } else {
+                    x <= y
+                },
+            ),
+            BinOp::Ge => bv(
+                self,
+                if unsigned {
+                    x as u64 >= y as u64
+                } else {
+                    x >= y
+                },
+            ),
             BinOp::Eq => bv(self, x == y),
             BinOp::Ne => bv(self, x != y),
             BinOp::BitAnd => iv(self, x & y),
@@ -621,11 +656,7 @@ impl Machine {
     }
 
     /// Evaluate a field/element projection on an rvalue.
-    fn eval_projection(
-        &mut self,
-        e: &Expr,
-        sigs: &dyn SignalReader,
-    ) -> Result<Value, EvalError> {
+    fn eval_projection(&mut self, e: &Expr, sigs: &dyn SignalReader) -> Result<Value, EvalError> {
         match &e.kind {
             ExprKind::Member(base, field) => {
                 let v = self.eval(base, sigs)?;
@@ -1105,8 +1136,7 @@ mod tests {
 
     #[test]
     fn reactive_statement_rejected() {
-        let prog =
-            parse_str("module m(input pure a) { await (a); }").unwrap();
+        let prog = parse_str("module m(input pure a) { await (a); }").unwrap();
         let m_ast = prog.module("m").unwrap();
         let mut sink = DiagSink::new();
         let table = TypeTable::build(&prog, &mut sink);
@@ -1116,7 +1146,10 @@ mod tests {
 
     #[test]
     fn ternary_and_comma() {
-        let m = run("", "int x = 5; int y = x > 3 ? 1 : 2; int z = (x = 9, x + 1);");
+        let m = run(
+            "",
+            "int x = 5; int y = x > 3 ? 1 : 2; int z = (x = 9, x + 1);",
+        );
         assert_eq!(int_var(&m, "y"), 1);
         assert_eq!(int_var(&m, "z"), 10);
     }

@@ -676,7 +676,10 @@ mod tests {
         let Type::Array(row, 3) = t.get(g) else {
             panic!("outer dim should be 3: {:?}", t.get(g))
         };
-        assert_eq!(t.get(row), Type::Array(t.intern.get(&Type::Int).copied().unwrap(), 4));
+        assert_eq!(
+            t.get(row),
+            Type::Array(t.intern.get(&Type::Int).copied().unwrap(), 4)
+        );
     }
 
     #[test]

@@ -104,7 +104,9 @@ impl Value {
     /// Panics if the value is not float-typed.
     pub fn as_f64(&self, table: &TypeTable) -> f64 {
         match table.get(self.ty) {
-            Type::Float => f32::from_le_bytes(self.bytes[..4].try_into().expect("f32 width")) as f64,
+            Type::Float => {
+                f32::from_le_bytes(self.bytes[..4].try_into().expect("f32 width")) as f64
+            }
             Type::Double => f64::from_le_bytes(self.bytes[..8].try_into().expect("f64 width")),
             other => panic!("as_f64 on non-float {other:?}"),
         }

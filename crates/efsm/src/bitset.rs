@@ -95,10 +95,7 @@ impl BitSet {
 
     /// Does `self` intersect `other`?
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Intersection restricted to the half-open range `[lo, hi)`:

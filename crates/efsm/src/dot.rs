@@ -16,11 +16,7 @@ pub fn to_dot(m: &Efsm, path_cap: usize) -> String {
     let _ = writeln!(s, "digraph \"{}\" {{", m.name);
     let _ = writeln!(s, "  rankdir=LR;");
     let _ = writeln!(s, "  node [shape=circle, fontsize=10];");
-    let _ = writeln!(
-        s,
-        "  init [shape=point]; init -> s{};",
-        m.init.0
-    );
+    let _ = writeln!(s, "  init [shape=point]; init -> s{};", m.init.0);
     for (i, st) in m.states.iter().enumerate() {
         let _ = writeln!(s, "  s{i} [label=\"{}\"];", escape(&st.name));
     }

@@ -72,7 +72,6 @@ pub struct StepResult {
     /// Number of s-graph nodes traversed (proxy for reaction latency).
     pub nodes_visited: u32,
 }
-
 impl Efsm {
     /// Create an empty machine (no states yet).
     pub fn new(name: impl Into<String>) -> Self {
@@ -211,15 +210,13 @@ impl Efsm {
                 }
             }
             match n {
-                Node::Test { sig, .. } | Node::Emit { sig, .. } => {
-                    if sig.0 as usize >= self.signals.len() {
-                        return Err(format!("node {i} references missing signal {sig:?}"));
-                    }
+                Node::Test { sig, .. } | Node::Emit { sig, .. }
+                    if sig.0 as usize >= self.signals.len() =>
+                {
+                    return Err(format!("node {i} references missing signal {sig:?}"));
                 }
-                Node::Goto { target } => {
-                    if target.0 as usize >= self.states.len() {
-                        return Err(format!("node {i} jumps to missing state {target:?}"));
-                    }
+                Node::Goto { target } if target.0 as usize >= self.states.len() => {
+                    return Err(format!("node {i} jumps to missing state {target:?}"));
                 }
                 _ => {}
             }
@@ -311,7 +308,13 @@ impl fmt::Display for EfsmStats {
         write!(
             f,
             "{} states, {} nodes ({} tests, {} pred-tests, {} actions, {} emits, {} gotos)",
-            self.states, self.nodes, self.tests, self.pred_tests, self.actions, self.emits, self.gotos
+            self.states,
+            self.nodes,
+            self.tests,
+            self.pred_tests,
+            self.actions,
+            self.emits,
+            self.gotos
         )
     }
 }
@@ -325,9 +328,7 @@ pub struct EfsmBuilder {
 impl EfsmBuilder {
     /// Start building a machine.
     pub fn new(name: impl Into<String>) -> Self {
-        EfsmBuilder {
-            m: Efsm::new(name),
-        }
+        EfsmBuilder { m: Efsm::new(name) }
     }
 
     /// Declare an input signal.
@@ -372,6 +373,20 @@ impl EfsmBuilder {
     pub fn build(self) -> Efsm {
         self.m.validate().expect("builder produced invalid machine");
         self.m
+    }
+}
+
+impl Efsm {
+    /// [`Efsm::validate`], reported as the workspace-unified
+    /// [`ecl_syntax::EclError`] (stage `efsm`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Efsm::validate`].
+    pub fn validate_ecl(&self) -> Result<(), ecl_syntax::EclError> {
+        self.validate().map_err(|msg| {
+            ecl_syntax::EclError::msg(ecl_syntax::Stage::Efsm, msg, ecl_syntax::Span::dummy())
+        })
     }
 }
 

@@ -87,7 +87,11 @@ impl Network {
     /// `hooks[i]` resolves machine `i`'s data ids. Emissions by any
     /// machine this instant are latched and become visible to input
     /// ports of the same name in the *next* instant (unit delay).
-    pub fn step<H: DataHooks>(&mut self, external: &HashSet<String>, hooks: &mut [H]) -> NetworkStep {
+    pub fn step<H: DataHooks>(
+        &mut self,
+        external: &HashSet<String>,
+        hooks: &mut [H],
+    ) -> NetworkStep {
         assert_eq!(
             hooks.len(),
             self.machines.len(),
@@ -152,8 +156,7 @@ impl Network {
                         ext.insert(name.clone());
                     }
                 }
-                let mut hooks: Vec<crate::NoHooks> =
-                    vec![crate::NoHooks; self.machines.len()];
+                let mut hooks: Vec<crate::NoHooks> = vec![crate::NoHooks; self.machines.len()];
                 net.step(&ext, &mut hooks);
                 let mut latch_v: Vec<String> = net.latched.iter().cloned().collect();
                 latch_v.sort();
@@ -216,7 +219,12 @@ pub fn product_unit_delay(net: &Network, cap: usize) -> Result<Efsm, String> {
         .collect();
     let out_sigs: HashMap<String, Signal> = out_names
         .iter()
-        .map(|n| (n.clone(), prod.add_signal(n.clone(), SigKind::Output, false)))
+        .map(|n| {
+            (
+                n.clone(),
+                prod.add_signal(n.clone(), SigKind::Output, false),
+            )
+        })
         .collect();
 
     type CState = (Vec<StateId>, Vec<String>);
@@ -232,9 +240,7 @@ pub fn product_unit_delay(net: &Network, cap: usize) -> Result<Efsm, String> {
             return *id;
         }
         // Temporary root; patched later.
-        let placeholder = prod.add_node(crate::sgraph::Node::Goto {
-            target: StateId(0),
-        });
+        let placeholder = prod.add_node(crate::sgraph::Node::Goto { target: StateId(0) });
         let id = prod.add_state(format!("p{}", ids.len()), placeholder);
         ids.insert(cs.clone(), id);
         work.push(cs.clone());
@@ -299,7 +305,11 @@ fn sim_latch(net: &Network) -> Vec<String> {
 
 /// Build a complete binary decision tree testing `sigs[0..]` in order,
 /// with `leaves[mask]` giving emissions and target per valuation.
-fn build_tree(m: &mut Efsm, sigs: &[Signal], leaves: &[(u32, Vec<Signal>, StateId)]) -> crate::sgraph::NodeId {
+fn build_tree(
+    m: &mut Efsm,
+    sigs: &[Signal],
+    leaves: &[(u32, Vec<Signal>, StateId)],
+) -> crate::sgraph::NodeId {
     fn rec(
         m: &mut Efsm,
         sigs: &[Signal],
@@ -395,9 +405,7 @@ mod tests {
         let m1 = stage("m1", "a", "x");
         let m2 = stage("m2", "x", "y");
         let net = Network::new(vec![m1, m2]);
-        let n = net
-            .explore(&["a".to_string()], 10_000)
-            .expect("within cap");
+        let n = net.explore(&["a".to_string()], 10_000).expect("within cap");
         // 2 × 2 machine states × latch configurations; at most 16.
         assert!(n >= 4, "found only {n}");
         assert!(n <= 16, "found {n}");
@@ -427,8 +435,7 @@ mod tests {
             let ns = net.step(&ext_names, &mut hooks);
             let pr = prod.step(ps, &ext_sigs, &mut NoHooks);
             ps = pr.next;
-            let mut net_emits: Vec<String> =
-                ns.emitted.iter().map(|(_, n)| n.clone()).collect();
+            let mut net_emits: Vec<String> = ns.emitted.iter().map(|(_, n)| n.clone()).collect();
             let mut prod_emits: Vec<String> = pr
                 .emitted
                 .iter()

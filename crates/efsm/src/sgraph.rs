@@ -185,9 +185,7 @@ mod tests {
     use super::*;
 
     fn goto(s: u32) -> Node {
-        Node::Goto {
-            target: StateId(s),
-        }
+        Node::Goto { target: StateId(s) }
     }
 
     #[test]
@@ -226,10 +224,16 @@ mod tests {
         ];
         let paths = enumerate_paths(&nodes, NodeId(0), 100).unwrap();
         assert_eq!(paths.len(), 2);
-        let present = paths.iter().find(|p| p.cube == vec![(Signal(0), true)]).unwrap();
+        let present = paths
+            .iter()
+            .find(|p| p.cube == vec![(Signal(0), true)])
+            .unwrap();
         assert_eq!(present.actions, vec![ActionId(7)]);
         assert_eq!(present.target, StateId(1));
-        let absent = paths.iter().find(|p| p.cube == vec![(Signal(0), false)]).unwrap();
+        let absent = paths
+            .iter()
+            .find(|p| p.cube == vec![(Signal(0), false)])
+            .unwrap();
         assert_eq!(absent.emits, vec![(Signal(1), None)]);
     }
 

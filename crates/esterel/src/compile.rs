@@ -22,9 +22,7 @@
 use crate::engine::{Engine, ExecOut, Sem};
 use crate::ir::{Program, StmtId, Tri};
 use efsm::sgraph::{Node as ENode, NodeId};
-use efsm::{
-    ActionId, BitSet, Efsm, ExprId, PredId, SigKind, Signal, StateId,
-};
+use efsm::{ActionId, BitSet, Efsm, ExprId, PredId, SigKind, Signal, StateId};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -80,10 +78,16 @@ impl fmt::Display for CompileError {
                 write!(f, "state explosion: more than {limit} control states")
             }
             CompileError::TooManyRuns { limit } => {
-                write!(f, "decision explosion: more than {limit} symbolic runs in one state")
+                write!(
+                    f,
+                    "decision explosion: more than {limit} symbolic runs in one state"
+                )
             }
             CompileError::NoCoherentBehavior { state } => {
-                write!(f, "no coherent signal resolution in state {state} (non-constructive program)")
+                write!(
+                    f,
+                    "no coherent signal resolution in state {state} (non-constructive program)"
+                )
             }
             CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
         }
@@ -337,9 +341,7 @@ impl<'p> Compiler<'p> {
             efsm::opt::optimize(&mut self.efsm);
             self.report.states = self.efsm.states.len() as u32;
         }
-        self.efsm
-            .validate()
-            .map_err(CompileError::Internal)?;
+        self.efsm.validate().map_err(CompileError::Internal)?;
         Ok((self.efsm, self.report))
     }
 
@@ -589,12 +591,21 @@ impl<'p> Compiler<'p> {
         }
     }
 }
+impl From<CompileError> for ecl_syntax::EclError {
+    fn from(e: CompileError) -> Self {
+        ecl_syntax::EclError::msg(
+            ecl_syntax::Stage::Efsm,
+            e.to_string(),
+            ecl_syntax::Span::dummy(),
+        )
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::{ProgramBuilder, Stmt};
     use crate::interp::Machine;
+    use crate::ir::{ProgramBuilder, Stmt};
     use efsm::NoHooks;
     use std::collections::HashSet;
 

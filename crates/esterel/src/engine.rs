@@ -106,9 +106,7 @@ impl<'p, S: Sem> Engine<'p, S> {
                 Tri::True => return Some(true),
                 Tri::False => return Some(false),
                 Tri::Unknown => {
-                    let Some(s) = first_unknown_with(e, &mut self.sem) else {
-                        return None;
-                    };
+                    let s = first_unknown_with(e, &mut self.sem)?;
                     self.sem.blocked_on(s);
                     if self.sem.status(s) == Tri::Unknown {
                         return None;
@@ -194,7 +192,10 @@ impl<'p, S: Sem> Engine<'p, S> {
                 let mut mode_start = start;
                 if !start {
                     // Find the child holding the selection.
-                    match children.iter().position(|c| self.prog.selected(*c, self.sel)) {
+                    match children
+                        .iter()
+                        .position(|c| self.prog.selected(*c, self.sel))
+                    {
                         Some(i) => idx = i,
                         None => {
                             // Selection vanished (should not happen).
@@ -250,7 +251,10 @@ impl<'p, S: Sem> Engine<'p, S> {
                         }
                     };
                     match child_out {
-                        Done { code: c2, pauses: p2 } => {
+                        Done {
+                            code: c2,
+                            pauses: p2,
+                        } => {
                             code = code.max(c2);
                             pauses.union_with(&p2);
                         }

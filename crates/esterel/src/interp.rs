@@ -37,7 +37,10 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::NonConstructive { unresolved } => {
-                write!(f, "program is not constructive; unresolved signals: {unresolved:?}")
+                write!(
+                    f,
+                    "program is not constructive; unresolved signals: {unresolved:?}"
+                )
             }
             RuntimeError::InstantaneousLoop => write!(f, "loop body ran twice in one instant"),
             RuntimeError::CausalityViolation(s) => {
@@ -229,9 +232,7 @@ impl<'p> Machine<'p> {
                     return Err(RuntimeError::InstantaneousLoop)
                 }
                 ExecOut::Failed(ExecFailure::InconsistentEmission(s)) => {
-                    return Err(RuntimeError::CausalityViolation(
-                        violated.unwrap_or(s),
-                    ))
+                    return Err(RuntimeError::CausalityViolation(violated.unwrap_or(s)))
                 }
                 ExecOut::Blocked => {
                     // The pass itself may have made progress (an
@@ -242,6 +243,7 @@ impl<'p> Machine<'p> {
                     self.last_unknowns = unknowns;
                     // Can-based absence inference.
                     let can = self.can_root(&status, &journal, start);
+                    #[allow(clippy::needless_range_loop)]
                     for i in 0..n {
                         if status[i] == Tri::Unknown && !can.emits.contains(i) {
                             status[i] = Tri::False;
@@ -364,7 +366,10 @@ impl<'a> CanCtx<'a> {
                 let mut idx = 0;
                 let mut mode_start = start;
                 if !start {
-                    match children.iter().position(|c| self.prog.selected(*c, self.sel)) {
+                    match children
+                        .iter()
+                        .position(|c| self.prog.selected(*c, self.sel))
+                    {
                         Some(i) => idx = i,
                         None => return Can::terminated(),
                     }
@@ -607,7 +612,11 @@ mod tests {
         let mut m = Machine::new(&p);
         react(&mut m, &[]);
         let rx = react(&mut m, &[a, r]);
-        assert_eq!(rx.emitted, vec![o], "weak abort runs the body's last instant");
+        assert_eq!(
+            rx.emitted,
+            vec![o],
+            "weak abort runs the body's last instant"
+        );
         assert!(rx.terminated);
     }
 
@@ -741,10 +750,7 @@ mod tests {
         let mut bld = ProgramBuilder::new("t");
         let o = bld.output("o");
         let p = bld
-            .finish(Stmt::seq(vec![
-                Stmt::await_delta(),
-                Stmt::emit(o),
-            ]))
+            .finish(Stmt::seq(vec![Stmt::await_delta(), Stmt::emit(o)]))
             .unwrap();
         let mut m = Machine::new(&p);
         assert!(react(&mut m, &[]).emitted.is_empty());

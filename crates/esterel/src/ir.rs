@@ -29,6 +29,7 @@ pub enum Tri {
 
 impl Tri {
     /// Kleene negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Tri {
         match self {
             Tri::True => Tri::False,
@@ -70,7 +71,6 @@ pub enum SigExpr {
     /// Disjunction.
     Or(Box<SigExpr>, Box<SigExpr>),
 }
-
 impl From<Signal> for SigExpr {
     fn from(s: Signal) -> Self {
         SigExpr::Sig(s)
@@ -428,7 +428,10 @@ impl fmt::Display for IrError {
         match self {
             IrError::UnboundExit { depth } => write!(f, "exit depth {depth} has no enclosing trap"),
             IrError::InstantaneousLoop => {
-                write!(f, "loop body may terminate instantaneously (needs a pause on every path)")
+                write!(
+                    f,
+                    "loop body may terminate instantaneously (needs a pause on every path)"
+                )
             }
             IrError::UnknownSignal(s) => write!(f, "signal {s:?} is not declared"),
         }
@@ -810,6 +813,16 @@ fn freeze(s: &Stmt, nodes: &mut Vec<Node>, meta: &mut Vec<Meta>, n_pauses: &mut 
     StmtId(nodes.len() as u32 - 1)
 }
 
+impl From<IrError> for ecl_syntax::EclError {
+    fn from(e: IrError) -> Self {
+        ecl_syntax::EclError::msg(
+            ecl_syntax::Stage::Ir,
+            e.to_string(),
+            ecl_syntax::Span::dummy(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -951,6 +964,8 @@ mod tests {
             r.into(),
             Stmt::emit(o),
         );
-        assert!(b.finish(Stmt::loop_(Stmt::seq(vec![body, Stmt::pause()]))).is_ok());
+        assert!(b
+            .finish(Stmt::loop_(Stmt::seq(vec![body, Stmt::pause()])))
+            .is_ok());
     }
 }

@@ -37,8 +37,8 @@
 //! assert!(efsm.states.len() >= 2);
 //! ```
 
-mod engine;
 pub mod compile;
+mod engine;
 pub mod interp;
 pub mod ir;
 

@@ -1,0 +1,137 @@
+//! Offline shim for the subset of the `criterion` API this workspace
+//! uses: `benchmark_group`, `sample_size`, `bench_function`,
+//! `Bencher::iter`, `finish`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measures wall time with `std::time` and
+//! prints mean per-iteration timings.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver (shim of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: if self.sample_size == 0 {
+                20
+            } else {
+                self.sample_size
+            },
+            _parent: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            name,
+            if self.sample_size == 0 {
+                20
+            } else {
+                self.sample_size
+            },
+            f,
+        );
+        self
+    }
+}
+
+/// A named group of benchmarks (shim of `BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(label: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let mean = if b.iters > 0 {
+        b.elapsed / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!("bench {label:<40} {:>12?}/iter ({} iters)", mean, b.iters);
+}
+
+/// Passed to the closure of `bench_function` (shim of `Bencher`).
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one call of `f` (samples aggregate across calls).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let t0 = Instant::now();
+        let out = f();
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+        drop(black_box(out));
+    }
+}
+
+/// Declare a group of benchmark functions (shim of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Produce `fn main` running the groups (shim of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,290 @@
+//! Offline shim for the subset of the `proptest` API this workspace
+//! uses: the `proptest!` macro, integer-range and `any::<T>()`
+//! strategies, tuple composition, `Strategy::prop_map`,
+//! `prop_assert!`/`prop_assert_eq!`, `ProptestConfig::with_cases`, and
+//! `TestCaseError`. Cases are generated deterministically (SplitMix64
+//! over the case index), so failures are reproducible; there is no
+//! shrinking.
+
+/// Error and config types (shim of `proptest::test_runner`).
+pub mod test_runner {
+    use std::fmt;
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure with its rendered message.
+        Fail(String),
+        /// Case rejected (not counted as failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Runner configuration (shim of `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Deterministic value generation (shim of `proptest::strategy`).
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Deterministic per-case generator state (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct CaseRng {
+        state: u64,
+    }
+
+    impl CaseRng {
+        /// Generator for case number `case`.
+        pub fn new(case: u64) -> Self {
+            // Offset so case 0 does not start at the weak all-zero state.
+            CaseRng {
+                state: case.wrapping_mul(0x2545F4914F6CDD1D) ^ 0xDEADBEEFCAFEF00D,
+            }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// A deterministic value source (shim of `proptest::Strategy`).
+    pub trait Strategy: Sized {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value for the current case.
+        fn generate(&self, rng: &mut CaseRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut CaseRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Types generable by [`any`].
+    pub trait Arbitrary: Sized {
+        /// Build a value from one raw draw.
+        fn from_draw(draw: u64) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn from_draw(draw: u64) -> Self {
+                    draw as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn from_draw(draw: u64) -> Self {
+            draw & 1 == 1
+        }
+    }
+
+    /// Full-range strategy for `T` (shim of `proptest::arbitrary::any`).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Strategy drawing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut CaseRng) -> T {
+            T::from_draw(rng.next_u64())
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut CaseRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    assert!(span > 0, "empty proptest range");
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut CaseRng) -> $t {
+                    // i128 arithmetic: `end + 1` cannot overflow even
+                    // for T::MAX-inclusive ranges.
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (*self.start() as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut CaseRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+/// The common imports (shim of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Run deterministic property tests (shim of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::strategy::CaseRng::new(case as u64);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err(e) => panic!("proptest case {case} failed: {e}"),
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+/// Property assertion (returns `TestCaseError` instead of panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{:?}` != `{:?}`", a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            let msg = format!($($fmt)+);
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`: {}", a, b, msg),
+            ));
+        }
+    }};
+}

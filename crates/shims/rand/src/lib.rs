@@ -1,0 +1,202 @@
+//! Offline shim for the subset of the `rand 0.8` API this workspace
+//! uses. Deterministic per seed (SplitMix64 core); streams are not
+//! bit-compatible with upstream `rand`, which no caller relies on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable by [`Rng::gen`] (shim of the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value from `next`.
+    fn sample_standard(next: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard(next: u64) -> Self {
+                next as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard(next: u64) -> Self {
+        next & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard(next: u64) -> Self {
+        (next >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`] (shim of
+/// `SampleUniform`).
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[lo, hi)` given a raw draw.
+    fn from_u64_in(lo: Self, hi: Self, next: u64) -> Self;
+    /// Sample uniformly from `[lo, hi]` given a raw draw.
+    fn from_u64_incl(lo: Self, hi: Self, next: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_u64_in(lo: Self, hi: Self, next: u64) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                debug_assert!(span > 0, "gen_range called with empty range");
+                let off = (next as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+            fn from_u64_incl(lo: Self, hi: Self, next: u64) -> Self {
+                // i128 arithmetic: `hi + 1` cannot overflow even for
+                // T::MAX-inclusive ranges.
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (next as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::gen_range`] (shim of `SampleRange`).
+pub trait SampleRange<T> {
+    /// Sample one value using a raw draw.
+    fn sample_from(self, next: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, next: u64) -> T {
+        T::from_u64_in(self.start, self.end, next)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, next: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        T::from_u64_incl(lo, hi, next)
+    }
+}
+
+/// The generator interface (shim of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a value of an inferred type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self.next_u64()) < p
+    }
+
+    /// Uniform draw from a (half-open or inclusive) range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self.next_u64())
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic generator (SplitMix64; shim of `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble the seed once so small seeds diverge quickly.
+            let mut r = StdRng { state: seed };
+            let _ = r.next_u64();
+            r
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public domain, Sebastiano Vigna).
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(0..5);
+            assert!(v < 5);
+            let w: i32 = r.gen_range(1..=3);
+            assert!((1..=3).contains(&w));
+            let b: u8 = r.gen();
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+    #[test]
+    fn inclusive_range_at_type_max_does_not_overflow() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v: u64 = r.gen_range(u64::MAX - 1..=u64::MAX);
+            assert!(v >= u64::MAX - 1);
+            let w: u8 = r.gen_range(0..=u8::MAX);
+            let _ = w;
+            let x: i64 = r.gen_range(i64::MIN..=i64::MAX);
+            let _ = x;
+        }
+    }
+}

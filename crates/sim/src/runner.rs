@@ -119,8 +119,7 @@ impl AsyncRunner {
         let mut hit = false;
         for t in &mut self.tasks {
             if t.design.signal(name).is_some() {
-                t.rt
-                    .set_input_i64(name, v)
+                t.rt.set_input_i64(name, v)
                     .map_err(|e| SimError { msg: e.to_string() })?;
                 hit = true;
             }
@@ -180,53 +179,53 @@ impl AsyncRunner {
             .iter()
             .filter_map(|n| self.tasks[ti].efsm.signal(n))
             .collect();
-            let fuel_before = self.tasks[ti].rt.machine().fuel();
-            let (r, emitted_with_values) = {
-                let t = &mut self.tasks[ti];
-                let r = t.efsm.step(t.state, &inputs, &mut t.rt);
-                t.state = r.next;
-                if let Some(e) = t.rt.take_error() {
-                    return err(format!("task `{}`: {e}", t.design.entry));
-                }
-                let ev: Vec<(String, Option<ecl_types::Value>)> = r
-                    .emitted
-                    .iter()
-                    .map(|s| {
-                        let name = t.efsm.signal_info(*s).name.clone();
-                        let v = t.rt.signal_value_by_name(&name).cloned();
-                        (name, v)
-                    })
-                    .collect();
-                (r, ev)
-            };
-            // Cycle charges for the reaction.
-            let fuel_after = self.tasks[ti].rt.machine().fuel();
-            let ops = fuel_before.saturating_sub(fuel_after);
-            let cycles = self.cost.cyc_reaction_base
-                + r.nodes_visited as u64 * self.cost.cyc_test
-                + ops * self.cost.cyc_per_op
-                + r.emitted.len() as u64 * self.cost.cyc_emit;
-            self.kernel.charge_task(cycles);
-            // Deliver emissions: values first, then events.
-            for (name, value) in emitted_with_values {
-                // Copy the value into every *other* task that reads it.
-                if let Some(v) = &value {
-                    for rj in 0..self.tasks.len() {
-                        if rj == ti {
-                            continue;
-                        }
-                        if self.tasks[rj].design.signal(&name).is_some() {
-                            let _ = self.tasks[rj].rt.set_input_value(&name, v.clone());
-                            self.kernel
-                                .charge_task(v.bytes.len() as u64 * self.cost.cyc_per_value_byte);
-                        }
+        let fuel_before = self.tasks[ti].rt.machine().fuel();
+        let (r, emitted_with_values) = {
+            let t = &mut self.tasks[ti];
+            let r = t.efsm.step(t.state, &inputs, &mut t.rt);
+            t.state = r.next;
+            if let Some(e) = t.rt.take_error() {
+                return err(format!("task `{}`: {e}", t.design.entry));
+            }
+            let ev: Vec<(String, Option<ecl_types::Value>)> = r
+                .emitted
+                .iter()
+                .map(|s| {
+                    let name = t.efsm.signal_info(*s).name.clone();
+                    let v = t.rt.signal_value_by_name(&name).cloned();
+                    (name, v)
+                })
+                .collect();
+            (r, ev)
+        };
+        // Cycle charges for the reaction.
+        let fuel_after = self.tasks[ti].rt.machine().fuel();
+        let ops = fuel_before.saturating_sub(fuel_after);
+        let cycles = self.cost.cyc_reaction_base
+            + r.nodes_visited as u64 * self.cost.cyc_test
+            + ops * self.cost.cyc_per_op
+            + r.emitted.len() as u64 * self.cost.cyc_emit;
+        self.kernel.charge_task(cycles);
+        // Deliver emissions: values first, then events.
+        for (name, value) in emitted_with_values {
+            // Copy the value into every *other* task that reads it.
+            if let Some(v) = &value {
+                for rj in 0..self.tasks.len() {
+                    if rj == ti {
+                        continue;
+                    }
+                    if self.tasks[rj].design.signal(&name).is_some() {
+                        let _ = self.tasks[rj].rt.set_input_value(&name, v.clone());
+                        self.kernel
+                            .charge_task(v.bytes.len() as u64 * self.cost.cyc_per_value_byte);
                     }
                 }
-                self.kernel.post_internal(tid, &name);
-                *self.counts.entry(name.clone()).or_insert(0) += 1;
-                self.trace.push((self.instant, name.clone()));
-                emitted_names.push(name);
             }
+            self.kernel.post_internal(tid, &name);
+            *self.counts.entry(name.clone()).or_insert(0) += 1;
+            self.trace.push((self.instant, name.clone()));
+            emitted_names.push(name);
+        }
         Ok(())
     }
 }
@@ -299,6 +298,21 @@ impl<'d> InterpRunner<'d> {
     /// Access the runtime (inspect signal values).
     pub fn rt(&self) -> &Rt {
         &self.rt
+    }
+}
+impl From<SimError> for ecl_syntax::EclError {
+    fn from(e: SimError) -> Self {
+        ecl_syntax::EclError::msg(
+            ecl_syntax::Stage::Sim,
+            e.msg.clone(),
+            ecl_syntax::Span::dummy(),
+        )
+    }
+}
+
+impl From<ecl_syntax::EclError> for SimError {
+    fn from(e: ecl_syntax::EclError) -> Self {
+        SimError { msg: e.to_string() }
     }
 }
 

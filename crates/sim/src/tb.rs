@@ -62,11 +62,7 @@ pub const PKTSIZE: usize = HDRSIZE + DATASIZE + CRCSIZE;
 pub fn make_packet(rng: &mut impl Rng, good_addr: bool, good_crc: bool) -> [u8; PKTSIZE] {
     let mut p = [0u8; PKTSIZE];
     for (j, b) in p.iter_mut().enumerate().take(HDRSIZE) {
-        *b = if good_addr {
-            (j + 1) as u8
-        } else {
-            0xEE
-        };
+        *b = if good_addr { (j + 1) as u8 } else { 0xEE };
     }
     for b in p.iter_mut().take(HDRSIZE + DATASIZE).skip(HDRSIZE) {
         *b = rng.gen();

@@ -32,7 +32,9 @@ fn run(designs: Vec<ecl_core::Design>) -> AsyncRunner {
 
 #[test]
 fn single_task_pager_plays_back() {
-    let d = Compiler::default().compile_str(VOICE_PAGER, "pager").unwrap();
+    let d = Compiler::default()
+        .compile_str(VOICE_PAGER, "pager")
+        .unwrap();
     let m = d.to_efsm(&Default::default()).unwrap();
     println!("pager monolithic: {}", m.stats());
     let r = run(vec![d]);

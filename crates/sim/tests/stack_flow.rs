@@ -43,7 +43,11 @@ fn single_task_stack_emits_packets_and_crc() {
     let crc = r.counts.get("top::crc_ok").copied().unwrap_or(0);
     assert!(crc >= 11, "crc checked per packet, got {crc}");
     let am = r.counts.get("addr_match").copied().unwrap_or(0);
-    assert!(am >= 1, "some packets should match, got {am}; counts {:?}", r.counts);
+    assert!(
+        am >= 1,
+        "some packets should match, got {am}; counts {:?}",
+        r.counts
+    );
 }
 
 #[test]

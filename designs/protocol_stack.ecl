@@ -1,0 +1,101 @@
+/* The paper's running example (Figures 1-4): a fragment of a network
+ * protocol stack. Packets arrive one byte per instant on `in_byte`;
+ * `assemble` gathers them into 64-byte packets, `checkcrc` verifies
+ * the checksum, and `prochdr` scans the header one byte per cycle,
+ * killed early when the CRC check fails.
+ *
+ * The geometry mirrors Figure 1's #defines; the union gives the two
+ * views of a packet (raw byte stream vs. header/data/crc fields). */
+
+#define HDRSIZE 6
+#define DATASIZE 56
+#define CRCSIZE 2
+#define PKTSIZE HDRSIZE+DATASIZE+CRCSIZE
+
+typedef unsigned char byte;
+typedef struct { byte packet[PKTSIZE]; } packet_view_1_t;
+typedef struct { byte header[HDRSIZE]; byte data[DATASIZE]; byte crc[CRCSIZE]; } packet_view_2_t;
+typedef union { packet_view_1_t raw; packet_view_2_t cooked; } packet_t;
+
+/* Figure 1: collect PKTSIZE bytes into a packet; `reset` restarts the
+ * assembly from byte zero. */
+module assemble (input pure reset, input byte in_byte, output packet_t outpkt)
+{
+    int cnt;
+    packet_t buffer;
+    while (1) {
+        do {
+            for (cnt = 0; cnt < PKTSIZE; cnt++) {
+                await (in_byte);
+                buffer.raw.packet[cnt] = in_byte;
+            }
+            emit_v (outpkt, buffer);
+        } abort (reset);
+    }
+}
+
+/* Figure 2: accumulate the CRC over header+data ((acc ^ byte) << 1,
+ * masked to 16 bits) and compare against the stored little-endian
+ * checksum. The verdict is emitted as the *value* of `crc_ok` in the
+ * same instant the packet arrives. */
+module checkcrc (input packet_t inpkt, output int crc_ok)
+{
+    int i;
+    int acc;
+    while (1) {
+        await (inpkt);
+        acc = 0;
+        for (i = 0; i < HDRSIZE + DATASIZE; i++) {
+            acc = ((acc ^ inpkt.raw.packet[i]) << 1) & 0xFFFF;
+        }
+        emit_v (crc_ok, acc == (inpkt.cooked.crc[0] | (inpkt.cooked.crc[1] << 8)));
+    }
+}
+
+/* Figure 3: scan the header one byte per delta cycle while the CRC
+ * verdict is awaited in parallel; a failed CRC kills the scan through
+ * the local signal `kill_check` before `addr_match` can fire. */
+module prochdr (input packet_t inpkt, input int crc_ok, output pure addr_match)
+{
+    int j;
+    int ok;
+    signal pure kill_check;
+    while (1) {
+        await (inpkt);
+        par {
+            {
+                do {
+                    ok = 1;
+                    for (j = 0; j < HDRSIZE; j++) {
+                        await ();
+                        if (inpkt.cooked.header[j] != j + 1) {
+                            ok = 0;
+                        }
+                    }
+                    if (ok) {
+                        emit (addr_match);
+                    }
+                } abort (kill_check);
+            }
+            {
+                await_immediate (crc_ok);
+                await ();
+                if (!crc_ok) {
+                    emit (kill_check);
+                }
+            }
+        }
+    }
+}
+
+/* Figure 4: the three stages wired by two internal signals. */
+module toplevel (input pure reset, input byte in_byte, output pure addr_match)
+{
+    signal packet_t packet;
+    signal int crc_ok;
+    par {
+        assemble (reset, in_byte, packet);
+        checkcrc (packet, crc_ok);
+        prochdr (packet, crc_ok, addr_match);
+    }
+}

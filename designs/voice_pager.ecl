@@ -1,0 +1,115 @@
+/* The voice-mail pager audio buffer controller (the paper's second
+ * Table 1 example, reconstructed; see DESIGN.md). Three concurrent
+ * modules: `producer` frames incoming ADC samples while recording is
+ * on, `buffer_ctl` stores frames and streams them back one sample per
+ * playback tick, and `player` forwards the stream to the DAC.
+ *
+ * The three modules wait on unrelated event streams, which is exactly
+ * what makes the synchronous product machine large compared to the
+ * three asynchronous tasks (the paper's Buffer row). */
+
+#define FRAMESIZE 4
+#define MAXFRAMES 16
+#define STOREBYTES 64
+
+typedef unsigned char byte;
+typedef struct { byte s[FRAMESIZE]; } frame_t;
+typedef struct { byte m[STOREBYTES]; } store_t;
+
+/* Group samples into FRAMESIZE-sample frames between `rec_on` and
+ * `rec_off`. The four sample slots are explicit control states (one
+ * await per slot, as in the original controller's sampled loop) —
+ * which is exactly what multiplies against the other modules' states
+ * in the synchronous product machine. */
+module producer (input pure rec_on, input pure rec_off, input byte sample,
+                 output frame_t frame)
+{
+    frame_t cur;
+    while (1) {
+        await (rec_on);
+        do {
+            while (1) {
+                await (sample);
+                cur.s[0] = sample;
+                await (sample);
+                cur.s[1] = sample;
+                await (sample);
+                cur.s[2] = sample;
+                await (sample);
+                cur.s[3] = sample;
+                emit_v (frame, cur);
+            }
+        } abort (rec_off);
+    }
+}
+
+/* Store recorded frames; between `play_btn` and `stop_btn`, stream one
+ * stored sample per `tick`; `erase` clears the store. */
+module buffer_ctl (input frame_t frame, input pure play_btn, input pure stop_btn,
+                   input pure erase, input pure tick, output byte out_sample)
+{
+    store_t store;
+    int nbytes;
+    int k;
+    int rd;
+    nbytes = 0;
+    par {
+        {
+            while (1) {
+                await (frame);
+                if (nbytes + FRAMESIZE <= STOREBYTES) {
+                    for (k = 0; k < FRAMESIZE; k++) {
+                        store.m[nbytes + k] = frame.s[k];
+                    }
+                    nbytes = nbytes + FRAMESIZE;
+                }
+            }
+        }
+        {
+            while (1) {
+                await (play_btn);
+                rd = 0;
+                do {
+                    while (1) {
+                        await (tick);
+                        if (rd < nbytes) {
+                            emit_v (out_sample, store.m[rd]);
+                            rd = rd + 1;
+                        }
+                    }
+                } abort (stop_btn);
+            }
+        }
+        {
+            while (1) {
+                await (erase);
+                nbytes = 0;
+            }
+        }
+    }
+}
+
+/* Forward the playback stream to the DAC, with a settling cycle after
+ * each conversion (the DAC is half the sample rate of the bus). */
+module player (input byte out_sample, output byte dac)
+{
+    while (1) {
+        await (out_sample);
+        emit_v (dac, out_sample);
+        await ();
+    }
+}
+
+/* Top level: producer -> buffer -> player over two internal signals. */
+module pager (input pure rec_on, input pure rec_off, input byte sample,
+              input pure play_btn, input pure stop_btn, input pure erase,
+              input pure tick, output byte dac)
+{
+    signal frame_t frame;
+    signal byte out_sample;
+    par {
+        producer (rec_on, rec_off, sample, frame);
+        buffer_ctl (frame, play_btn, stop_btn, erase, tick, out_sample);
+        player (out_sample, dac);
+    }
+}

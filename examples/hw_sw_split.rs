@@ -1,24 +1,24 @@
 //! Hardware/software partitioning (paper Section 4: "the CRC
-//! computation may be [a] good candidate for hardware"): emit C for the
-//! software side and Verilog + a gate estimate for a pure-control
-//! controller.
+//! computation may be [a] good candidate for hardware") on the staged
+//! pipeline: the `Artifacts` stage emits C for every design and
+//! Verilog + a gate estimate exactly when the machine is pure control.
 //!
 //! Run with: `cargo run --example hw_sw_split`
 
-use ecl_core::Compiler;
+use ecl_repro::prelude::*;
 use sim::designs::PROTOCOL_STACK;
 
 fn main() {
     // Software side: checkcrc (has a data part → software only, exactly
     // as the paper says).
-    let sw = Compiler::default()
-        .compile_str(PROTOCOL_STACK, "checkcrc")
+    let sw = Source::named("protocol_stack.ecl", PROTOCOL_STACK)
+        .finish("checkcrc")
         .expect("compiles");
-    let sw_m = sw.to_efsm(&Default::default()).expect("EFSM");
+    let artifacts = Artifacts::emit(&sw).expect("codegen");
     println!("=== checkcrc: software (C) implementation ===");
-    println!("{}", codegen::c_backend::emit_c(&sw_m, &sw));
-    match codegen::verilog::emit_verilog(&sw_m) {
-        Err(e) => println!("hardware synthesis of checkcrc: {e}\n"),
+    println!("{}", artifacts.c());
+    match artifacts.require_verilog() {
+        Err(e) => println!("hardware synthesis of checkcrc: {e}"),
         Ok(_) => unreachable!("checkcrc has a data part"),
     }
 
@@ -32,10 +32,10 @@ fn main() {
             } abort (reset);
           }
         }";
-    let hw = Compiler::default().compile_str(src, "framer").unwrap();
-    let hw_m = hw.to_efsm(&Default::default()).unwrap();
+    let hw = Source::new(src).finish("framer").expect("compiles");
+    let artifacts = Artifacts::emit(&hw).expect("codegen");
     println!("=== framer: hardware (Verilog) implementation ===");
-    println!("{}", codegen::verilog::emit_verilog(&hw_m).unwrap());
-    let g = codegen::verilog::estimate_gates(&hw_m);
+    println!("{}", artifacts.require_verilog().expect("pure control"));
+    let g = artifacts.gates();
     println!("// gate estimate: {} flops, ~{} gates", g.flops, g.gates);
 }

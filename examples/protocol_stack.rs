@@ -1,13 +1,12 @@
-//! The paper's running example (Figures 1–4): compile the protocol
-//! stack both ways and stream packets through it.
+//! The paper's running example (Figures 1-4) on the Workspace session
+//! API: compile the monolithic stack and its three asynchronous tasks
+//! from one shared parse, then stream packets through both.
 //!
 //! Run with: `cargo run --example protocol_stack`
 
-use codegen::cost::CostParams;
-use ecl_core::Compiler;
+use ecl_repro::prelude::*;
 use rtk::KernelParams;
 use sim::designs::PROTOCOL_STACK;
-use sim::runner::AsyncRunner;
 use sim::tb::PacketTb;
 
 fn drive(mut r: AsyncRunner, label: &str) {
@@ -39,15 +38,18 @@ fn drive(mut r: AsyncRunner, label: &str) {
 }
 
 fn main() {
+    let mut ws = Workspace::new();
+    ws.add_source("protocol_stack.ecl", PROTOCOL_STACK);
+
     // Synchronous: the whole stack as one EFSM (paper: "a single task").
-    let mono = Compiler::default()
-        .compile_str(PROTOCOL_STACK, "toplevel")
+    let mono = ws
+        .compile("protocol_stack.ecl", "toplevel")
         .expect("compiles");
-    let m = mono.to_efsm(&Default::default()).expect("EFSM");
+    let m = ws.machine("protocol_stack.ecl", "toplevel").expect("EFSM");
     println!("monolithic EFSM: {}", m.stats());
     drive(
         AsyncRunner::new(
-            vec![mono],
+            vec![(*mono).clone()],
             &Default::default(),
             CostParams::default(),
             KernelParams::default(),
@@ -57,13 +59,30 @@ fn main() {
     );
 
     // Asynchronous: one task per module (paper: "three source files").
-    let parts = Compiler::default()
-        .partition(PROTOCOL_STACK, "toplevel")
-        .expect("partitions");
+    // Re-enter the shared Parsed stage per submodule: the workspace's
+    // parse is reused, each instantiation is elaborated with its actual
+    // wire names.
+    let parsed = ws.parsed("protocol_stack.ecl").expect("parsed");
+    let parts: Vec<Design> = parsed
+        .instantiations("toplevel")
+        .into_iter()
+        .map(|inst| {
+            parsed
+                .elaborate_bound(&inst.module, Some(&inst.actuals))
+                .expect("elaborates")
+                .split()
+                .expect("splits")
+                .to_design()
+        })
+        .collect();
     for p in &parts {
         let m = p.to_efsm(&Default::default()).unwrap();
         println!("task {}: {}", p.entry, m.stats());
     }
+    println!(
+        "cache: {:?} (the toplevel and all three tasks shared one parse)",
+        ws.cache_stats()
+    );
     drive(
         AsyncRunner::new(
             parts,

@@ -1,9 +1,10 @@
-//! Quickstart: compile a small ECL module, inspect the split, simulate
-//! a few instants, and print the EFSM.
+//! Quickstart on the staged pipeline: walk a small ECL module through
+//! every stage — parse, elaborate, split, Esterel IR, EFSM, artifacts —
+//! inspecting each one, then simulate a few instants.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use ecl_core::Compiler;
+use ecl_repro::prelude::*;
 use sim::runner::InterpRunner;
 
 fn main() {
@@ -20,20 +21,38 @@ fn main() {
             }
           }
         }";
-    let design = Compiler::default()
-        .compile_str(src, "debounce")
-        .expect("compiles");
+
+    // Stage by stage; every artifact is inspectable before advancing.
+    let parsed = Source::new(src).parse().expect("parses");
+    println!("modules: {:?}", parsed.module_names());
+
+    let elaborated = parsed.elaborate("debounce").expect("elaborates");
+    println!(
+        "elaborated: {} signals, {} variables",
+        elaborated.elab().signals.len(),
+        elaborated.elab().vars.len()
+    );
+
+    let split = elaborated.split().expect("splits");
+    let report = split.report();
     println!(
         "split: {} reactive statements, {} extracted actions, {} predicates",
-        design.split.report.reactive_stmts,
-        design.split.report.actions,
-        design.split.report.preds
+        report.reactive_stmts, report.actions, report.preds
     );
-    let efsm = design.to_efsm(&Default::default()).expect("EFSM");
-    println!("EFSM: {}", efsm.stats());
-    println!("\n{}", efsm::dot::to_dot(&efsm, 64));
+
+    let machine = split.ir().compile(&Default::default()).expect("EFSM");
+    println!("EFSM: {}", machine.efsm().stats());
+    println!("\n{}", efsm::dot::to_dot(machine.efsm(), 64));
+
+    let artifacts = Artifacts::emit(&machine).expect("codegen");
+    println!(
+        "artifacts: {} bytes of C, hardware option: {}",
+        artifacts.c().len(),
+        artifacts.verilog().is_some()
+    );
 
     // Simulate: 3 noisy then 4 clean clock edges.
+    let design = machine.design();
     let mut run = InterpRunner::new(&design).expect("runtime");
     let pattern: &[&[&str]] = &[
         &[],

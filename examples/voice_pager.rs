@@ -1,26 +1,24 @@
 //! The voice-mail pager audio buffer controller (the paper's second
-//! Table 1 example, reconstructed): record and play back audio frames.
+//! Table 1 example, reconstructed): record and play back audio frames,
+//! compiled through the staged pipeline.
 //!
 //! Run with: `cargo run --example voice_pager`
 
-use codegen::cost::CostParams;
-use ecl_core::Compiler;
+use ecl_repro::prelude::*;
 use rtk::KernelParams;
 use sim::designs::VOICE_PAGER;
-use sim::runner::AsyncRunner;
 use sim::tb::PagerTb;
 
 fn main() {
-    let design = Compiler::default()
-        .compile_str(VOICE_PAGER, "pager")
+    let machine = Source::named("voice_pager.ecl", VOICE_PAGER)
+        .finish("pager")
         .expect("compiles");
-    let m = design.to_efsm(&Default::default()).expect("EFSM");
-    println!("monolithic pager EFSM: {}", m.stats());
+    println!("monolithic pager EFSM: {}", machine.efsm().stats());
     println!("(three modules waiting on unrelated streams multiply into a product machine —");
     println!(" the mechanism behind the paper's Buffer row, where sync code ≫ async code)\n");
 
     let mut r = AsyncRunner::new(
-        vec![design],
+        vec![machine.design()],
         &Default::default(),
         CostParams::default(),
         KernelParams::default(),

@@ -6,6 +6,51 @@
 //! crate; the implementation lives in the member crates (see README.md
 //! and DESIGN.md for the architecture).
 //!
+//! ## The staged pipeline
+//!
+//! Compilation is exposed as typed stages — `Source → Parsed →
+//! Elaborated → Split → EsterelIr → Machine → Artifacts` — so tools
+//! can stop at, inspect, or re-enter any point:
+//!
+//! ```
+//! use ecl_repro::prelude::*;
+//!
+//! let src = "module m(input pure a, output pure o) {
+//!              while (1) { await (a); emit (o); } }";
+//! let machine = Source::new(src)
+//!     .parse().unwrap()          // -> Parsed
+//!     .elaborate("m").unwrap()   // -> Elaborated
+//!     .split().unwrap()          // -> Split
+//!     .ir()                      // -> EsterelIr
+//!     .compile(&Default::default()).unwrap(); // -> Machine
+//! machine.validate().unwrap();
+//! let artifacts = Artifacts::emit(&machine).unwrap();
+//! assert!(artifacts.c().contains("m"));
+//! ```
+//!
+//! ## Batch sessions
+//!
+//! A [`prelude::Workspace`] compiles many entry modules from a shared
+//! parsed program set, in parallel, memoizing by
+//! `(source, entry, strategy)`:
+//!
+//! ```
+//! use ecl_repro::prelude::*;
+//!
+//! let mut ws = Workspace::new();
+//! ws.add_source("lib.ecl", "
+//!     module ping(input pure i, output pure o) { while (1) { await (i); emit (o); } }
+//!     module pong(input pure i, output pure o) { while (1) { await (i); emit (o); } }");
+//! let results = ws.compile_all(&[("lib.ecl", "ping"), ("lib.ecl", "pong")]);
+//! assert!(results.iter().all(Result::is_ok));
+//! assert_eq!(ws.cache_stats().parse_misses, 1); // parsed once
+//! ```
+//!
+//! ## Legacy facade
+//!
+//! The original one-shot API still works (now a thin shim over the
+//! pipeline):
+//!
 //! ```
 //! use ecl_repro::prelude::*;
 //!
@@ -27,8 +72,17 @@ pub use sim;
 
 /// The names most users need.
 pub mod prelude {
-    pub use codegen::cost::{rtos_cost, task_cost, CostParams};
+    // Staged pipeline (preferred surface).
+    pub use codegen::artifacts::{Artifacts, WorkspaceCodegenExt};
+    pub use ecl_core::pipeline::{Elaborated, EsterelIr, Machine, Parsed, Source, Split};
+    pub use ecl_core::workspace::{CacheStats, Workspace};
+    pub use ecl_syntax::diag::{Diagnostic, Diagnostics, EclError, Severity, Stage};
+
+    // Legacy one-shot compiler (shim over the pipeline).
     pub use ecl_core::{Compiler, Design, Options, SplitStrategy};
+
+    // Back ends, machines, simulation.
+    pub use codegen::cost::{rtos_cost, task_cost, CostParams};
     pub use efsm::{DataHooks, Efsm, NoHooks};
     pub use esterel::CompileOptions;
     pub use sim::measure::measure;
