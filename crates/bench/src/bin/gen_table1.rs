@@ -36,7 +36,11 @@ fn main() {
     ] {
         let mut keys: Vec<_> = m.outputs.iter().collect();
         keys.sort();
-        println!("  {name}: {keys:?} (events lost: {})", m.events_lost);
+        println!(
+            "  {name}: {keys:?} (events lost: {} — {})",
+            m.events_lost,
+            m.losses()
+        );
     }
 
     println!("\nShape checks vs. the paper:");

@@ -24,4 +24,5 @@ pub mod cost;
 pub mod verilog;
 
 pub use artifacts::{Artifacts, WorkspaceCodegenExt};
+pub use c_backend::emit_monitor_c;
 pub use cost::{CostParams, RtosCost, TaskCost};

@@ -49,6 +49,7 @@ use crate::split::SplitStrategy;
 use ecl_syntax::diag::{EclError, Stage};
 use ecl_syntax::source::Span;
 use esterel::compile::CompileOptions;
+use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -68,6 +69,10 @@ pub struct CacheStats {
     pub machine_hits: u64,
     /// EFSM compilations actually performed.
     pub machine_misses: u64,
+    /// Extension-artifact requests served from cache.
+    pub ext_hits: u64,
+    /// Extension artifacts actually computed.
+    pub ext_misses: u64,
 }
 
 #[derive(Debug, Default)]
@@ -78,9 +83,15 @@ struct Counters {
     design_misses: AtomicU64,
     machine_hits: AtomicU64,
     machine_misses: AtomicU64,
+    ext_hits: AtomicU64,
+    ext_misses: AtomicU64,
 }
 
 type DesignKey = (String, String, SplitStrategy);
+/// Extension-cache key: `(source, subkey, kind)`.
+type ExtKey = (String, String, &'static str);
+/// Type-erased extension artifact (downcast by [`Workspace::memo_ext`]).
+type ExtValue = Arc<dyn Any + Send + Sync>;
 
 /// One memo slot: computed exactly once per key, even when many
 /// threads request it concurrently (`OnceLock` blocks the losers
@@ -130,6 +141,10 @@ pub struct Workspace {
     parsed: Mutex<HashMap<String, Slot<Arc<Parsed>>>>,
     designs: Mutex<HashMap<DesignKey, Slot<Arc<Design>>>>,
     machines: Mutex<HashMap<DesignKey, Slot<Arc<efsm::Efsm>>>>,
+    /// Extension artifacts: further terminal stages (monitor sets,
+    /// co-simulation stubs…) memoized by `(source, subkey, kind)`
+    /// without `ecl-core` knowing their types.
+    ext: Mutex<HashMap<ExtKey, Slot<ExtValue>>>,
     counters: Counters,
 }
 
@@ -178,6 +193,10 @@ impl Workspace {
             .lock()
             .expect("lock")
             .retain(|(n, _, _), _| *n != name);
+        self.ext
+            .lock()
+            .expect("lock")
+            .retain(|(n, _, _), _| *n != name);
         self.sources.insert(
             name.clone(),
             Source::named(name, text.into()).with_options(self.options),
@@ -200,7 +219,42 @@ impl Workspace {
             design_misses: self.counters.design_misses.load(Ordering::Relaxed),
             machine_hits: self.counters.machine_hits.load(Ordering::Relaxed),
             machine_misses: self.counters.machine_misses.load(Ordering::Relaxed),
+            ext_hits: self.counters.ext_hits.load(Ordering::Relaxed),
+            ext_misses: self.counters.ext_misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Get-or-compute an *extension artifact* — a terminal-stage value
+    /// owned by a downstream crate (e.g. `ecl-observe` monitor sets,
+    /// batch codegen bundles) — memoized by `(source, subkey, kind)`
+    /// with the same once-per-key semantics as the built-in caches.
+    /// Entries are invalidated when `source` is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute failure (memoized too), or reports a
+    /// `kind` reused with a different type.
+    pub fn memo_ext<T: Send + Sync + 'static>(
+        &self,
+        source: &str,
+        subkey: &str,
+        kind: &'static str,
+        compute: impl FnOnce() -> Result<Arc<T>, EclError>,
+    ) -> Result<Arc<T>, EclError> {
+        let erased = memoize(
+            &self.ext,
+            (source.to_string(), subkey.to_string(), kind),
+            &self.counters.ext_hits,
+            &self.counters.ext_misses,
+            || compute().map(|v| v as Arc<dyn Any + Send + Sync>),
+        )?;
+        erased.downcast::<T>().map_err(|_| {
+            EclError::msg(
+                Stage::Codegen,
+                format!("extension cache kind `{kind}` holds a different type"),
+                Span::dummy(),
+            )
+        })
     }
 
     /// The parsed form of source `name` (memoized).
@@ -447,6 +501,35 @@ mod tests {
         assert!(Arc::ptr_eq(&m1, &m2));
         m1.validate().unwrap();
     }
+    #[test]
+    fn extension_artifacts_memoize_and_invalidate() {
+        let mut ws = relay_ws();
+        let a1 = ws
+            .memo_ext("relay.ecl", "top", "lengths", || Ok(Arc::new(RELAY.len())))
+            .unwrap();
+        let a2 = ws
+            .memo_ext("relay.ecl", "top", "lengths", || unreachable!("cached"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let stats = ws.cache_stats();
+        assert_eq!((stats.ext_misses, stats.ext_hits), (1, 1));
+        // A different kind under the same key is a separate entry; a
+        // type clash on the same kind is reported, not mis-cast.
+        ws.memo_ext("relay.ecl", "top", "names", || {
+            Ok(Arc::new("top".to_string()))
+        })
+        .unwrap();
+        assert!(ws
+            .memo_ext::<String>("relay.ecl", "top", "lengths", || unreachable!())
+            .is_err());
+        // Replacing the source drops the cached artifact.
+        ws.add_source("relay.ecl", RELAY);
+        let a3 = ws
+            .memo_ext("relay.ecl", "top", "lengths", || Ok(Arc::new(0usize)))
+            .unwrap();
+        assert_eq!(*a3, 0);
+    }
+
     #[test]
     fn failures_are_memoized_too() {
         let mut ws = Workspace::new();

@@ -637,6 +637,71 @@ pub struct Function {
     pub span: Span,
 }
 
+// ---------------------------------------------------------------------------
+// Observers (ecl-observe): temporal properties over interface signals
+// ---------------------------------------------------------------------------
+
+/// Largest accepted property window, in instants. Monitor machines
+/// unroll one control state per window instant, so the bound keeps
+/// synthesis linear and small; the parser and `ecl-observe` both
+/// enforce it.
+pub const MAX_WINDOW: u32 = 4096;
+
+/// The shape of one temporal [`Property`] of an observer.
+///
+/// Properties range over *signal presence* only (the same [`SigExpr`]
+/// grammar the reactive statements use); windows are counted in
+/// instants, bounded by [`MAX_WINDOW`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyKind {
+    /// `always (e);` — `e` must hold at every instant.
+    Always(SigExpr),
+    /// `never (e);` — `e` must hold at no instant.
+    Never(SigExpr),
+    /// `eventually_within N (e);` — `e` must hold at some instant in
+    /// the first `N + 1` instants of the run.
+    EventuallyWithin(u32, SigExpr),
+    /// `whenever (t) expect (r) within N;` — bounded response: each
+    /// time `t` holds, `r` must hold within `N` instants (the trigger
+    /// instant counts as distance 0). Windows do not overlap: triggers
+    /// inside an open window are absorbed by it.
+    Response {
+        /// The triggering presence expression.
+        trigger: SigExpr,
+        /// The expected response expression.
+        response: SigExpr,
+        /// Window length in instants after the trigger (0 = same
+        /// instant).
+        within: u32,
+    },
+}
+
+/// One temporal property of an [`Observer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Property {
+    /// Shape of the property.
+    pub kind: PropertyKind,
+    /// Source range.
+    pub span: Span,
+}
+
+/// An `observer` declaration: a named set of temporal properties over
+/// an interface of watched signals. Observers ride alongside modules
+/// in a translation unit and are synthesized into monitor EFSMs by the
+/// `ecl-observe` crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observer {
+    /// Observer name.
+    pub name: Ident,
+    /// Watched signals (all `input`: observers never emit into the
+    /// design).
+    pub params: Vec<SignalParam>,
+    /// The properties, in source order.
+    pub props: Vec<Property>,
+    /// Source range.
+    pub span: Span,
+}
+
 /// A `typedef` declaration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Typedef {
@@ -662,6 +727,8 @@ pub enum Item {
     Function(Function),
     /// ECL module.
     Module(Module),
+    /// ECL observer (temporal properties; see [`Observer`]).
+    Observer(Observer),
 }
 
 /// A parsed translation unit.
@@ -699,6 +766,19 @@ impl Program {
             Item::Typedef(t) => Some(t),
             _ => None,
         })
+    }
+
+    /// Iterate over the observers in the program.
+    pub fn observers(&self) -> impl Iterator<Item = &Observer> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Observer(o) => Some(o),
+            _ => None,
+        })
+    }
+
+    /// Find an observer by name.
+    pub fn observer(&self, name: &str) -> Option<&Observer> {
+        self.observers().find(|o| o.name.name == name)
     }
 }
 

@@ -187,6 +187,8 @@ pub enum Stage {
     Runtime,
     /// Simulation (`sim`).
     Sim,
+    /// Observer synthesis and monitor checking (`ecl-observe`).
+    Observe,
 }
 
 impl Stage {
@@ -201,6 +203,7 @@ impl Stage {
             Stage::Codegen => "codegen",
             Stage::Runtime => "runtime",
             Stage::Sim => "sim",
+            Stage::Observe => "observe",
         }
     }
 }

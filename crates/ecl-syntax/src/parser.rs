@@ -195,6 +195,16 @@ impl<'a> Parser<'a> {
         if self.at_kw(Kw::Module) {
             return self.module_item();
         }
+        // `observer` is a *contextual* keyword: it introduces an item
+        // only when followed by a name (and not shadowed by a typedef),
+        // so existing C code may keep using it — and the property words
+        // inside observer bodies — as ordinary identifiers.
+        if self.at_ctx_kw("observer")
+            && !self.typedefs.contains("observer")
+            && matches!(self.peek_nth(1), TokenKind::Ident(_))
+        {
+            return self.observer_item();
+        }
         // `struct tag { .. };` style free-standing type declarations.
         if (self.at_kw(Kw::Struct) || self.at_kw(Kw::Union) || self.at_kw(Kw::Enum))
             && self.is_freestanding_type_decl()
@@ -279,6 +289,150 @@ impl<'a> Parser<'a> {
             body,
             span: start.to(self.prev_span()),
         }))
+    }
+
+    // -- contextual keywords (observer sub-language) ----------------------
+
+    fn at_ctx_kw(&self, word: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(n) if n == word)
+    }
+
+    fn eat_ctx_kw(&mut self, word: &str) -> bool {
+        if self.at_ctx_kw(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ctx_kw(&mut self, word: &str) {
+        if !self.eat_ctx_kw(word) {
+            let sp = self.span();
+            self.sink.error(
+                format!("expected `{word}`, found {}", self.peek().describe()),
+                sp,
+            );
+        }
+    }
+
+    fn observer_item(&mut self) -> Option<Item> {
+        let start = self.span();
+        self.expect_ctx_kw("observer");
+        let name = self.expect_ident();
+        self.expect(Punct::LParen);
+        let mut params = Vec::new();
+        if !self.at(Punct::RParen) {
+            loop {
+                if let Some(p) = self.signal_param() {
+                    if p.dir == SignalDir::Output {
+                        self.sink.error(
+                            "observer signals must be `input` (observers never emit into the design)",
+                            p.span,
+                        );
+                    }
+                    params.push(p);
+                }
+                if !self.eat(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Punct::RParen);
+        self.expect(Punct::LBrace);
+        let mut props = Vec::new();
+        while !self.at(Punct::RBrace) && !self.at_eof() {
+            let before = self.pos;
+            match self.property() {
+                Some(p) => props.push(p),
+                None => self.synchronize(),
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.expect(Punct::RBrace);
+        Some(Item::Observer(Observer {
+            name,
+            params,
+            props,
+            span: start.to(self.prev_span()),
+        }))
+    }
+
+    /// One temporal property inside an `observer` body.
+    fn property(&mut self) -> Option<Property> {
+        let start = self.span();
+        let kind = if self.eat_ctx_kw("always") {
+            PropertyKind::Always(self.paren_sigexpr()?)
+        } else if self.eat_ctx_kw("never") {
+            PropertyKind::Never(self.paren_sigexpr()?)
+        } else if self.eat_ctx_kw("eventually_within") {
+            let n = self.window_bound()?;
+            PropertyKind::EventuallyWithin(n, self.paren_sigexpr()?)
+        } else if self.eat_ctx_kw("whenever") {
+            let trigger = self.paren_sigexpr()?;
+            self.expect_ctx_kw("expect");
+            let response = self.paren_sigexpr()?;
+            let within = if self.eat_ctx_kw("within") {
+                self.window_bound()?
+            } else {
+                0
+            };
+            PropertyKind::Response {
+                trigger,
+                response,
+                within,
+            }
+        } else {
+            let sp = self.span();
+            self.sink.error(
+                format!(
+                    "expected `always`, `never`, `eventually_within` or `whenever`, found {}",
+                    self.peek().describe()
+                ),
+                sp,
+            );
+            return None;
+        };
+        self.expect(Punct::Semi);
+        Some(Property {
+            kind,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn paren_sigexpr(&mut self) -> Option<SigExpr> {
+        self.expect(Punct::LParen);
+        let e = self.sigexpr()?;
+        self.expect(Punct::RParen);
+        Some(e)
+    }
+
+    /// A non-negative instant count (window length), capped at
+    /// [`MAX_WINDOW`] — monitor states are linear in the bound.
+    fn window_bound(&mut self) -> Option<u32> {
+        if let TokenKind::IntLit(v) = *self.peek() {
+            let sp = self.span();
+            self.bump();
+            match u32::try_from(v) {
+                Ok(n) if n <= MAX_WINDOW => Some(n),
+                _ => {
+                    self.sink.error(
+                        format!("window bound must be between 0 and {MAX_WINDOW} instants"),
+                        sp,
+                    );
+                    None
+                }
+            }
+        } else {
+            let sp = self.span();
+            self.sink.error(
+                format!("expected instant count, found {}", self.peek().describe()),
+                sp,
+            );
+            None
+        }
     }
 
     fn signal_param(&mut self) -> Option<SignalParam> {
@@ -1653,6 +1807,99 @@ mod tests {
             parse_ok("module m(input pure a) { int x, y; x = y > 0 ? 1 : 2; x = (x = 1, x + 1); }");
         assert!(p.module("m").is_some());
     }
+    #[test]
+    fn parses_observer_with_all_property_forms() {
+        let p = parse_ok(
+            "typedef unsigned char byte;\
+             module m(input pure a, output pure b) { await (a); emit (b); }\
+             observer watch(input pure a, input byte b) {\
+               always (a | ~b);\
+               never (a & b);\
+               eventually_within 10 (b);\
+               whenever (a) expect (b) within 3;\
+               whenever (a) expect (b);\
+             }",
+        );
+        let o = p.observer("watch").unwrap();
+        assert_eq!(o.params.len(), 2);
+        assert!(o.params[0].pure);
+        assert!(!o.params[1].pure);
+        assert_eq!(o.props.len(), 5);
+        assert!(matches!(o.props[0].kind, PropertyKind::Always(_)));
+        assert!(matches!(o.props[1].kind, PropertyKind::Never(_)));
+        assert!(matches!(
+            o.props[2].kind,
+            PropertyKind::EventuallyWithin(10, _)
+        ));
+        assert!(matches!(
+            o.props[3].kind,
+            PropertyKind::Response { within: 3, .. }
+        ));
+        // `within` defaults to 0 (same-instant response).
+        assert!(matches!(
+            o.props[4].kind,
+            PropertyKind::Response { within: 0, .. }
+        ));
+        assert_eq!(p.observers().count(), 1);
+    }
+
+    #[test]
+    fn observer_words_stay_usable_as_identifiers() {
+        // The observer sub-language's words are contextual, not
+        // reserved: C-side code may keep using them as names.
+        let p = parse_ok(
+            "module m(input pure a) {\
+               int always; int within; int expect;\
+               always = within + expect;\
+             }",
+        );
+        assert!(p.module("m").is_some());
+        // `observer` as a typedef name still declares globals.
+        let p = parse_ok("typedef int observer; observer x;");
+        assert_eq!(p.typedefs().count(), 1);
+    }
+
+    #[test]
+    fn window_bound_is_capped() {
+        let err = parse_str("observer w(input pure e) { eventually_within 4000000000 (e); }")
+            .unwrap_err();
+        let msgs: Vec<&str> = err.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("window bound")), "{msgs:?}");
+        // The cap itself is accepted.
+        let p = parse_ok(&format!(
+            "observer w(input pure e) {{ eventually_within {MAX_WINDOW} (e); }}"
+        ));
+        assert!(p.observer("w").is_some());
+    }
+
+    #[test]
+    fn observer_output_params_are_rejected() {
+        let err = parse_str("observer w(output pure x) { always (x); }").unwrap_err();
+        let msgs: Vec<&str> = err.iter().map(|d| d.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("must be `input`")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn observer_bad_property_keyword_is_diagnosed() {
+        let err = parse_str("observer w(input pure a) { sometimes (a); }").unwrap_err();
+        assert!(err.has_errors());
+    }
+
+    #[test]
+    fn observer_round_trips_through_pretty() {
+        let src = "observer w(input pure a, input pure b) {\
+                     never (a & ~b);\
+                     whenever (a) expect (b) within 2;\
+                   }";
+        let printed = crate::pretty::program(&parse_ok(src));
+        let reprinted = crate::pretty::program(&parse_ok(&printed));
+        assert_eq!(printed, reprinted);
+        assert!(printed.contains("whenever (a) expect (b) within 2;"));
+    }
+
     #[test]
     fn struct_field_initializer_is_diagnosed() {
         let err = crate::parse_str("typedef struct { int x = 1; } t;").unwrap_err();

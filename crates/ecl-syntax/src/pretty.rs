@@ -140,6 +140,27 @@ impl Printer {
                 }
                 self.close("}");
             }
+            Item::Observer(o) => {
+                let params: Vec<String> = o
+                    .params
+                    .iter()
+                    .map(|p| match (&p.ty, p.pure) {
+                        (_, true) => format!("input pure {}", p.name.name),
+                        (Some(t), false) => format!("input {} {}", type_str(t), p.name.name),
+                        (None, false) => format!("input {}", p.name.name),
+                    })
+                    .collect();
+                self.open(&format!(
+                    "observer {}({}) {{",
+                    o.name.name,
+                    params.join(", ")
+                ));
+                for p in &o.props {
+                    let s = property_str(p);
+                    self.line(&s);
+                }
+                self.close("}");
+            }
         }
     }
 
@@ -552,6 +573,26 @@ impl Printer {
         if paren {
             self.out.push(')');
         }
+    }
+}
+
+/// Render one observer property as source text.
+pub fn property_str(p: &Property) -> String {
+    match &p.kind {
+        PropertyKind::Always(e) => format!("always ({});", sigexpr(e)),
+        PropertyKind::Never(e) => format!("never ({});", sigexpr(e)),
+        PropertyKind::EventuallyWithin(n, e) => {
+            format!("eventually_within {n} ({});", sigexpr(e))
+        }
+        PropertyKind::Response {
+            trigger,
+            response,
+            within,
+        } => format!(
+            "whenever ({}) expect ({}) within {within};",
+            sigexpr(trigger),
+            sigexpr(response)
+        ),
     }
 }
 

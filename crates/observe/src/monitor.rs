@@ -1,0 +1,344 @@
+//! Monitor execution: step a synthesized machine lockstep with a
+//! design run (or a recorded trace) and report verdicts.
+//!
+//! A monitor watches *names*, not handles: each instant it receives
+//! the set of present global signal names (environment stimuli plus
+//! design emissions) and resolves its watched interface against them.
+//! Resolution tolerates elaboration mangling — watched name `packet`
+//! matches both the partitioned run's wire `packet` and the monolithic
+//! run's local `top::packet` — so one observer checks every
+//! implementation of the same design.
+
+use crate::synth::MonitorSpec;
+use efsm::{NoHooks, StateId};
+use sim::trace::Trace;
+use std::fmt;
+use std::sync::Arc;
+
+/// A property violation: the paper-style `Fail{instant, witness}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Environment instant at which the violation was detected.
+    pub instant: u64,
+    /// Index of the violated property (source order).
+    pub property: usize,
+    /// The violated property as source text.
+    pub describe: String,
+    /// The present signal names at the failing instant.
+    pub witness: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FAIL at instant {}: {} (witness: {:?})",
+            self.instant, self.describe, self.witness
+        )
+    }
+}
+
+/// The state of a monitor relative to a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Still checking (no violation so far).
+    Running,
+    /// The run ended with no violation.
+    Pass,
+    /// A property was violated (first violation is latched).
+    Fail(Violation),
+}
+
+impl Verdict {
+    /// Is this a (final or provisional) pass?
+    pub fn is_pass(&self) -> bool {
+        !matches!(self, Verdict::Fail(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Running => write!(f, "RUNNING"),
+            Verdict::Pass => write!(f, "PASS"),
+            Verdict::Fail(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Does the full (possibly mangled) signal name `full` denote the
+/// watched interface name `watched`? Exact match, or a `::`-mangled
+/// suffix (`top/sub::name` ⊇ `name`).
+pub fn name_matches(full: &str, watched: &str) -> bool {
+    if full == watched {
+        return true;
+    }
+    full.len() > watched.len() + 2
+        && full.ends_with(watched)
+        && full[..full.len() - watched.len()].ends_with("::")
+}
+
+/// A running instance of a [`MonitorSpec`].
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    spec: Arc<MonitorSpec>,
+    state: StateId,
+    verdict: Verdict,
+}
+
+impl Monitor {
+    /// Fresh instance at the monitor machine's initial state.
+    pub fn new(spec: Arc<MonitorSpec>) -> Monitor {
+        let state = spec.efsm.init;
+        Monitor {
+            spec,
+            state,
+            verdict: Verdict::Running,
+        }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &MonitorSpec {
+        &self.spec
+    }
+
+    /// The verdict so far.
+    pub fn verdict(&self) -> &Verdict {
+        &self.verdict
+    }
+
+    /// Step one environment instant with the given present names.
+    /// After the first violation the monitor latches its verdict and
+    /// ignores further instants. Returns the violation detected *this*
+    /// instant, if any.
+    pub fn step(&mut self, instant: u64, present: &[String]) -> Option<&Violation> {
+        if matches!(self.verdict, Verdict::Fail(_)) {
+            return None;
+        }
+        let inputs: std::collections::HashSet<efsm::Signal> = self
+            .spec
+            .efsm
+            .inputs()
+            .filter(|(_, info)| present.iter().any(|p| name_matches(p, &info.name)))
+            .map(|(s, _)| s)
+            .collect();
+        let r = self.spec.efsm.step(self.state, &inputs, &mut NoHooks);
+        self.state = r.next;
+        let failed = self.spec.props.iter().find(|p| r.emitted.contains(&p.fail));
+        if let Some(p) = failed {
+            self.verdict = Verdict::Fail(Violation {
+                instant,
+                property: p.index,
+                describe: p.describe.clone(),
+                witness: present.to_vec(),
+            });
+            if let Verdict::Fail(v) = &self.verdict {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Replay a recorded [`Trace`] from its first retained instant.
+    /// Returns the final verdict.
+    pub fn replay(&mut self, trace: &Trace) -> Verdict {
+        for rec in trace.records() {
+            let present: Vec<String> = rec.present().iter().map(|s| s.to_string()).collect();
+            self.step(rec.instant, &present);
+        }
+        self.finish()
+    }
+
+    /// Conclude the run: a monitor still `Running` passes.
+    pub fn finish(&mut self) -> Verdict {
+        if self.verdict == Verdict::Running {
+            self.verdict = Verdict::Pass;
+        }
+        self.verdict.clone()
+    }
+}
+
+/// The verdicts of a set of monitors over one run.
+#[derive(Debug, Clone)]
+pub struct MonitorReport {
+    /// `(observer name, final verdict)` in attachment order.
+    pub verdicts: Vec<(String, Verdict)>,
+}
+
+impl MonitorReport {
+    /// Conclude a set of monitors into a report.
+    pub fn conclude(monitors: Vec<Monitor>) -> MonitorReport {
+        MonitorReport {
+            verdicts: monitors
+                .into_iter()
+                .map(|mut m| {
+                    let v = m.finish();
+                    (m.spec.name.clone(), v)
+                })
+                .collect(),
+        }
+    }
+
+    /// Did every monitor pass?
+    pub fn all_pass(&self) -> bool {
+        self.verdicts.iter().all(|(_, v)| *v == Verdict::Pass)
+    }
+
+    /// The first violation, if any.
+    pub fn first_fail(&self) -> Option<(&str, &Violation)> {
+        self.verdicts.iter().find_map(|(n, v)| match v {
+            Verdict::Fail(viol) => Some((n.as_str(), viol)),
+            _ => None,
+        })
+    }
+
+    /// Verdict for a named monitor.
+    pub fn verdict(&self, name: &str) -> Option<&Verdict> {
+        self.verdicts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+impl fmt::Display for MonitorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.verdicts {
+            writeln!(f, "  {name}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthesize;
+
+    fn monitor(src: &str, name: &str) -> Monitor {
+        let prog = ecl_syntax::parse_str(src).unwrap();
+        Monitor::new(Arc::new(synthesize(prog.observer(name).unwrap()).unwrap()))
+    }
+
+    fn names(ns: &[&str]) -> Vec<String> {
+        ns.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn name_matching_tolerates_mangling() {
+        assert!(name_matches("packet", "packet"));
+        assert!(name_matches("top::packet", "packet"));
+        assert!(name_matches("top/sub::out_sample", "out_sample"));
+        assert!(!name_matches("top::packets", "packet"));
+        assert!(!name_matches("mypacket", "packet"));
+        assert!(!name_matches("packet", "top::packet"));
+    }
+
+    #[test]
+    fn never_fails_at_the_offending_instant() {
+        let mut m = monitor(
+            "observer w(input pure a, input pure b) { never (a & b); }",
+            "w",
+        );
+        m.step(0, &names(&[]));
+        m.step(1, &names(&["a"]));
+        assert!(m.verdict().is_pass());
+        let v = m.step(2, &names(&["a", "b"])).cloned().unwrap();
+        assert_eq!(v.instant, 2);
+        assert_eq!(v.property, 0);
+        assert_eq!(v.witness, names(&["a", "b"]));
+        // Latched: later instants do not change the verdict.
+        m.step(3, &names(&[]));
+        assert!(matches!(m.verdict(), Verdict::Fail(f) if f.instant == 2));
+    }
+
+    #[test]
+    fn always_fails_when_the_invariant_lapses() {
+        let mut m = monitor("observer w(input pure a) { always (a); }", "w");
+        m.step(0, &names(&["a"]));
+        assert!(m.verdict().is_pass());
+        let v = m.step(1, &names(&[])).cloned().unwrap();
+        assert_eq!(v.instant, 1);
+    }
+
+    #[test]
+    fn response_window_passes_and_fails_at_the_bound() {
+        let src = "observer w(input pure t, input pure r) { whenever (t) expect (r) within 2; }";
+        // Response inside the window: pass.
+        let mut m = monitor(src, "w");
+        m.step(0, &names(&["t"]));
+        m.step(1, &names(&[]));
+        m.step(2, &names(&["r"]));
+        assert_eq!(m.finish(), Verdict::Pass);
+        // No response: fail exactly when the window closes (t at 3 → fail at 5).
+        let mut m = monitor(src, "w");
+        m.step(0, &names(&[]));
+        m.step(1, &names(&[]));
+        m.step(2, &names(&[]));
+        m.step(3, &names(&["t"]));
+        assert!(m.step(4, &names(&[])).is_none());
+        let v = m.step(5, &names(&[])).cloned().unwrap();
+        assert_eq!(v.instant, 5);
+    }
+
+    #[test]
+    fn same_instant_response_satisfies_window_zero() {
+        let mut m = monitor(
+            "observer w(input pure t, input pure r) { whenever (t) expect (r); }",
+            "w",
+        );
+        m.step(0, &names(&["t", "r"]));
+        assert_eq!(m.finish(), Verdict::Pass);
+    }
+
+    #[test]
+    fn eventually_within_passes_and_fails() {
+        let src = "observer w(input pure e) { eventually_within 3 (e); }";
+        let mut m = monitor(src, "w");
+        m.step(0, &names(&[]));
+        m.step(1, &names(&["e"]));
+        assert_eq!(m.finish(), Verdict::Pass);
+        let mut m = monitor(src, "w");
+        for i in 0..3 {
+            assert!(m.step(i, &names(&[])).is_none(), "instant {i}");
+        }
+        let v = m.step(3, &names(&[])).cloned().unwrap();
+        assert_eq!(v.instant, 3);
+        // After the deadline the monitor halts; a late `e` cannot help.
+        m.step(4, &names(&["e"]));
+        assert!(matches!(m.verdict(), Verdict::Fail(_)));
+    }
+
+    #[test]
+    fn replay_over_trace_matches_online_stepping() {
+        let src = "observer w(input pure t, input pure r) { whenever (t) expect (r) within 1; }";
+        let mut online = monitor(src, "w");
+        let mut trace = Trace::new(0);
+        let steps: Vec<Vec<&str>> = vec![vec![], vec!["t"], vec![], vec![]];
+        for (i, ev) in steps.iter().enumerate() {
+            trace.begin_instant(i as u64);
+            for n in ev {
+                trace.record(n, None, true);
+            }
+            trace.end_instant();
+            online.step(i as u64, &names(ev));
+        }
+        let mut offline = monitor(src, "w");
+        let off = offline.replay(&trace);
+        assert_eq!(online.finish(), off);
+        assert!(matches!(off, Verdict::Fail(v) if v.instant == 2));
+    }
+
+    #[test]
+    fn report_summarizes_verdicts() {
+        let pass = monitor("observer p(input pure a) { never (a); }", "p");
+        let mut fail = monitor("observer f(input pure a) { always (a); }", "f");
+        fail.step(0, &names(&[]));
+        let report = MonitorReport::conclude(vec![pass, fail]);
+        assert!(!report.all_pass());
+        let (name, v) = report.first_fail().unwrap();
+        assert_eq!(name, "f");
+        assert_eq!(v.instant, 0);
+        assert_eq!(report.verdict("p"), Some(&Verdict::Pass));
+    }
+}

@@ -52,6 +52,8 @@ struct TaskCb {
     watches: HashSet<String>,
     /// Pending events (1-place per signal: a set).
     pending: HashSet<String>,
+    /// Events overwritten in this task's mailboxes before consumption.
+    lost: u64,
 }
 
 /// The kernel: tasks, mailboxes, scheduler and cycle accounting.
@@ -111,6 +113,7 @@ impl Kernel {
             priority,
             watches,
             pending: HashSet::new(),
+            lost: 0,
         });
         id
     }
@@ -134,6 +137,7 @@ impl Kernel {
             self.deliveries += 1;
             if !self.tasks[t.0].pending.insert(signal.to_string()) {
                 self.events_lost += 1;
+                self.tasks[t.0].lost += 1;
             }
         }
     }
@@ -151,8 +155,18 @@ impl Kernel {
             self.deliveries += 1;
             if !self.tasks[t.0].pending.insert(signal.to_string()) {
                 self.events_lost += 1;
+                self.tasks[t.0].lost += 1;
             }
         }
+    }
+
+    /// Per-task loss counters: `(task name, events lost)` in
+    /// registration order. Sums to [`Kernel::events_lost`].
+    pub fn events_lost_by_task(&self) -> Vec<(String, u64)> {
+        self.tasks
+            .iter()
+            .map(|t| (t.name.clone(), t.lost))
+            .collect()
     }
 
     /// Is any task ready (has pending events)?
@@ -243,6 +257,22 @@ mod tests {
         assert_eq!(k.events_lost, 1);
         let (_, ev) = k.schedule().unwrap();
         assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn losses_are_attributed_per_task() {
+        let mut k = Kernel::default();
+        let a = k.add_task("a", 1, set(&["x"]));
+        let _b = k.add_task("b", 2, set(&["x", "y"]));
+        k.post_external("x");
+        k.post_external("x"); // lost in both mailboxes
+        k.post_internal(a, "y");
+        k.post_internal(a, "y"); // lost in b only
+        assert_eq!(k.events_lost, 3);
+        assert_eq!(
+            k.events_lost_by_task(),
+            vec![("a".to_string(), 1), ("b".to_string(), 2)]
+        );
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   runner used for differential testing;
 //! * [`tb`] — testbenches: the 500-packet stream for the protocol stack
 //!   and the record/playback scenario for the voice pager;
+//! * [`trace`] — ring-buffered signal-trace recording with a VCD-style
+//!   dump, fed by both runners (the substrate for `ecl-observe`
+//!   monitors and offline waveform inspection);
 //! * [`measure`] — end-to-end measurement producing Table 1 rows;
 //! * [`designs`] — the ECL sources of the two evaluated designs
 //!   (Figures 1–4 and the reconstructed audio buffer controller).
@@ -19,7 +22,9 @@ pub mod designs;
 pub mod measure;
 pub mod runner;
 pub mod tb;
+pub mod trace;
 
 pub use measure::{measure, Measurement};
-pub use runner::{AsyncRunner, InterpRunner, SimError};
+pub use runner::{AsyncRunner, InterpRunner, Runner, SimError};
 pub use tb::{InstantEvents, PacketTb};
+pub use trace::{Trace, TraceEvent, TraceRecord};

@@ -27,8 +27,11 @@ pub struct Measurement {
     pub task_kcycles: f64,
     /// Kernel cycles, in thousands.
     pub rtos_kcycles: f64,
-    /// Events lost to 1-place mailboxes.
+    /// Events lost to 1-place mailboxes (all tasks).
     pub events_lost: u64,
+    /// Loss attribution: `(task name, events lost)` per task — exactly
+    /// what observer monitors must tolerate on the async runner.
+    pub events_lost_per_task: Vec<(String, u64)>,
     /// Emission counts by signal name (sanity checks).
     pub outputs: HashMap<String, u64>,
     /// EFSM sizes (states) per task.
@@ -100,12 +103,27 @@ pub fn measure(
         task_kcycles: runner.kernel().task_cycles as f64 / 1000.0,
         rtos_kcycles: runner.kernel().rtos_cycles as f64 / 1000.0,
         events_lost: runner.kernel().events_lost,
+        events_lost_per_task: runner.kernel().events_lost_by_task(),
         outputs: runner.counts.clone(),
         states_per_task: states,
     })
 }
 
 impl Measurement {
+    /// Render the per-task loss attribution (`name: n` pairs), or
+    /// `"none"` when nothing was lost.
+    pub fn losses(&self) -> String {
+        if self.events_lost == 0 {
+            return "none".to_string();
+        }
+        self.events_lost_per_task
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(name, n)| format!("{name}: {n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
     /// Render as a paper-style table row.
     pub fn row(&self) -> String {
         format!(

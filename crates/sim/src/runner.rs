@@ -1,6 +1,15 @@
 //! Task runners: compiled EFSMs on the RTOS, and an interpreter-backed
 //! reference runner for differential testing.
+//!
+//! Both runners can record a [`Trace`] of every signal occurrence
+//! (enable with `enable_trace`), and both implement the [`Runner`]
+//! trait, whose `run_events` testbench hook drives a whole
+//! [`InstantEvents`] stream and hands the per-instant present-name
+//! set to a callback — the attachment point for online monitors
+//! (`ecl-observe`).
 
+use crate::tb::InstantEvents;
+use crate::trace::{Recorder, Trace};
 use codegen::cost::CostParams;
 use ecl_core::{Design, Rt};
 use efsm::{DataHooks, Efsm, Signal, StateId};
@@ -28,6 +37,60 @@ fn err<T>(msg: impl Into<String>) -> Result<T, SimError> {
     Err(SimError { msg: msg.into() })
 }
 
+/// The common driving surface of both runners.
+pub trait Runner {
+    /// Set a valued external input (the testbench side of `emit_v`).
+    ///
+    /// # Errors
+    ///
+    /// Unknown or pure signal.
+    fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), SimError>;
+
+    /// Run one environment instant; returns the emitted names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reaction and data-evaluation failures.
+    fn instant(&mut self, events: &[&str]) -> Result<Vec<String>, SimError>;
+
+    /// The next environment instant number.
+    fn now(&self) -> u64;
+
+    /// Testbench hook: drive a whole event stream, calling
+    /// `on_instant` with the instant number and every present name
+    /// (stimuli first, then emissions in delivery order) after each
+    /// instant — the attachment point for online monitors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input and reaction failures.
+    fn run_events<F>(&mut self, events: &[InstantEvents], mut on_instant: F) -> Result<(), SimError>
+    where
+        Self: Sized,
+        F: FnMut(u64, &[String]),
+    {
+        for ev in events {
+            for (name, v) in &ev.valued {
+                self.set_input_i64(name, *v)?;
+            }
+            let names: Vec<&str> = ev.names();
+            let instant = self.now();
+            let emitted = self.instant(&names)?;
+            let mut present: Vec<String> = names.iter().map(|n| n.to_string()).collect();
+            present.extend(emitted);
+            on_instant(instant, &present);
+        }
+        Ok(())
+    }
+}
+
+/// Trace-friendly scalar view of a signal value: integers read as
+/// `i64`, aggregates (packets, frames) trace as presence only.
+fn trace_value(rt: &Rt, v: &ecl_types::Value) -> Option<i64> {
+    let table = rt.machine().table();
+    table.get(v.ty).is_integer().then(|| v.as_i64(table))
+}
+
 /// One RTOS task: a compiled design plus its data runtime.
 struct Task {
     design: Design,
@@ -50,6 +113,8 @@ pub struct AsyncRunner {
     pub trace: Vec<(u64, String)>,
     /// Emission counts by signal name.
     pub counts: HashMap<String, u64>,
+    /// Optional full-trace recorder (see [`AsyncRunner::enable_trace`]).
+    recorder: Recorder,
 }
 
 impl AsyncRunner {
@@ -91,12 +156,29 @@ impl AsyncRunner {
             instant: 0,
             trace: Vec::new(),
             counts: HashMap::new(),
+            recorder: Recorder::default(),
         })
     }
 
     /// Access the kernel (cycle counters, loss statistics).
     pub fn kernel(&self) -> &Kernel {
         &self.kernel
+    }
+
+    /// Start recording a signal trace retaining the last `capacity`
+    /// instants (0 = unbounded).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.recorder.enable(capacity);
+    }
+
+    /// The recorded trace so far, if tracing is enabled.
+    pub fn recorded_trace(&self) -> Option<&Trace> {
+        self.recorder.current()
+    }
+
+    /// Detach and return the recorded trace (tracing stops).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.recorder.take()
     }
 
     /// The designs running in the tasks.
@@ -127,6 +209,7 @@ impl AsyncRunner {
         if !hit {
             return err(format!("no task reads signal `{name}`"));
         }
+        self.recorder.note_input(name, v);
         Ok(())
     }
 
@@ -140,6 +223,7 @@ impl AsyncRunner {
     ///
     /// Propagates data-evaluation errors from any task.
     pub fn instant(&mut self, events: &[&str]) -> Result<Vec<String>, SimError> {
+        self.recorder.begin(self.instant, events);
         for e in events {
             self.kernel.post_external(e);
         }
@@ -162,6 +246,7 @@ impl AsyncRunner {
                 .expect("scheduled task exists");
             self.react_task(ti, &evset, &mut emitted_names)?;
         }
+        self.recorder.end();
         self.instant += 1;
         Ok(emitted_names)
     }
@@ -187,13 +272,14 @@ impl AsyncRunner {
             if let Some(e) = t.rt.take_error() {
                 return err(format!("task `{}`: {e}", t.design.entry));
             }
-            let ev: Vec<(String, Option<ecl_types::Value>)> = r
+            let ev: Vec<(String, Option<ecl_types::Value>, Option<i64>)> = r
                 .emitted
                 .iter()
                 .map(|s| {
                     let name = t.efsm.signal_info(*s).name.clone();
                     let v = t.rt.signal_value_by_name(&name).cloned();
-                    (name, v)
+                    let as_i64 = v.as_ref().and_then(|v| trace_value(&t.rt, v));
+                    (name, v, as_i64)
                 })
                 .collect();
             (r, ev)
@@ -207,7 +293,8 @@ impl AsyncRunner {
             + r.emitted.len() as u64 * self.cost.cyc_emit;
         self.kernel.charge_task(cycles);
         // Deliver emissions: values first, then events.
-        for (name, value) in emitted_with_values {
+        for (name, value, value_i64) in emitted_with_values {
+            self.recorder.emit(&name, value_i64);
             // Copy the value into every *other* task that reads it.
             if let Some(v) = &value {
                 for rj in 0..self.tasks.len() {
@@ -238,6 +325,9 @@ pub struct InterpRunner<'d> {
     rt: Rt,
     /// Emission counts by name.
     pub counts: HashMap<String, u64>,
+    /// Current environment instant number.
+    pub instant: u64,
+    recorder: Recorder,
 }
 
 impl<'d> InterpRunner<'d> {
@@ -255,7 +345,25 @@ impl<'d> InterpRunner<'d> {
             machine: esterel::Machine::new(design.program()),
             rt,
             counts: HashMap::new(),
+            instant: 0,
+            recorder: Recorder::default(),
         })
+    }
+
+    /// Start recording a signal trace retaining the last `capacity`
+    /// instants (0 = unbounded).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.recorder.enable(capacity);
+    }
+
+    /// The recorded trace so far, if tracing is enabled.
+    pub fn recorded_trace(&self) -> Option<&Trace> {
+        self.recorder.current()
+    }
+
+    /// Detach and return the recorded trace (tracing stops).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.recorder.take()
     }
 
     /// Set a valued input.
@@ -266,7 +374,9 @@ impl<'d> InterpRunner<'d> {
     pub fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), SimError> {
         self.rt
             .set_input_i64(name, v)
-            .map_err(|e| SimError { msg: e.to_string() })
+            .map_err(|e| SimError { msg: e.to_string() })?;
+        self.recorder.note_input(name, v);
+        Ok(())
     }
 
     /// Run one instant; returns emitted names.
@@ -275,6 +385,7 @@ impl<'d> InterpRunner<'d> {
     ///
     /// Non-constructive programs and data errors.
     pub fn instant(&mut self, events: &[&str]) -> Result<Vec<String>, SimError> {
+        self.recorder.begin(self.instant, events);
         let present: HashSet<Signal> = events
             .iter()
             .filter_map(|n| self.design.signal(n))
@@ -289,15 +400,52 @@ impl<'d> InterpRunner<'d> {
         let mut out = Vec::new();
         for s in &r.emitted {
             let name = self.design.program().signals()[s.0 as usize].name.clone();
+            if self.recorder.is_enabled() {
+                let traced = self
+                    .rt
+                    .signal_value_by_name(&name)
+                    .and_then(|v| trace_value(&self.rt, v));
+                self.recorder.emit(&name, traced);
+            }
             *self.counts.entry(name.clone()).or_insert(0) += 1;
             out.push(name);
         }
+        self.recorder.end();
+        self.instant += 1;
         Ok(out)
     }
 
     /// Access the runtime (inspect signal values).
     pub fn rt(&self) -> &Rt {
         &self.rt
+    }
+}
+
+impl Runner for AsyncRunner {
+    fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), SimError> {
+        AsyncRunner::set_input_i64(self, name, v)
+    }
+
+    fn instant(&mut self, events: &[&str]) -> Result<Vec<String>, SimError> {
+        AsyncRunner::instant(self, events)
+    }
+
+    fn now(&self) -> u64 {
+        self.instant
+    }
+}
+
+impl<'d> Runner for InterpRunner<'d> {
+    fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), SimError> {
+        InterpRunner::set_input_i64(self, name, v)
+    }
+
+    fn instant(&mut self, events: &[&str]) -> Result<Vec<String>, SimError> {
+        InterpRunner::instant(self, events)
+    }
+
+    fn now(&self) -> u64 {
+        self.instant
     }
 }
 impl From<SimError> for ecl_syntax::EclError {

@@ -1,0 +1,363 @@
+//! Signal-trace recording: a ring-buffered per-instant event log with
+//! a VCD-style text dump.
+//!
+//! Both runners ([`crate::runner::InterpRunner`] and
+//! [`crate::runner::AsyncRunner`]) can record every signal occurrence
+//! — external stimuli and design emissions alike — into a [`Trace`].
+//! The trace serves two consumers:
+//!
+//! * **online monitors** (`ecl-observe`): the per-instant present-name
+//!   sets are exactly what a monitor EFSM steps on, so a stored trace
+//!   can be replayed against a monitor after the fact with identical
+//!   verdicts;
+//! * **offline inspection**: [`Trace::to_vcd`] renders the retained
+//!   window as a Value Change Dump (pulse wires for pure signals,
+//!   integer vectors for valued ones) for waveform viewers and golden
+//!   tests.
+//!
+//! The buffer is a ring over *instants*: with capacity `N`, only the
+//! last `N` instants are retained and [`Trace::dropped`] counts the
+//! evicted ones. Capacity 0 means unbounded.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+
+/// One signal occurrence inside an instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global signal name.
+    pub name: String,
+    /// Carried value for valued signals (`None` for pure presence).
+    pub value: Option<i64>,
+    /// `true` for environment stimuli, `false` for design emissions.
+    pub external: bool,
+}
+
+/// All events of one environment instant.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceRecord {
+    /// Environment instant number.
+    pub instant: u64,
+    /// Events in occurrence order (externals first).
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceRecord {
+    /// The distinct present signal names, in first-occurrence order.
+    pub fn present(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in &self.events {
+            if !out.contains(&e.name.as_str()) {
+                out.push(&e.name);
+            }
+        }
+        out
+    }
+}
+
+/// A ring-buffered recording of per-instant signal events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    current: Option<TraceRecord>,
+    /// Instants evicted from the ring (recorded then dropped).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// A trace retaining the last `capacity` instants (0 = unbounded).
+    pub fn new(capacity: usize) -> Trace {
+        Trace {
+            capacity,
+            ..Trace::default()
+        }
+    }
+
+    /// Open the record for environment instant `instant`. Implicitly
+    /// closes a still-open record (runners call this once per instant).
+    pub fn begin_instant(&mut self, instant: u64) {
+        self.end_instant();
+        self.current = Some(TraceRecord {
+            instant,
+            events: Vec::new(),
+        });
+    }
+
+    /// Append one event to the open record. A no-op when no record is
+    /// open (recording disabled mid-run is not an error).
+    pub fn record(&mut self, name: &str, value: Option<i64>, external: bool) {
+        if let Some(cur) = &mut self.current {
+            cur.events.push(TraceEvent {
+                name: name.to_string(),
+                value,
+                external,
+            });
+        }
+    }
+
+    /// Close the open record and push it into the ring, evicting the
+    /// oldest instant when over capacity.
+    pub fn end_instant(&mut self) {
+        if let Some(rec) = self.current.take() {
+            self.records.push_back(rec);
+            if self.capacity != 0 {
+                while self.records.len() > self.capacity {
+                    self.records.pop_front();
+                    self.dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained instants.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Render the retained window as a VCD (Value Change Dump) text.
+    ///
+    /// Pure signals become 1-bit pulse wires (`1x` at the instant of
+    /// occurrence, `0x` at the next dumped instant); valued signals
+    /// become 32-bit integer vectors (`b… x`, set to `bx` when the
+    /// signal goes absent). Output is fully deterministic: signals are
+    /// sorted by name and identifier codes are assigned in that order.
+    pub fn to_vcd(&self, title: &str) -> String {
+        // Signal inventory over the retained window: name → valued?
+        let mut sigs: BTreeMap<&str, bool> = BTreeMap::new();
+        for r in &self.records {
+            for e in &r.events {
+                let v = sigs.entry(&e.name).or_insert(false);
+                *v |= e.value.is_some();
+            }
+        }
+        let names: Vec<&str> = sigs.keys().copied().collect();
+        let ids: Vec<String> = (0..names.len()).map(vcd_id).collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "$comment {title} $end");
+        let _ = writeln!(out, "$timescale 1 us $end");
+        let _ = writeln!(out, "$scope module {} $end", sanitize_word(title));
+        for (name, id) in names.iter().zip(&ids) {
+            let valued = sigs[name];
+            let _ = writeln!(
+                out,
+                "$var {} {} {id} {} $end",
+                if valued { "integer" } else { "wire" },
+                if valued { 32 } else { 1 },
+                sanitize_word(name)
+            );
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        // Per dumped instant: presence/value per signal, with explicit
+        // falling edges for signals that were present last time.
+        let mut prev_present: Vec<bool> = vec![false; names.len()];
+        for r in &self.records {
+            let mut lines: Vec<String> = Vec::new();
+            let mut present = vec![false; names.len()];
+            for (i, name) in names.iter().enumerate() {
+                let ev = r.events.iter().find(|e| e.name == *name);
+                match ev {
+                    Some(e) => {
+                        present[i] = true;
+                        if sigs[name] {
+                            lines.push(format!("b{:b} {}", e.value.unwrap_or(0), ids[i]));
+                        } else {
+                            lines.push(format!("1{}", ids[i]));
+                        }
+                    }
+                    None if prev_present[i] => {
+                        if sigs[name] {
+                            lines.push(format!("bx {}", ids[i]));
+                        } else {
+                            lines.push(format!("0{}", ids[i]));
+                        }
+                    }
+                    None => {}
+                }
+            }
+            if !lines.is_empty() {
+                let _ = writeln!(out, "#{}", r.instant);
+                for l in lines {
+                    let _ = writeln!(out, "{l}");
+                }
+            }
+            prev_present = present;
+        }
+        out
+    }
+}
+
+/// The recording front-end shared by both runners: an optional
+/// [`Trace`] plus the last value written per valued input, so
+/// stimulus records carry their values. Every method is a no-op while
+/// recording is disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    trace: Option<Trace>,
+    last_inputs: HashMap<String, i64>,
+}
+
+impl Recorder {
+    /// Start recording, retaining the last `capacity` instants
+    /// (0 = unbounded).
+    pub fn enable(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Is recording enabled?
+    pub fn is_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The trace recorded so far, if enabled.
+    pub fn current(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Detach and return the trace (recording stops).
+    pub fn take(&mut self) -> Option<Trace> {
+        self.trace.take().map(|mut t| {
+            t.end_instant();
+            t
+        })
+    }
+
+    /// Remember the value written to a valued input (recorded with the
+    /// input's next stimulus event).
+    pub fn note_input(&mut self, name: &str, v: i64) {
+        self.last_inputs.insert(name.to_string(), v);
+    }
+
+    /// Open the record for `instant` and log the external stimuli.
+    pub fn begin(&mut self, instant: u64, stimuli: &[&str]) {
+        if let Some(tr) = &mut self.trace {
+            tr.begin_instant(instant);
+            for s in stimuli {
+                tr.record(s, self.last_inputs.get(*s).copied(), true);
+            }
+        }
+    }
+
+    /// Log one design emission into the open record.
+    pub fn emit(&mut self, name: &str, value: Option<i64>) {
+        if let Some(tr) = &mut self.trace {
+            tr.record(name, value, false);
+        }
+    }
+
+    /// Close the instant's record.
+    pub fn end(&mut self) {
+        if let Some(tr) = &mut self.trace {
+            tr.end_instant();
+        }
+    }
+}
+
+/// VCD identifier code for signal index `i` (printable ASCII 33–126,
+/// multi-character beyond 94 signals).
+fn vcd_id(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    s
+}
+
+/// VCD identifiers may not contain whitespace; mangled ECL names
+/// (`top::x`, `a#1`) are otherwise legal and kept readable.
+fn sanitize_word(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse(t: &mut Trace, instant: u64, names: &[&str]) {
+        t.begin_instant(instant);
+        for n in names {
+            t.record(n, None, false);
+        }
+        t.end_instant();
+    }
+
+    #[test]
+    fn ring_evicts_oldest_instants() {
+        let mut t = Trace::new(2);
+        pulse(&mut t, 0, &["a"]);
+        pulse(&mut t, 1, &["b"]);
+        pulse(&mut t, 2, &["c"]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped, 1);
+        let firsts: Vec<u64> = t.records().map(|r| r.instant).collect();
+        assert_eq!(firsts, vec![1, 2]);
+    }
+
+    #[test]
+    fn unbounded_capacity_keeps_everything() {
+        let mut t = Trace::new(0);
+        for i in 0..100 {
+            pulse(&mut t, i, &["x"]);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn present_dedupes_names() {
+        let mut t = Trace::new(0);
+        t.begin_instant(0);
+        t.record("a", None, true);
+        t.record("a", None, false);
+        t.record("b", Some(7), false);
+        t.end_instant();
+        let r = t.records().next().unwrap();
+        assert_eq!(r.present(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn vcd_is_deterministic_and_has_falling_edges() {
+        let build = || {
+            let mut t = Trace::new(0);
+            t.begin_instant(0);
+            t.record("tick", None, true);
+            t.record("val", Some(5), false);
+            t.end_instant();
+            pulse(&mut t, 1, &[]);
+            pulse(&mut t, 2, &["tick"]);
+            t
+        };
+        let v1 = build().to_vcd("demo");
+        let v2 = build().to_vcd("demo");
+        assert_eq!(v1, v2);
+        assert!(v1.contains("$var wire 1 ! tick $end"), "{v1}");
+        assert!(v1.contains("$var integer 32 \" val $end"), "{v1}");
+        assert!(v1.contains("b101 \""), "{v1}");
+        // Falling edge at instant 1.
+        assert!(v1.contains("#1\n0!\nbx \""), "{v1}");
+    }
+
+    #[test]
+    fn vcd_id_codes_are_unique() {
+        let ids: std::collections::HashSet<String> = (0..500).map(vcd_id).collect();
+        assert_eq!(ids.len(), 500);
+    }
+}

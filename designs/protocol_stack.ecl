@@ -99,3 +99,32 @@ module toplevel (input pure reset, input byte in_byte, output pure addr_match)
         prochdr (packet, crc_ok, addr_match);
     }
 }
+
+/* Observers (ecl-observe): packet-level invariants checked online
+ * against both the synchronous and the partitioned implementation
+ * (watched names resolve through elaboration mangling, so `packet`
+ * matches the monolithic `top::packet` and the 3-task wire alike). */
+
+/* Every assembled packet gets a CRC verdict in its arrival instant
+ * (within 1 tolerates one instant of RTOS scheduling skew), and a
+ * verdict never appears without a packet. */
+observer crc_watch (input packet_t packet, input int crc_ok)
+{
+    whenever (packet) expect (crc_ok) within 1;
+    never (crc_ok & ~packet);
+}
+
+/* Forwarding with bounded latency: the header scan takes HDRSIZE
+ * delta cycles, so a (good) packet must be forwarded within 8
+ * instants. A corrupted CRC kills the scan and violates this. */
+observer forward_watch (input packet_t packet, input pure addr_match)
+{
+    whenever (packet) expect (addr_match) within 8;
+}
+
+/* Liveness of the stimulus path: the first packet completes within
+ * 80 instants of the run start (1 idle + 64 bytes). */
+observer liveness_watch (input packet_t packet)
+{
+    eventually_within 80 (packet);
+}

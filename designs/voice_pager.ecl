@@ -113,3 +113,23 @@ module pager (input pure rec_on, input pure rec_off, input byte sample,
         player (out_sample, dac);
     }
 }
+
+/* Observers (ecl-observe): buffer and latency invariants of the
+ * record/playback path. */
+
+/* Recording latency: once recording starts and samples stream in one
+ * per instant, the first full frame must be framed within 6 instants
+ * (4 sample awaits plus margin). A truncated recording violates it. */
+observer record_watch (input pure rec_on, input frame_t frame)
+{
+    whenever (rec_on) expect (frame) within 6;
+}
+
+/* Playback forwarding: the DAC only ever converts a streamed sample
+ * (never underflows into silence-fabrication), and every streamed
+ * sample reaches the DAC within an instant. */
+observer playback_watch (input byte out_sample, input byte dac)
+{
+    never (dac & ~out_sample);
+    whenever (out_sample) expect (dac) within 1;
+}

@@ -63,6 +63,7 @@
 
 pub use codegen;
 pub use ecl_core;
+pub use ecl_observe;
 pub use ecl_syntax;
 pub use ecl_types;
 pub use efsm;
@@ -88,4 +89,11 @@ pub mod prelude {
     pub use sim::measure::measure;
     pub use sim::runner::{AsyncRunner, InterpRunner};
     pub use sim::tb::{PacketTb, PagerTb};
+    pub use sim::trace::Trace;
+
+    // Observers: monitor synthesis and online checking.
+    pub use ecl_observe::{
+        check_async, check_interp, synthesize_all, Monitor, MonitorReport, MonitorSpec, Monitored,
+        Verdict, WorkspaceObserveExt,
+    };
 }

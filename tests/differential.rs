@@ -4,9 +4,11 @@
 //! interpreter and the compiled EFSM, for random input sequences.
 
 use ecl_core::{Compiler, Options, SplitStrategy};
+use ecl_observe::Monitor;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Generate a small random (constructive) ECL module over two inputs
 /// and two outputs, built from the reactive statement grammar.
@@ -103,6 +105,86 @@ fn check_equiv(src: &str, strategy: SplitStrategy, seeds: u64) -> Result<(), Tes
     Ok(())
 }
 
+/// The observer attached to every generated program: an
+/// `always`-style invariant ("outputs fire only under or right after
+/// stimulus") that generated programs *can* genuinely violate, plus a
+/// trivially-true guard. Both runners must reach identical verdicts.
+const PIN_OBSERVER: &str = "
+    observer pin(input pure a, input pure b, input pure x, input pure y) {
+      always (~x | a | b);
+      always (x | ~x);
+    }";
+
+/// Run the generated program under the interpreter and the compiled
+/// EFSM with the pinned observer attached to each; the two monitors
+/// must agree on the verdict at every step.
+fn check_observer_equiv(src: &str, seeds: u64) -> Result<(), TestCaseError> {
+    let full = format!("{src}\n{PIN_OBSERVER}");
+    let Ok(design) = Compiler::default().compile_str(&full, "m") else {
+        return Ok(());
+    };
+    let Ok(machine) = design.to_efsm(&Default::default()) else {
+        return Ok(());
+    };
+    let prog = ecl_syntax::parse_str(&full).expect("generated program parses");
+    let spec = Arc::new(
+        ecl_observe::synthesize(prog.observer("pin").expect("observer present"))
+            .expect("observer synthesizes"),
+    );
+    let a = design.signal("a").unwrap();
+    let b = design.signal("b").unwrap();
+    let x = design.signal("x").unwrap();
+    let y = design.signal("y").unwrap();
+    for seed in 0..seeds {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rt_i = design.new_rt().unwrap();
+        let mut rt_m = design.new_rt().unwrap();
+        let mut interp = esterel::Machine::new(design.program());
+        let mut st = machine.init;
+        let mut mon_i = Monitor::new(Arc::clone(&spec));
+        let mut mon_m = Monitor::new(Arc::clone(&spec));
+        for step in 0..50u64 {
+            let mut present = HashSet::new();
+            let mut names: Vec<String> = Vec::new();
+            if rng.gen_bool(0.5) {
+                present.insert(a);
+                names.push("a".into());
+            }
+            if rng.gen_bool(0.3) {
+                present.insert(b);
+                names.push("b".into());
+            }
+            let r1 = interp
+                .react(&present, &mut rt_i)
+                .expect("constructive program");
+            let r2 = machine.step(st, &present, &mut rt_m);
+            st = r2.next;
+            let mut names_i = names.clone();
+            let mut names_m = names;
+            for (sig, name) in [(x, "x"), (y, "y")] {
+                if r1.has(sig) {
+                    names_i.push(name.into());
+                }
+                if r2.emitted.contains(&sig) {
+                    names_m.push(name.into());
+                }
+            }
+            mon_i.step(step, &names_i);
+            mon_m.step(step, &names_m);
+            prop_assert_eq!(
+                mon_i.verdict(),
+                mon_m.verdict(),
+                "observer verdict diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+        }
+        prop_assert_eq!(mon_i.finish(), mon_m.finish(), "final verdicts in\n{}", src);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -118,6 +200,15 @@ proptest! {
     fn interp_matches_efsm_min(seed in 0u64..10_000) {
         let src = gen_module(seed);
         check_equiv(&src, SplitStrategy::MinEsterel, 3)?;
+    }
+
+    /// Interpreter ≡ EFSM on *observer verdicts*: random programs run
+    /// with an always-style observer attached reach the same
+    /// Pass/Fail{instant} on both execution paths.
+    #[test]
+    fn observer_verdicts_match(seed in 0u64..10_000) {
+        let src = gen_module(seed);
+        check_observer_equiv(&src, 3)?;
     }
 
     /// Both strategies agree with each other on outputs.
