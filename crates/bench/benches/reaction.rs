@@ -1,0 +1,57 @@
+//! Reaction-throughput microbenchmarks: the interned-id fast path
+//! (`instant_ids` via `run_events`) against the legacy string shim
+//! (`instant` via `run_events_names`), on both evaluated designs.
+//!
+//! Run with `cargo bench -p ecl-bench --bench reaction`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecl_bench::{pager_events, pager_mono, stack_events, stack_mono};
+use ecl_core::Design;
+use sim::runner::{AsyncRunner, Runner};
+use sim::tb::InstantEvents;
+
+const INSTANTS: usize = 1000;
+
+fn runner(design: &Design) -> AsyncRunner {
+    AsyncRunner::new(
+        vec![design.clone()],
+        &Default::default(),
+        Default::default(),
+        Default::default(),
+    )
+    .expect("runner builds")
+}
+
+fn drive_ids(design: &Design, events: &[InstantEvents]) {
+    let mut r = runner(design);
+    r.run_events(events, |_, _| {}).expect("run succeeds");
+}
+
+fn drive_names(design: &Design, events: &[InstantEvents]) {
+    let mut r = runner(design);
+    r.run_events_names(events, |_, _| {}).expect("run succeeds");
+}
+
+fn bench_reaction(c: &mut Criterion) {
+    let stack = stack_mono();
+    let mut stack_ev = stack_events(INSTANTS / 65 + 1);
+    stack_ev.truncate(INSTANTS);
+    let pager = pager_mono();
+    let mut pager_ev = pager_events(INSTANTS / 69 + 1);
+    pager_ev.truncate(INSTANTS);
+
+    let mut g = c.benchmark_group("reaction");
+    g.sample_size(10);
+    g.bench_function("stack_ids", |b| b.iter(|| drive_ids(&stack, &stack_ev)));
+    g.bench_function("stack_names_shim", |b| {
+        b.iter(|| drive_names(&stack, &stack_ev))
+    });
+    g.bench_function("pager_ids", |b| b.iter(|| drive_ids(&pager, &pager_ev)));
+    g.bench_function("pager_names_shim", |b| {
+        b.iter(|| drive_names(&pager, &pager_ev))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reaction);
+criterion_main!(benches);

@@ -18,9 +18,8 @@ use crate::elab::Elab;
 use crate::split::DataTable;
 use ecl_syntax::ast::Program;
 use ecl_syntax::diag::DiagSink;
-use ecl_types::{Machine, SignalReader, TypeTable, Value};
+use ecl_types::{FxHashMap, Machine, SignalReader, TypeTable, Value};
 use efsm::{ActionId, DataHooks, ExprId, PredId, Signal};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Runtime construction/evaluation failure.
@@ -48,7 +47,7 @@ pub struct Rt {
     /// Signal index → resolved value type.
     sig_types: Vec<Option<ecl_types::TypeId>>,
     /// Signal name → index.
-    by_name: HashMap<String, usize>,
+    by_name: FxHashMap<String, usize>,
     /// First evaluation error encountered (subsequent actions are
     /// skipped until it is taken).
     error: Option<ecl_types::EvalError>,
@@ -90,7 +89,7 @@ impl Rt {
         // Resolve signal value types.
         let mut values = Vec::new();
         let mut sig_types = Vec::new();
-        let mut by_name = HashMap::new();
+        let mut by_name = FxHashMap::default();
         for (i, s) in elab.signals.iter().enumerate() {
             by_name.insert(s.name.clone(), i);
             if s.pure {
@@ -186,13 +185,64 @@ impl Rt {
                 msg: format!("unknown signal `{name}`"),
             });
         };
-        let Some(ty) = self.sig_types[i] else {
+        self.set_input_i64_idx(i, v)
+    }
+
+    /// Signal index by global name (the index [`Rt::signal_value`] and
+    /// the `_idx` setters expect; identical to the reactive program's
+    /// signal numbering).
+    pub fn signal_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// [`Rt::set_input_i64`] by signal index — the runner hot path.
+    /// Rewrites the existing value buffer in place (no allocation once
+    /// the signal has been set once).
+    ///
+    /// # Errors
+    ///
+    /// Unknown index or pure signal.
+    pub fn set_input_i64_idx(&mut self, idx: usize, v: i64) -> Result<(), RtError> {
+        let Some(ty) = self.sig_types.get(idx).copied().flatten() else {
             return Err(RtError {
-                msg: format!("signal `{name}` is pure"),
+                msg: format!("signal #{idx} is pure or unknown"),
             });
         };
-        let val = Value::from_i64(self.machine.table(), ty, v);
-        self.values[i] = Some(val);
+        let table = self.machine.table();
+        if let Some(val) = &mut self.values[idx] {
+            let t = table.get(ty);
+            if val.ty == ty && val.bytes.len() <= 8 && t.is_integer() {
+                let le = v.to_le_bytes();
+                let n = val.bytes.len();
+                val.bytes[..n].copy_from_slice(&le[..n]);
+                if t == ecl_types::Type::Bool {
+                    val.bytes[0] = (v != 0) as u8;
+                }
+                return Ok(());
+            }
+        }
+        self.values[idx] = Some(Value::from_i64(table, ty, v));
+        Ok(())
+    }
+
+    /// [`Rt::set_input_value`] by signal index (cross-task value copy
+    /// without a name lookup).
+    ///
+    /// # Errors
+    ///
+    /// Unknown index, pure signal, or a type mismatch.
+    pub fn set_input_value_idx(&mut self, idx: usize, v: &Value) -> Result<(), RtError> {
+        let Some(ty) = self.sig_types.get(idx).copied().flatten() else {
+            return Err(RtError {
+                msg: format!("signal #{idx} is pure or unknown"),
+            });
+        };
+        let Some(conv) = v.clone().convert(self.machine.table(), ty) else {
+            return Err(RtError {
+                msg: format!("type mismatch for signal #{idx}"),
+            });
+        };
+        self.values[idx] = Some(conv);
         Ok(())
     }
 
@@ -210,14 +260,16 @@ impl DataHooks for Rt {
             return false;
         }
         self.pred_evals += 1;
-        let expr = self.data.preds[pred.0 as usize].clone();
-        // Split borrows: clone the store handles into a local reader.
+        // Split borrows: move the value store into a local reader; the
+        // expression is read straight out of the (disjoint) data table.
         let values = std::mem::take(&mut self.values);
         let reader = OwnedReader {
             values: &values,
             by_name: &self.by_name,
         };
-        let out = self.machine.eval(&expr, &reader);
+        let out = self
+            .machine
+            .eval(&self.data.preds[pred.0 as usize], &reader);
         self.values = values;
         match out {
             Ok(v) => v.is_truthy(),
@@ -233,13 +285,12 @@ impl DataHooks for Rt {
             return;
         }
         self.action_runs += 1;
-        let stmts = self.data.actions[action.0 as usize].clone();
         let values = std::mem::take(&mut self.values);
         let reader = OwnedReader {
             values: &values,
             by_name: &self.by_name,
         };
-        for s in &stmts {
+        for s in &self.data.actions[action.0 as usize] {
             match self.machine.exec(s, &reader) {
                 Ok(_) => {}
                 Err(e) => {
@@ -255,14 +306,14 @@ impl DataHooks for Rt {
         if self.error.is_some() {
             return;
         }
-        let (e, target) = self.data.emit_exprs[expr.0 as usize].clone();
-        debug_assert_eq!(target, sig, "emit expr bound to a different signal");
+        let (e, target) = &self.data.emit_exprs[expr.0 as usize];
+        debug_assert_eq!(*target, sig, "emit expr bound to a different signal");
         let values = std::mem::take(&mut self.values);
         let reader = OwnedReader {
             values: &values,
             by_name: &self.by_name,
         };
-        let out = self.machine.eval(&e, &reader);
+        let out = self.machine.eval(e, &reader);
         self.values = values;
         match out {
             Ok(v) => {
@@ -290,7 +341,7 @@ impl DataHooks for Rt {
 /// Reader over a moved-out value store (borrow-splitting helper).
 struct OwnedReader<'a> {
     values: &'a [Option<Value>],
-    by_name: &'a HashMap<String, usize>,
+    by_name: &'a FxHashMap<String, usize>,
 }
 
 impl<'a> SignalReader for OwnedReader<'a> {

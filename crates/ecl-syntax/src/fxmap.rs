@@ -1,0 +1,88 @@
+//! A fast non-cryptographic hasher for hot name-keyed maps.
+//!
+//! Variable frames and signal tables are keyed by long mangled names
+//! (`toplevel::prochdr#0::count`); hashing them with SipHash on every
+//! identifier access is a measurable share of a reaction. This is the
+//! classic Fx multiply-rotate word hash (as used by rustc): not
+//! DoS-resistant, which is fine for interpreter-internal tables keyed
+//! by program-derived names.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Word-at-a-time multiply-rotate hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(format!("toplevel::mod#{i}::var"), i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(m.get(&format!("toplevel::mod#{i}::var")), Some(&i));
+        }
+    }
+
+    #[test]
+    fn empty_and_short_keys() {
+        let mut m: FxHashMap<&str, u8> = FxHashMap::default();
+        m.insert("", 0);
+        m.insert("a", 1);
+        m.insert("ab", 2);
+        assert_eq!(m[""], 0);
+        assert_eq!(m["a"], 1);
+        assert_eq!(m["ab"], 2);
+    }
+}

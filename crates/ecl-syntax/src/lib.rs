@@ -28,6 +28,7 @@
 
 pub mod ast;
 pub mod diag;
+pub mod fxmap;
 pub mod lexer;
 pub mod parser;
 pub mod pp;
@@ -37,6 +38,7 @@ pub mod token;
 
 pub use ast::Program;
 pub use diag::{DiagSink, Diagnostic, Diagnostics, EclError, Severity, Stage};
+pub use fxmap::{FxHashMap, FxHasher};
 pub use source::{SourceFile, Span};
 
 /// Parse a complete ECL translation unit from a string.

@@ -20,9 +20,10 @@ use crate::types::{Type, TypeId, TypeTable};
 use crate::value::Value;
 use ecl_syntax::ast::{BinOp, Expr, ExprKind, Function, Stmt, StmtKind, UnOp, VarDecl};
 use ecl_syntax::diag::DiagSink;
+use ecl_syntax::fxmap::FxHashMap;
 use ecl_syntax::source::Span;
-use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
 /// Error during data-code evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,13 +82,25 @@ impl SignalReader for NoSignals {
     }
 }
 
-/// A resolved lvalue: a variable plus a byte window into it.
-#[derive(Debug, Clone)]
+/// A resolved lvalue: a variable slot plus a byte window into it.
+/// Slot-addressed (no name), so resolving and accessing a place never
+/// touches a string after the initial scope lookup.
+#[derive(Debug, Clone, Copy)]
 struct Place {
     scope: usize,
-    name: String,
+    slot: usize,
     offset: u32,
     ty: TypeId,
+}
+
+/// One variable scope: name → slot index into a dense value store.
+/// `names[i]` is the name bound to `slots[i]` (used to validate the
+/// span-keyed identifier cache without hashing the name).
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    index: FxHashMap<String, usize>,
+    slots: Vec<Value>,
+    names: Vec<String>,
 }
 
 /// The data-code interpreter.
@@ -97,8 +110,18 @@ struct Place {
 #[derive(Debug, Clone)]
 pub struct Machine {
     table: TypeTable,
-    funcs: HashMap<String, Function>,
-    scopes: Vec<HashMap<String, Value>>,
+    funcs: FxHashMap<String, Rc<Function>>,
+    scopes: Vec<Scope>,
+    /// Identifier memo: source span → (declaration epoch, scope, slot)
+    /// of the last resolution. An entry is valid only when no *new*
+    /// binding has been declared since it was recorded
+    /// ([`Machine::decl_epoch`] unchanged — a later declaration could
+    /// shadow the cached one) and the cached slot still carries the
+    /// expected name; anything else falls back to the scope walk.
+    ident_cache: FxHashMap<(u32, u32), (u64, u32, u32)>,
+    /// Bumped whenever a new name is bound (not on overwrite): the
+    /// validity fence of [`Machine::ident_cache`].
+    decl_epoch: u64,
     fuel: u64,
 }
 
@@ -110,8 +133,10 @@ impl Machine {
     pub fn new(table: TypeTable) -> Self {
         Machine {
             table,
-            funcs: HashMap::new(),
-            scopes: vec![HashMap::new()],
+            funcs: FxHashMap::default(),
+            scopes: vec![Scope::default()],
+            ident_cache: FxHashMap::default(),
+            decl_epoch: 0,
             fuel: DEFAULT_FUEL,
         }
     }
@@ -138,12 +163,12 @@ impl Machine {
 
     /// Register a callable C function.
     pub fn add_function(&mut self, f: &Function) {
-        self.funcs.insert(f.name.name.clone(), f.clone());
+        self.funcs.insert(f.name.name.clone(), Rc::new(f.clone()));
     }
 
     /// Open a new variable scope.
     pub fn push_scope(&mut self) {
-        self.scopes.push(HashMap::new());
+        self.scopes.push(Scope::default());
     }
 
     /// Close the innermost scope.
@@ -158,22 +183,55 @@ impl Machine {
 
     /// Declare (or overwrite) a variable in the innermost scope.
     pub fn declare(&mut self, name: &str, v: Value) {
-        self.scopes
-            .last_mut()
-            .expect("at least the root scope")
-            .insert(name.to_string(), v);
+        let scope = self.scopes.last_mut().expect("at least the root scope");
+        match scope.index.get(name) {
+            Some(&slot) => scope.slots[slot] = v,
+            None => {
+                scope.index.insert(name.to_string(), scope.slots.len());
+                scope.slots.push(v);
+                scope.names.push(name.to_string());
+                // A new binding may shadow cached resolutions.
+                self.decl_epoch += 1;
+            }
+        }
+    }
+
+    /// Find the binding of `name` at source position `span`, through
+    /// the span-keyed memo when possible.
+    fn lookup_ident(&mut self, name: &str, span: Span) -> Option<(usize, usize)> {
+        let key = (span.start, span.end);
+        if let Some(&(epoch, si, sl)) = self.ident_cache.get(&key) {
+            if epoch == self.decl_epoch {
+                if let Some(s) = self.scopes.get(si as usize) {
+                    if s.names.get(sl as usize).is_some_and(|n| n == name) {
+                        return Some((si as usize, sl as usize));
+                    }
+                }
+            }
+        }
+        for (i, s) in self.scopes.iter().enumerate().rev() {
+            if let Some(&slot) = s.index.get(name) {
+                self.ident_cache
+                    .insert(key, (self.decl_epoch, i as u32, slot as u32));
+                return Some((i, slot));
+            }
+        }
+        None
     }
 
     /// Read a variable (innermost scope wins).
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.scopes.iter().rev().find_map(|s| s.get(name))
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.index.get(name).map(|&i| &s.slots[i]))
     }
 
     /// Overwrite an existing variable wherever it lives.
     pub fn set(&mut self, name: &str, v: Value) -> bool {
         for s in self.scopes.iter_mut().rev() {
-            if let Some(slot) = s.get_mut(name) {
-                *slot = v;
+            if let Some(&slot) = s.index.get(name) {
+                s.slots[slot] = v;
                 return true;
             }
         }
@@ -213,8 +271,8 @@ impl Machine {
             }
             ExprKind::StrLit(_) => err("string literals are not supported in data code", e.span),
             ExprKind::Ident(id) => {
-                if let Some(v) = self.get(&id.name) {
-                    return Ok(v.clone());
+                if let Some((si, sl)) = self.lookup_ident(&id.name, id.span) {
+                    return Ok(self.scopes[si].slots[sl].clone());
                 }
                 if let Some(v) = sigs.read_signal(&id.name) {
                     return Ok(v);
@@ -270,7 +328,7 @@ impl Machine {
                     self.eval(f, sigs)
                 }
             }
-            ExprKind::Call(name, args) => self.eval_call(name.name.clone(), args, e.span, sigs),
+            ExprKind::Call(name, args) => self.eval_call(&name.name, args, e.span, sigs),
             ExprKind::Index(_, _) | ExprKind::Member(_, _) | ExprKind::Arrow(_, _) => {
                 // Projections rooted in a variable are lvalue reads;
                 // projections rooted in a signal value (the paper reads
@@ -313,13 +371,13 @@ impl Machine {
     }
 
     fn convert_or_err(&self, v: Value, to: TypeId, span: Span) -> Result<Value, EvalError> {
-        let from_name = self.table.name_of(v.ty);
+        let from = v.ty;
         match v.convert(&self.table, to) {
             Some(v) => Ok(v),
             None => err(
                 format!(
                     "cannot convert `{}` to `{}`",
-                    from_name,
+                    self.table.name_of(from),
                     self.table.name_of(to)
                 ),
                 span,
@@ -442,6 +500,17 @@ impl Machine {
         vb: &Value,
         span: Span,
     ) -> Result<Value, EvalError> {
+        // Fast path: both operands already share a 32-bit integer type
+        // (the overwhelmingly common case in extracted data code) — no
+        // promotion, no conversions, no table walks.
+        if va.ty == vb.ty {
+            let t = self.table.get(va.ty);
+            if matches!(t, Type::Int | Type::UInt) {
+                if let Some(v) = self.int_binop(op, va, vb, t == Type::UInt, span)? {
+                    return Ok(v);
+                }
+            }
+        }
         let ta = self.table.get(va.ty);
         let tb = self.table.get(vb.ty);
         if !ta.is_scalar() && !matches!(ta, Type::Array(_, _)) {
@@ -508,10 +577,47 @@ impl Machine {
             .convert(&self.table, common)
             .expect("int conv")
             .as_i64(&self.table);
-        let iv = |m: &Self, v: i64| Value::from_i64(&m.table, common, v);
+        Ok(self
+            .apply_int_op(op, common, unsigned, x, y, span)?
+            .expect("short-circuit handled earlier"))
+    }
+
+    /// The integer fast path of [`Machine::apply_binop`]: both
+    /// operands already share the same `int`/`unsigned int` type, so
+    /// promotion and conversion are skipped and the shared operator
+    /// kernel runs directly. Returns `Ok(None)` for operators the
+    /// integer kernel does not cover (caller falls back).
+    fn int_binop(
+        &mut self,
+        op: BinOp,
+        va: &Value,
+        vb: &Value,
+        unsigned: bool,
+        span: Span,
+    ) -> Result<Option<Value>, EvalError> {
+        let x = va.as_i64(&self.table);
+        let y = vb.as_i64(&self.table);
+        self.apply_int_op(op, va.ty, unsigned, x, y, span)
+    }
+
+    /// The one integer operator kernel shared by the generic and the
+    /// same-type fast path of [`Machine::apply_binop`]: `x op y` with
+    /// the result in type `common` (comparisons produce `int`).
+    /// Returns `Ok(None)` only for the short-circuit operators, which
+    /// both callers handle before reaching here.
+    fn apply_int_op(
+        &mut self,
+        op: BinOp,
+        common: TypeId,
+        unsigned: bool,
+        x: i64,
+        y: i64,
+        span: Span,
+    ) -> Result<Option<Value>, EvalError> {
+        let iv = |m: &Self, v: i64| Some(Value::from_i64(&m.table, common, v));
         let bv = |m: &mut Self, v: bool| {
             let int = m.table.int();
-            Value::from_i64(&m.table, int, v as i64)
+            Some(Value::from_i64(&m.table, int, v as i64))
         };
         Ok(match op {
             BinOp::Add => iv(self, x.wrapping_add(y)),
@@ -584,21 +690,21 @@ impl Machine {
             BinOp::BitAnd => iv(self, x & y),
             BinOp::BitXor => iv(self, x ^ y),
             BinOp::BitOr => iv(self, x | y),
-            BinOp::LogAnd | BinOp::LogOr => unreachable!("short-circuit handled earlier"),
+            BinOp::LogAnd | BinOp::LogOr => None,
         })
     }
 
     fn eval_call(
         &mut self,
-        name: String,
+        name: &str,
         args: &[Expr],
         span: Span,
         sigs: &dyn SignalReader,
     ) -> Result<Value, EvalError> {
-        let Some(f) = self.funcs.get(&name).cloned() else {
+        let Some(f) = self.funcs.get(name).map(Rc::clone) else {
             return err(format!("unknown function `{name}`"), span);
         };
-        let Some(body) = f.body.clone() else {
+        let Some(body) = f.body.as_ref() else {
             return err(format!("function `{name}` has no body"), span);
         };
         if args.len() != f.params.len() {
@@ -622,7 +728,7 @@ impl Machine {
             vals.push((p.name.name.clone(), self.convert_or_err(v, pt, a.span)?));
         }
         // Fresh function scope (C functions do not see caller locals).
-        let saved = std::mem::replace(&mut self.scopes, vec![HashMap::new()]);
+        let saved = std::mem::replace(&mut self.scopes, vec![Scope::default()]);
         for (n, v) in vals {
             self.declare(&n, v);
         }
@@ -661,13 +767,14 @@ impl Machine {
             ExprKind::Member(base, field) => {
                 let v = self.eval(base, sigs)?;
                 let rec = match self.table.get(v.ty) {
-                    Type::Struct(r) | Type::Union(r) => self.table.record(r).clone(),
+                    Type::Struct(r) | Type::Union(r) => self.table.record(r),
                     _ => return err("member access on a non-record value", e.span),
                 };
                 let Some(f) = rec.field(&field.name) else {
                     return err(format!("no field `{}`", field.name), field.span);
                 };
-                Ok(v.read_at(&self.table, f.offset, f.ty))
+                let (offset, ty) = (f.offset, f.ty);
+                Ok(v.read_at(&self.table, offset, ty))
             }
             ExprKind::Index(base, idx) => {
                 let v = self.eval(base, sigs)?;
@@ -694,15 +801,13 @@ impl Machine {
     fn resolve_place(&mut self, e: &Expr, sigs: &dyn SignalReader) -> Result<Place, EvalError> {
         match &e.kind {
             ExprKind::Ident(id) => {
-                for (i, s) in self.scopes.iter().enumerate().rev() {
-                    if let Some(v) = s.get(&id.name) {
-                        return Ok(Place {
-                            scope: i,
-                            name: id.name.clone(),
-                            offset: 0,
-                            ty: v.ty,
-                        });
-                    }
+                if let Some((scope, slot)) = self.lookup_ident(&id.name, id.span) {
+                    return Ok(Place {
+                        scope,
+                        slot,
+                        offset: 0,
+                        ty: self.scopes[scope].slots[slot].ty,
+                    });
                 }
                 err(format!("cannot assign to `{}`", id.name), id.span)
             }
@@ -716,26 +821,25 @@ impl Machine {
                     return err(format!("index {i} out of bounds (len {n})"), e.span);
                 }
                 Ok(Place {
-                    scope: b.scope,
-                    name: b.name,
                     offset: b.offset + self.table.size_of(elem) * i as u32,
                     ty: elem,
+                    ..b
                 })
             }
             ExprKind::Member(base, field) => {
                 let b = self.resolve_place(base, sigs)?;
                 let rec = match self.table.get(b.ty) {
-                    Type::Struct(r) | Type::Union(r) => self.table.record(r).clone(),
+                    Type::Struct(r) | Type::Union(r) => self.table.record(r),
                     _ => return err("member access on a non-record", e.span),
                 };
                 let Some(f) = rec.field(&field.name) else {
                     return err(format!("no field `{}`", field.name), field.span);
                 };
+                let (offset, ty) = (f.offset, f.ty);
                 Ok(Place {
-                    scope: b.scope,
-                    name: b.name,
-                    offset: b.offset + f.offset,
-                    ty: f.ty,
+                    offset: b.offset + offset,
+                    ty,
+                    ..b
                 })
             }
             ExprKind::Arrow(_, _) => err(
@@ -747,17 +851,11 @@ impl Machine {
     }
 
     fn read_place(&self, p: &Place) -> Value {
-        let var = self.scopes[p.scope]
-            .get(&p.name)
-            .expect("place resolved against live variable");
-        var.read_at(&self.table, p.offset, p.ty)
+        self.scopes[p.scope].slots[p.slot].read_at(&self.table, p.offset, p.ty)
     }
 
     fn write_place(&mut self, p: &Place, v: &Value) {
-        let var = self.scopes[p.scope]
-            .get_mut(&p.name)
-            .expect("place resolved against live variable");
-        var.write_at(p.offset, v);
+        self.scopes[p.scope].slots[p.slot].write_at(p.offset, v);
     }
 
     // -- statements -------------------------------------------------------
@@ -1003,6 +1101,21 @@ mod tests {
     }
 
     #[test]
+    fn late_shadowing_declaration_wins_over_cached_binding() {
+        // Iteration 0 resolves `x` at the shared use site to the outer
+        // binding (and memoizes it); iteration 1 declares a shadowing
+        // `x` in the loop scope before the same use site runs again.
+        // The identifier memo must notice the new binding (declaration
+        // epoch) and re-resolve: acc = 1 + 5, not 1 + 1.
+        let m = run(
+            "",
+            "int x = 1; int acc = 0; int i; \
+             for (i = 0; i < 2; i++) { if (i == 1) int x = 5; acc = acc + x; }",
+        );
+        assert_eq!(int_var(&m, "acc"), 6);
+    }
+
+    #[test]
     fn while_and_for_loops() {
         let m = run(
             "",
@@ -1118,7 +1231,7 @@ mod tests {
             fn read_signal(&self, name: &str) -> Option<Value> {
                 (name == "in_byte").then(|| Value {
                     ty: self.0,
-                    bytes: vec![7],
+                    bytes: vec![7].into(),
                 })
             }
         }

@@ -32,6 +32,7 @@ pub mod interp;
 pub mod types;
 pub mod value;
 
+pub use ecl_syntax::fxmap::{FxHashMap, FxHasher};
 pub use interp::{EvalError, Flow, Machine, SignalReader};
 pub use types::{Field, Record, Type, TypeId, TypeTable};
-pub use value::Value;
+pub use value::{Bytes, Value};

@@ -132,7 +132,7 @@ impl Record {
 }
 
 /// Interner and layout engine for all types in a program.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TypeTable {
     types: Vec<Type>,
     intern: HashMap<Type, TypeId>,
@@ -145,26 +145,67 @@ pub struct TypeTable {
     pub enum_consts: HashMap<String, i64>,
 }
 
+impl Default for TypeTable {
+    fn default() -> Self {
+        TypeTable::new()
+    }
+}
+
+/// The primitives pre-interned by [`TypeTable::new`], in id order —
+/// `primitive_id` relies on this exact order.
+const PRIMITIVES: [Type; 12] = [
+    Type::Void,
+    Type::Bool,
+    Type::Char,
+    Type::UChar,
+    Type::Short,
+    Type::UShort,
+    Type::Int,
+    Type::UInt,
+    Type::Long,
+    Type::ULong,
+    Type::Float,
+    Type::Double,
+];
+
+/// The fixed id of a primitive type (pre-interned by
+/// [`TypeTable::new`]), letting the interpreter skip the intern map on
+/// its hottest calls.
+fn primitive_id(ty: &Type) -> Option<TypeId> {
+    let i = match ty {
+        Type::Void => 0,
+        Type::Bool => 1,
+        Type::Char => 2,
+        Type::UChar => 3,
+        Type::Short => 4,
+        Type::UShort => 5,
+        Type::Int => 6,
+        Type::UInt => 7,
+        Type::Long => 8,
+        Type::ULong => 9,
+        Type::Float => 10,
+        Type::Double => 11,
+        _ => return None,
+    };
+    Some(TypeId(i))
+}
+
 impl TypeTable {
     /// An empty table with the primitive types pre-interned.
     pub fn new() -> Self {
-        let mut t = TypeTable::default();
+        let mut t = TypeTable {
+            types: Vec::new(),
+            intern: HashMap::new(),
+            records: Vec::new(),
+            typedefs: HashMap::new(),
+            struct_tags: HashMap::new(),
+            union_tags: HashMap::new(),
+            enum_tags: HashMap::new(),
+            enum_consts: HashMap::new(),
+        };
         // Pre-intern scalars so TypeIds are stable and cheap.
-        for ty in [
-            Type::Void,
-            Type::Bool,
-            Type::Char,
-            Type::UChar,
-            Type::Short,
-            Type::UShort,
-            Type::Int,
-            Type::UInt,
-            Type::Long,
-            Type::ULong,
-            Type::Float,
-            Type::Double,
-        ] {
-            t.intern(ty);
+        for ty in PRIMITIVES {
+            t.intern_slow(ty);
         }
         t
     }
@@ -199,6 +240,13 @@ impl TypeTable {
 
     /// Intern a resolved type.
     pub fn intern(&mut self, ty: Type) -> TypeId {
+        if let Some(id) = primitive_id(&ty) {
+            return id;
+        }
+        self.intern_slow(ty)
+    }
+
+    fn intern_slow(&mut self, ty: Type) -> TypeId {
         if let Some(id) = self.intern.get(&ty) {
             return *id;
         }

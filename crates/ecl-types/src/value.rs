@@ -8,6 +8,126 @@
 
 use crate::types::{Type, TypeId, TypeTable};
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Inline capacity of [`Bytes`]: scalars (≤ 8 bytes) and small
+/// aggregates never touch the heap.
+const INLINE: usize = 16;
+
+/// A small-buffer byte string: the object representation of a
+/// [`Value`]. Buffers up to [`INLINE`] bytes live inline (the common
+/// case — every C scalar), larger aggregates (packets, frames) spill
+/// to the heap. Dereferences to `[u8]`, so indexing, slicing and
+/// iteration work as on a `Vec<u8>`.
+#[derive(Clone)]
+pub enum Bytes {
+    /// Inline storage: `data[..len]` is the value.
+    Inline {
+        /// Number of live bytes.
+        len: u8,
+        /// Backing store (only `[..len]` is meaningful).
+        data: [u8; INLINE],
+    },
+    /// Heap storage for large aggregates.
+    Heap(Vec<u8>),
+}
+
+impl Bytes {
+    /// A zero-filled buffer of `n` bytes.
+    pub fn zeroed(n: usize) -> Bytes {
+        if n <= INLINE {
+            Bytes::Inline {
+                len: n as u8,
+                data: [0; INLINE],
+            }
+        } else {
+            Bytes::Heap(vec![0; n])
+        }
+    }
+
+    /// Copy a slice.
+    pub fn from_slice(s: &[u8]) -> Bytes {
+        if s.len() <= INLINE {
+            let mut data = [0; INLINE];
+            data[..s.len()].copy_from_slice(s);
+            Bytes::Inline {
+                len: s.len() as u8,
+                data,
+            }
+        } else {
+            Bytes::Heap(s.to_vec())
+        }
+    }
+
+    /// Shorten to `n` bytes (no-op when already shorter).
+    pub fn truncate(&mut self, n: usize) {
+        match self {
+            Bytes::Inline { len, .. } => *len = (*len).min(n as u8),
+            Bytes::Heap(v) => v.truncate(n),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            Bytes::Inline { len, data } => &data[..*len as usize],
+            Bytes::Heap(v) => v,
+        }
+    }
+}
+
+impl DerefMut for Bytes {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        match self {
+            Bytes::Inline { len, data } => &mut data[..*len as usize],
+            Bytes::Heap(v) => v,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self[..], f)
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        if v.len() <= INLINE {
+            Bytes::from_slice(&v)
+        } else {
+            Bytes::Heap(v)
+        }
+    }
+}
 
 /// A typed runtime value: `bytes.len() == table.size_of(ty)`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -15,7 +135,7 @@ pub struct Value {
     /// The value's type.
     pub ty: TypeId,
     /// Little-endian object representation.
-    pub bytes: Vec<u8>,
+    pub bytes: Bytes,
 }
 
 impl Value {
@@ -23,7 +143,7 @@ impl Value {
     pub fn zero(table: &TypeTable, ty: TypeId) -> Value {
         Value {
             ty,
-            bytes: vec![0; table.size_of(ty) as usize],
+            bytes: Bytes::zeroed(table.size_of(ty) as usize),
         }
     }
 
@@ -41,8 +161,8 @@ impl Value {
             "from_i64 on non-integer type {}",
             table.name_of(ty)
         );
-        let mut bytes = v.to_le_bytes().to_vec();
-        bytes.truncate(size);
+        let le = v.to_le_bytes();
+        let mut bytes = Bytes::from_slice(&le[..size.min(8)]);
         if t == Type::Bool {
             bytes[0] = (v != 0) as u8;
         }
@@ -58,11 +178,11 @@ impl Value {
         match table.get(ty) {
             Type::Float => Value {
                 ty,
-                bytes: (v as f32).to_le_bytes().to_vec(),
+                bytes: Bytes::from_slice(&(v as f32).to_le_bytes()),
             },
             Type::Double => Value {
                 ty,
-                bytes: v.to_le_bytes().to_vec(),
+                bytes: Bytes::from_slice(&v.to_le_bytes()),
             },
             other => panic!("from_f64 on non-float type {other:?}"),
         }
@@ -137,7 +257,7 @@ impl Value {
         let n = table.size_of(ty) as usize;
         Value {
             ty,
-            bytes: self.bytes[o..o + n].to_vec(),
+            bytes: Bytes::from_slice(&self.bytes[o..o + n]),
         }
     }
 
@@ -283,7 +403,7 @@ mod tests {
         let int = t.int();
         let v = Value {
             ty: arr2,
-            bytes: vec![0x34, 0x12],
+            bytes: vec![0x34, 0x12].into(),
         };
         // Little-endian: [0x34, 0x12] = 0x1234.
         assert_eq!(v.convert(&t, int).unwrap().as_i64(&t), 0x1234);

@@ -32,10 +32,12 @@ pub mod machine;
 pub mod network;
 pub mod opt;
 pub mod sgraph;
+pub mod sig;
 
 pub use bitset::BitSet;
-pub use machine::{Efsm, SigKind, Signal, SignalInfo, State, StateId, StepResult};
+pub use machine::{Efsm, SigKind, Signal, SignalInfo, State, StateId, StepOut, StepResult};
 pub use sgraph::{Node, NodeId, Path};
+pub use sig::{SigId, SigTable};
 
 /// Opaque id of a data predicate (resolved by [`DataHooks::eval_pred`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

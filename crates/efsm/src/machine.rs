@@ -2,7 +2,7 @@
 //! single-instant step executor.
 
 use crate::sgraph::{self, Node, NodeId};
-use crate::DataHooks;
+use crate::{BitSet, DataHooks};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -67,6 +67,16 @@ pub struct Efsm {
 pub struct StepResult {
     /// Signals emitted this instant, in order.
     pub emitted: Vec<Signal>,
+    /// Next control state.
+    pub next: StateId,
+    /// Number of s-graph nodes traversed (proxy for reaction latency).
+    pub nodes_visited: u32,
+}
+
+/// Result of one [`Efsm::step_bits`] call (emissions go to the caller's
+/// buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepOut {
     /// Next control state.
     pub next: StateId,
     /// Number of s-graph nodes traversed (proxy for reaction latency).
@@ -150,6 +160,10 @@ impl Efsm {
     /// `Do` and valued `Emit` call into `hooks`, and the terminating
     /// `Goto` gives the next state.
     ///
+    /// Compatibility wrapper over [`Efsm::step_bits`], which is the
+    /// allocation-free hot path (runners drive it with reusable
+    /// buffers).
+    ///
     /// # Panics
     ///
     /// Panics if the machine is structurally broken (dangling node or
@@ -160,13 +174,42 @@ impl Efsm {
         inputs: &HashSet<Signal>,
         hooks: &mut dyn DataHooks,
     ) -> StepResult {
+        let present: BitSet = inputs.iter().map(|s| s.0 as usize).collect();
+        let mut emitted = Vec::new();
+        let out = self.step_bits(state, &present, hooks, &mut emitted);
+        StepResult {
+            emitted,
+            next: out.next,
+            nodes_visited: out.nodes_visited,
+        }
+    }
+
+    /// Allocation-free single-instant executor: `inputs` is a presence
+    /// [`BitSet`] over this machine's *local* signal indices, and every
+    /// emission is appended to `emitted` (not cleared — callers reuse
+    /// the buffer across reactions and truncate themselves).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Efsm::step`].
+    pub fn step_bits(
+        &self,
+        state: StateId,
+        inputs: &BitSet,
+        hooks: &mut dyn DataHooks,
+        emitted: &mut Vec<Signal>,
+    ) -> StepOut {
         let mut cur = self.states[state.0 as usize].root;
-        let mut result = StepResult::default();
+        let mut out = StepOut::default();
         loop {
-            result.nodes_visited += 1;
+            out.nodes_visited += 1;
             match self.nodes[cur.0 as usize] {
                 Node::Test { sig, then_, else_ } => {
-                    cur = if inputs.contains(&sig) { then_ } else { else_ };
+                    cur = if inputs.contains(sig.0 as usize) {
+                        then_
+                    } else {
+                        else_
+                    };
                 }
                 Node::TestPred { pred, then_, else_ } => {
                     cur = if hooks.eval_pred(pred) { then_ } else { else_ };
@@ -179,12 +222,12 @@ impl Efsm {
                     if let Some(expr) = value {
                         hooks.emit_value(sig, expr);
                     }
-                    result.emitted.push(sig);
+                    emitted.push(sig);
                     cur = next;
                 }
                 Node::Goto { target } => {
-                    result.next = target;
-                    return result;
+                    out.next = target;
+                    return out;
                 }
             }
         }

@@ -170,14 +170,32 @@ impl<'p> Machine<'p> {
 
     /// Run one instant with `inputs` present.
     ///
+    /// Compatibility wrapper over [`Machine::react_set`], the
+    /// bitset-native entry point.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::react_set`].
+    pub fn react(
+        &mut self,
+        inputs: &HashSet<Signal>,
+        hooks: &mut dyn DataHooks,
+    ) -> Result<Reaction, RuntimeError> {
+        let present: BitSet = inputs.iter().map(|s| s.0 as usize).collect();
+        self.react_set(&present, hooks)
+    }
+
+    /// Run one instant with the signals of `inputs` (a presence set
+    /// over this program's signal indices) present.
+    ///
     /// # Errors
     ///
     /// [`RuntimeError::NonConstructive`] when signal statuses cannot be
     /// resolved; [`RuntimeError::InstantaneousLoop`] as a dynamic
     /// backstop for the static loop check.
-    pub fn react(
+    pub fn react_set(
         &mut self,
-        inputs: &HashSet<Signal>,
+        inputs: &BitSet,
         hooks: &mut dyn DataHooks,
     ) -> Result<Reaction, RuntimeError> {
         if self.dead {
@@ -191,7 +209,7 @@ impl<'p> Machine<'p> {
             .map(|i| {
                 let info = &self.prog.signals()[i];
                 if info.kind == SigKind::Input {
-                    if inputs.contains(&Signal(i as u32)) {
+                    if inputs.contains(i) {
                         Tri::True
                     } else {
                         Tri::False

@@ -2,11 +2,13 @@
 //! monitors attached, recording a signal trace on the side.
 //!
 //! Both entry points use the runners' `run_events` testbench hook: the
-//! per-instant present-name set (stimuli plus emissions) feeds every
-//! monitor lockstep with the design, and the runner's built-in
-//! recorder captures the same instants into a [`Trace`] — so an online
-//! verdict can always be re-derived offline with
-//! [`crate::Monitor::replay`].
+//! per-instant present set (stimuli plus emissions, as interned ids)
+//! feeds every monitor lockstep with the design, and the runner's
+//! built-in recorder captures the same instants into a [`Trace`] — so
+//! an online verdict can always be re-derived offline with
+//! [`crate::Monitor::replay`]. Monitors are bound to the runner's
+//! signal table once, before the run: per instant they do pure bitset
+//! work, no name matching.
 
 use crate::monitor::{Monitor, MonitorReport};
 use crate::synth::MonitorSpec;
@@ -29,8 +31,15 @@ pub struct MonitoredRun {
     pub trace: Trace,
 }
 
-fn instances(specs: &[Arc<MonitorSpec>]) -> Vec<Monitor> {
-    specs.iter().map(|s| Monitor::new(Arc::clone(s))).collect()
+fn instances(specs: &[Arc<MonitorSpec>], table: &efsm::SigTable) -> Vec<Monitor> {
+    specs
+        .iter()
+        .map(|s| {
+            let mut m = Monitor::new(Arc::clone(s));
+            m.bind(table);
+            m
+        })
+        .collect()
 }
 
 /// Run `events` through the constructive interpreter with `specs`
@@ -47,10 +56,10 @@ pub fn check_interp(
 ) -> Result<MonitoredRun, EclError> {
     let mut runner = InterpRunner::new(design)?;
     runner.enable_trace(trace_capacity);
-    let mut monitors = instances(specs);
+    let mut monitors = instances(specs, runner.sig_table());
     runner.run_events(events, |instant, present| {
         for m in &mut monitors {
-            m.step(instant, present);
+            m.step_present(instant, present);
         }
     })?;
     Ok(MonitoredRun {
@@ -79,10 +88,10 @@ pub fn check_async(
         KernelParams::default(),
     )?;
     runner.enable_trace(trace_capacity);
-    let mut monitors = instances(specs);
+    let mut monitors = instances(specs, runner.sig_table());
     runner.run_events(events, |instant, present| {
         for m in &mut monitors {
-            m.step(instant, present);
+            m.step_present(instant, present);
         }
     })?;
     Ok(MonitoredRun {

@@ -1,16 +1,24 @@
 //! Monitor execution: step a synthesized machine lockstep with a
 //! design run (or a recorded trace) and report verdicts.
 //!
-//! A monitor watches *names*, not handles: each instant it receives
-//! the set of present global signal names (environment stimuli plus
-//! design emissions) and resolves its watched interface against them.
-//! Resolution tolerates elaboration mangling — watched name `packet`
-//! matches both the partitioned run's wire `packet` and the monolithic
-//! run's local `top::packet` — so one observer checks every
-//! implementation of the same design.
+//! A monitor watches *names*, not handles: its watched interface is
+//! resolved against the run's global signal namespace tolerating
+//! elaboration mangling — watched name `packet` matches both the
+//! partitioned run's wire `packet` and the monolithic run's local
+//! `top::packet` — so one observer checks every implementation of the
+//! same design.
+//!
+//! Resolution happens **once**, not per instant: [`Monitor::bind`]
+//! precomputes, for every input of the monitor machine, the
+//! [`BitSet`] of global [`SigId`]s that denote it. From then on
+//! [`Monitor::step_ids`] turns a present-id set into machine inputs
+//! with a handful of word intersections and steps the EFSM through
+//! its allocation-free executor. The name-based [`Monitor::step`]
+//! remains as a compatibility shim with identical verdicts.
 
 use crate::synth::MonitorSpec;
-use efsm::{NoHooks, StateId};
+use efsm::{BitSet, NoHooks, SigTable, Signal, StateId};
+use sim::runner::Present;
 use sim::trace::Trace;
 use std::fmt;
 use std::sync::Arc;
@@ -84,6 +92,12 @@ pub struct Monitor {
     spec: Arc<MonitorSpec>,
     state: StateId,
     verdict: Verdict,
+    /// Per machine input: the mask of global ids that denote it
+    /// (computed by [`Monitor::bind`]; empty until then).
+    binding: Vec<(Signal, BitSet)>,
+    bound: bool,
+    input_scratch: BitSet,
+    emit_scratch: Vec<Signal>,
 }
 
 impl Monitor {
@@ -94,6 +108,10 @@ impl Monitor {
             spec,
             state,
             verdict: Verdict::Running,
+            binding: Vec::new(),
+            bound: false,
+            input_scratch: BitSet::new(),
+            emit_scratch: Vec::new(),
         }
     }
 
@@ -107,30 +125,109 @@ impl Monitor {
         &self.verdict
     }
 
-    /// Step one environment instant with the given present names.
-    /// After the first violation the monitor latches its verdict and
-    /// ignores further instants. Returns the violation detected *this*
-    /// instant, if any.
-    pub fn step(&mut self, instant: u64, present: &[String]) -> Option<&Violation> {
+    /// Pre-bind the watched interface against a run's signal table:
+    /// for each input of the monitor machine, compute the mask of
+    /// global ids whose (possibly mangled) name denotes it. Stepping
+    /// by ids after this is pure bitset work. Idempotent per table;
+    /// call again to re-bind against a different run.
+    pub fn bind(&mut self, table: &SigTable) {
+        self.binding.clear();
+        for (s, info) in self.spec.efsm.inputs() {
+            let mask: BitSet = table
+                .iter()
+                .filter(|(_, name)| name_matches(name, &info.name))
+                .map(|(id, _)| id.bit())
+                .collect();
+            self.binding.push((s, mask));
+        }
+        self.bound = true;
+    }
+
+    /// Step one environment instant with `present` as the set of
+    /// present global ids (resolved against `table`, which the monitor
+    /// lazily binds to on first use). After the first violation the
+    /// monitor latches its verdict and ignores further instants.
+    /// Returns the violation detected *this* instant, if any.
+    /// Allocation-free in steady state (until a violation is latched).
+    pub fn step_ids(
+        &mut self,
+        instant: u64,
+        present: &BitSet,
+        table: &SigTable,
+    ) -> Option<&Violation> {
         if matches!(self.verdict, Verdict::Fail(_)) {
             return None;
         }
-        let inputs: std::collections::HashSet<efsm::Signal> = self
+        if !self.bound {
+            self.bind(table);
+        }
+        self.input_scratch.clear();
+        for (s, mask) in &self.binding {
+            if mask.intersects(present) {
+                self.input_scratch.insert(s.0 as usize);
+            }
+        }
+        self.emit_scratch.clear();
+        let r = self.spec.efsm.step_bits(
+            self.state,
+            &self.input_scratch,
+            &mut NoHooks,
+            &mut self.emit_scratch,
+        );
+        self.state = r.next;
+        if let Some(p) = first_failed(&self.spec, &self.emit_scratch) {
+            let (index, describe) = (p.index, p.describe.clone());
+            let mut witness: Vec<String> = table.names_of(present).map(str::to_string).collect();
+            witness.sort_unstable();
+            self.verdict = Verdict::Fail(Violation {
+                instant,
+                property: index,
+                describe,
+                witness,
+            });
+            if let Verdict::Fail(v) = &self.verdict {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// [`Monitor::step_ids`] on a runner's [`Present`] set — the
+    /// `run_events` callback shape.
+    pub fn step_present(&mut self, instant: u64, present: Present<'_>) -> Option<&Violation> {
+        self.step_ids(instant, present.ids(), present.table())
+    }
+
+    /// Step one environment instant with the given present names.
+    /// Compatibility shim over the id path (name-matches each watched
+    /// input per instant); verdicts are identical to
+    /// [`Monitor::step_ids`] on the equivalent id set.
+    pub fn step<S: AsRef<str>>(&mut self, instant: u64, present: &[S]) -> Option<&Violation> {
+        if matches!(self.verdict, Verdict::Fail(_)) {
+            return None;
+        }
+        let inputs: BitSet = self
             .spec
             .efsm
             .inputs()
-            .filter(|(_, info)| present.iter().any(|p| name_matches(p, &info.name)))
-            .map(|(s, _)| s)
+            .filter(|(_, info)| present.iter().any(|p| name_matches(p.as_ref(), &info.name)))
+            .map(|(s, _)| s.0 as usize)
             .collect();
-        let r = self.spec.efsm.step(self.state, &inputs, &mut NoHooks);
+        self.emit_scratch.clear();
+        let r = self
+            .spec
+            .efsm
+            .step_bits(self.state, &inputs, &mut NoHooks, &mut self.emit_scratch);
         self.state = r.next;
-        let failed = self.spec.props.iter().find(|p| r.emitted.contains(&p.fail));
-        if let Some(p) = failed {
+        if let Some(p) = first_failed(&self.spec, &self.emit_scratch) {
+            let (index, describe) = (p.index, p.describe.clone());
+            let mut witness: Vec<String> = present.iter().map(|s| s.as_ref().to_string()).collect();
+            witness.sort_unstable();
             self.verdict = Verdict::Fail(Violation {
                 instant,
-                property: p.index,
-                describe: p.describe.clone(),
-                witness: present.to_vec(),
+                property: index,
+                describe,
+                witness,
             });
             if let Verdict::Fail(v) = &self.verdict {
                 return Some(v);
@@ -143,7 +240,7 @@ impl Monitor {
     /// Returns the final verdict.
     pub fn replay(&mut self, trace: &Trace) -> Verdict {
         for rec in trace.records() {
-            let present: Vec<String> = rec.present().iter().map(|s| s.to_string()).collect();
+            let present = trace.present_names(rec);
             self.step(rec.instant, &present);
         }
         self.finish()
@@ -156,6 +253,11 @@ impl Monitor {
         }
         self.verdict.clone()
     }
+}
+
+/// The first property whose `fail_i` output is in `emitted`.
+fn first_failed<'s>(spec: &'s MonitorSpec, emitted: &[Signal]) -> Option<&'s crate::PropInfo> {
+    spec.props.iter().find(|p| emitted.contains(&p.fail))
 }
 
 /// The verdicts of a set of monitors over one run.

@@ -78,6 +78,20 @@ impl Monitored {
             .collect()
     }
 
+    /// Fresh monitor instances pre-bound to a run's signal table: the
+    /// watched interface is resolved to global id masks here, once, so
+    /// per-instant stepping is pure bitset work.
+    pub fn bound_monitors(&self, table: &efsm::SigTable) -> Vec<Monitor> {
+        self.specs
+            .iter()
+            .map(|s| {
+                let mut m = Monitor::new(Arc::clone(s));
+                m.bind(table);
+                m
+            })
+            .collect()
+    }
+
     /// The monitors' C emission (pure reaction functions, one per
     /// observer) — generated task code carries its assertions.
     pub fn c(&self) -> &str {

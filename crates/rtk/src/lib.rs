@@ -14,10 +14,14 @@
 //!   event delivery, input buffering) — the two "Execution time"
 //!   columns of the paper's Table 1.
 //!
-//! The kernel is deliberately independent of what a "task" computes: the
-//! simulator in the `sim` crate runs compiled EFSMs inside tasks.
+//! Signals are dense interned ids (`u32`, see `efsm::SigTable`) and
+//! mailboxes are [`BitSet`] presence sets, so posting, scheduling and
+//! draining are branch-light word operations with no per-event heap
+//! traffic. The kernel is deliberately independent of what a "task"
+//! computes: the simulator in the `sim` crate runs compiled EFSMs
+//! inside tasks and owns the id ↔ name mapping.
 
-use std::collections::{HashMap, HashSet};
+use efsm::BitSet;
 
 /// Handle of a registered task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,10 +52,10 @@ impl Default for KernelParams {
 struct TaskCb {
     name: String,
     priority: u8,
-    /// Signal names this task consumes.
-    watches: HashSet<String>,
-    /// Pending events (1-place per signal: a set).
-    pending: HashSet<String>,
+    /// Signal ids this task consumes.
+    watches: BitSet,
+    /// Pending events (1-place per signal: a presence set).
+    pending: BitSet,
     /// Events overwritten in this task's mailboxes before consumption.
     lost: u64,
 }
@@ -61,8 +65,8 @@ struct TaskCb {
 pub struct Kernel {
     params: KernelParams,
     tasks: Vec<TaskCb>,
-    /// Reverse index: signal name → watching tasks.
-    watchers: HashMap<String, Vec<TaskId>>,
+    /// Reverse index: signal id → watching tasks.
+    watchers: Vec<Vec<TaskId>>,
     /// Total cycles charged to application reactions.
     pub task_cycles: u64,
     /// Total cycles charged to kernel services.
@@ -87,7 +91,7 @@ impl Kernel {
         Kernel {
             params,
             tasks: Vec::new(),
-            watchers: HashMap::new(),
+            watchers: Vec::new(),
             task_cycles: 0,
             rtos_cycles: 0,
             events_lost: 0,
@@ -97,22 +101,20 @@ impl Kernel {
     }
 
     /// Register a task with a static priority (higher runs first) and
-    /// the set of signal names it consumes.
-    pub fn add_task(
-        &mut self,
-        name: impl Into<String>,
-        priority: u8,
-        watches: HashSet<String>,
-    ) -> TaskId {
+    /// the presence set of signal ids it consumes.
+    pub fn add_task(&mut self, name: impl Into<String>, priority: u8, watches: BitSet) -> TaskId {
         let id = TaskId(self.tasks.len());
-        for w in &watches {
-            self.watchers.entry(w.clone()).or_default().push(id);
+        for sig in watches.iter() {
+            if self.watchers.len() <= sig {
+                self.watchers.resize(sig + 1, Vec::new());
+            }
+            self.watchers[sig].push(id);
         }
         self.tasks.push(TaskCb {
             name: name.into(),
             priority,
             watches,
-            pending: HashSet::new(),
+            pending: BitSet::new(),
             lost: 0,
         });
         id
@@ -130,12 +132,14 @@ impl Kernel {
 
     /// Post an *external* event (environment input). Charged as input
     /// buffering per watching task.
-    pub fn post_external(&mut self, signal: &str) {
-        let watchers = self.watchers.get(signal).cloned().unwrap_or_default();
+    pub fn post_external(&mut self, sig: u32) {
+        let Some(watchers) = self.watchers.get(sig as usize) else {
+            return;
+        };
         for t in watchers {
             self.rtos_cycles += self.params.input_cycles;
             self.deliveries += 1;
-            if !self.tasks[t.0].pending.insert(signal.to_string()) {
+            if !self.tasks[t.0].pending.insert(sig as usize) {
                 self.events_lost += 1;
                 self.tasks[t.0].lost += 1;
             }
@@ -145,15 +149,17 @@ impl Kernel {
     /// Post an *internal* event (emitted by `from`). Charged as an
     /// inter-task send per receiving task. The emitting task never
     /// receives its own emission.
-    pub fn post_internal(&mut self, from: TaskId, signal: &str) {
-        let watchers = self.watchers.get(signal).cloned().unwrap_or_default();
+    pub fn post_internal(&mut self, from: TaskId, sig: u32) {
+        let Some(watchers) = self.watchers.get(sig as usize) else {
+            return;
+        };
         for t in watchers {
-            if t == from {
+            if *t == from {
                 continue;
             }
             self.rtos_cycles += self.params.send_cycles;
             self.deliveries += 1;
-            if !self.tasks[t.0].pending.insert(signal.to_string()) {
+            if !self.tasks[t.0].pending.insert(sig as usize) {
                 self.events_lost += 1;
                 self.tasks[t.0].lost += 1;
             }
@@ -174,10 +180,11 @@ impl Kernel {
         self.tasks.iter().any(|t| !t.pending.is_empty())
     }
 
-    /// Pick the highest-priority ready task and drain its mailbox
+    /// Pick the highest-priority ready task, copy its pending events
+    /// into `events` (cleared first) and drain its mailbox
     /// (run-to-completion: the caller executes one reaction with all
     /// pending events as the input snapshot). Charges a dispatch.
-    pub fn schedule(&mut self) -> Option<(TaskId, HashSet<String>)> {
+    pub fn schedule_into(&mut self, events: &mut BitSet) -> Option<TaskId> {
         let best = self
             .tasks
             .iter()
@@ -187,18 +194,22 @@ impl Kernel {
         let id = TaskId(best.0);
         self.rtos_cycles += self.params.dispatch_cycles;
         self.dispatches += 1;
-        let events = std::mem::take(&mut self.tasks[id.0].pending);
-        Some((id, events))
+        events.clear();
+        events.union_with(&self.tasks[id.0].pending);
+        self.tasks[id.0].pending.clear();
+        Some(id)
     }
 
     /// Dispatch a *specific* task (the periodic tick of the paper's
     /// footnote: modules with pending `await ()` deltas must be
-    /// rescheduled even without events). Drains its mailbox and charges
-    /// a dispatch.
-    pub fn dispatch(&mut self, id: TaskId) -> HashSet<String> {
+    /// rescheduled even without events). Copies the mailbox into
+    /// `events` (cleared first), drains it, and charges a dispatch.
+    pub fn dispatch_into(&mut self, id: TaskId, events: &mut BitSet) {
         self.rtos_cycles += self.params.dispatch_cycles;
         self.dispatches += 1;
-        std::mem::take(&mut self.tasks[id.0].pending)
+        events.clear();
+        events.union_with(&self.tasks[id.0].pending);
+        self.tasks[id.0].pending.clear();
     }
 
     /// Charge application cycles (the caller measured a reaction).
@@ -206,14 +217,17 @@ impl Kernel {
         self.task_cycles += cycles;
     }
 
-    /// Does `task` watch `signal`?
-    pub fn watches(&self, task: TaskId, signal: &str) -> bool {
-        self.tasks[task.0].watches.contains(signal)
+    /// Does `task` watch `sig`?
+    pub fn watches(&self, task: TaskId, sig: u32) -> bool {
+        self.tasks[task.0].watches.contains(sig as usize)
     }
 
     /// Tasks watching a signal.
-    pub fn watchers_of(&self, signal: &str) -> Vec<TaskId> {
-        self.watchers.get(signal).cloned().unwrap_or_default()
+    pub fn watchers_of(&self, sig: u32) -> &[TaskId] {
+        self.watchers
+            .get(sig as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 }
 
@@ -221,53 +235,61 @@ impl Kernel {
 mod tests {
     use super::*;
 
-    fn set(names: &[&str]) -> HashSet<String> {
-        names.iter().map(|s| s.to_string()).collect()
+    const X: u32 = 0;
+    const Y: u32 = 1;
+
+    fn set(sigs: &[u32]) -> BitSet {
+        sigs.iter().map(|s| *s as usize).collect()
+    }
+
+    fn schedule(k: &mut Kernel) -> Option<(TaskId, BitSet)> {
+        let mut ev = BitSet::new();
+        k.schedule_into(&mut ev).map(|id| (id, ev))
     }
 
     #[test]
     fn external_events_wake_watchers() {
         let mut k = Kernel::default();
-        let a = k.add_task("a", 1, set(&["x"]));
-        let _b = k.add_task("b", 2, set(&["y"]));
-        k.post_external("x");
+        let a = k.add_task("a", 1, set(&[X]));
+        let _b = k.add_task("b", 2, set(&[Y]));
+        k.post_external(X);
         assert!(k.any_ready());
-        let (t, ev) = k.schedule().unwrap();
+        let (t, ev) = schedule(&mut k).unwrap();
         assert_eq!(t, a);
-        assert!(ev.contains("x"));
+        assert!(ev.contains(X as usize));
         assert!(!k.any_ready());
     }
 
     #[test]
     fn priority_order() {
         let mut k = Kernel::default();
-        let _lo = k.add_task("lo", 1, set(&["x"]));
-        let hi = k.add_task("hi", 9, set(&["x"]));
-        k.post_external("x");
-        let (t, _) = k.schedule().unwrap();
+        let _lo = k.add_task("lo", 1, set(&[X]));
+        let hi = k.add_task("hi", 9, set(&[X]));
+        k.post_external(X);
+        let (t, _) = schedule(&mut k).unwrap();
         assert_eq!(t, hi, "higher priority runs first");
     }
 
     #[test]
     fn one_place_mailbox_loses_events() {
         let mut k = Kernel::default();
-        let _a = k.add_task("a", 1, set(&["x"]));
-        k.post_external("x");
-        k.post_external("x"); // overwrites
+        let _a = k.add_task("a", 1, set(&[X]));
+        k.post_external(X);
+        k.post_external(X); // overwrites
         assert_eq!(k.events_lost, 1);
-        let (_, ev) = k.schedule().unwrap();
+        let (_, ev) = schedule(&mut k).unwrap();
         assert_eq!(ev.len(), 1);
     }
 
     #[test]
     fn losses_are_attributed_per_task() {
         let mut k = Kernel::default();
-        let a = k.add_task("a", 1, set(&["x"]));
-        let _b = k.add_task("b", 2, set(&["x", "y"]));
-        k.post_external("x");
-        k.post_external("x"); // lost in both mailboxes
-        k.post_internal(a, "y");
-        k.post_internal(a, "y"); // lost in b only
+        let a = k.add_task("a", 1, set(&[X]));
+        let _b = k.add_task("b", 2, set(&[X, Y]));
+        k.post_external(X);
+        k.post_external(X); // lost in both mailboxes
+        k.post_internal(a, Y);
+        k.post_internal(a, Y); // lost in b only
         assert_eq!(k.events_lost, 3);
         assert_eq!(
             k.events_lost_by_task(),
@@ -278,10 +300,10 @@ mod tests {
     #[test]
     fn internal_send_skips_sender() {
         let mut k = Kernel::default();
-        let a = k.add_task("a", 1, set(&["m"]));
-        let b = k.add_task("b", 1, set(&["m"]));
-        k.post_internal(a, "m");
-        let (t, _) = k.schedule().unwrap();
+        let a = k.add_task("a", 1, set(&[X]));
+        let b = k.add_task("b", 1, set(&[X]));
+        k.post_internal(a, X);
+        let (t, _) = schedule(&mut k).unwrap();
         assert_eq!(t, b, "emitter must not receive its own event");
         assert!(!k.any_ready());
     }
@@ -290,11 +312,11 @@ mod tests {
     fn cycle_accounting_separates_task_and_rtos() {
         let p = KernelParams::default();
         let mut k = Kernel::new(p);
-        let a = k.add_task("a", 1, set(&["x"]));
-        k.post_external("x");
-        let _ = k.schedule().unwrap();
+        let a = k.add_task("a", 1, set(&[X]));
+        k.post_external(X);
+        let _ = schedule(&mut k).unwrap();
         k.charge_task(123);
-        k.post_internal(a, "y"); // no watchers: free
+        k.post_internal(a, Y); // no watchers: free
         assert_eq!(k.task_cycles, 123);
         assert_eq!(k.rtos_cycles, p.input_cycles + p.dispatch_cycles);
     }
@@ -302,22 +324,37 @@ mod tests {
     #[test]
     fn equal_priority_ties_break_by_index() {
         let mut k = Kernel::default();
-        let a = k.add_task("a", 1, set(&["x"]));
-        let b = k.add_task("b", 1, set(&["x"]));
-        k.post_external("x");
-        let (t1, _) = k.schedule().unwrap();
+        let a = k.add_task("a", 1, set(&[X]));
+        let b = k.add_task("b", 1, set(&[X]));
+        k.post_external(X);
+        let (t1, _) = schedule(&mut k).unwrap();
         assert_eq!(t1, a);
-        let (t2, _) = k.schedule().unwrap();
+        let (t2, _) = schedule(&mut k).unwrap();
         assert_eq!(t2, b);
+    }
+
+    #[test]
+    fn dispatch_into_drains_a_specific_task() {
+        let mut k = Kernel::default();
+        let a = k.add_task("a", 1, set(&[X]));
+        k.post_external(X);
+        let mut ev = BitSet::new();
+        k.dispatch_into(a, &mut ev);
+        assert!(ev.contains(X as usize));
+        assert!(!k.any_ready());
+        // A drained mailbox dispatches again as empty.
+        k.dispatch_into(a, &mut ev);
+        assert!(ev.is_empty());
     }
 
     #[test]
     fn watchers_index() {
         let mut k = Kernel::default();
-        let a = k.add_task("a", 1, set(&["x", "y"]));
-        assert!(k.watches(a, "x"));
-        assert!(!k.watches(a, "z"));
-        assert_eq!(k.watchers_of("y"), vec![a]);
+        let a = k.add_task("a", 1, set(&[X, Y]));
+        assert!(k.watches(a, X));
+        assert!(!k.watches(a, 7));
+        assert_eq!(k.watchers_of(Y), &[a]);
+        assert!(k.watchers_of(9).is_empty());
         assert_eq!(k.task_count(), 1);
         assert_eq!(k.task_name(a), "a");
     }

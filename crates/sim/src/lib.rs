@@ -25,6 +25,6 @@ pub mod tb;
 pub mod trace;
 
 pub use measure::{measure, Measurement};
-pub use runner::{AsyncRunner, InterpRunner, Runner, SimError};
+pub use runner::{AsyncRunner, InterpRunner, Present, Runner, SimError};
 pub use tb::{InstantEvents, PacketTb};
-pub use trace::{Trace, TraceEvent, TraceRecord};
+pub use trace::{Recorder, Trace, TraceEvent, TraceRecord};

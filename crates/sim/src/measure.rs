@@ -6,7 +6,7 @@
 //! numbers: task code/data bytes, RTOS code/data bytes, task kcycles,
 //! RTOS kcycles.
 
-use crate::runner::{AsyncRunner, SimError};
+use crate::runner::{AsyncRunner, Runner, SimError};
 use crate::tb::InstantEvents;
 use codegen::cost::{rtos_cost, task_cost, CostParams, RtosCost, TaskCost};
 use ecl_core::Design;
@@ -88,14 +88,8 @@ pub fn measure(
         }
     }
     let rtos = rtos_cost(n_tasks, mailboxes, mailbox_bytes, cost);
-    // Dynamic run.
-    for ev in events {
-        for (name, v) in &ev.valued {
-            runner.set_input_i64(name, *v)?;
-        }
-        let names: Vec<&str> = ev.names();
-        runner.instant(&names)?;
-    }
+    // Dynamic run, on the interned-id fast path.
+    runner.run_events(events, |_, _| {})?;
     Ok(Measurement {
         label: label.to_string(),
         task,
@@ -104,7 +98,7 @@ pub fn measure(
         rtos_kcycles: runner.kernel().rtos_cycles as f64 / 1000.0,
         events_lost: runner.kernel().events_lost,
         events_lost_per_task: runner.kernel().events_lost_by_task(),
-        outputs: runner.counts.clone(),
+        outputs: runner.counts(),
         states_per_task: states,
     })
 }

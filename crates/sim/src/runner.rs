@@ -1,22 +1,32 @@
 //! Task runners: compiled EFSMs on the RTOS, and an interpreter-backed
 //! reference runner for differential testing.
 //!
+//! Both runners intern every global signal name into a shared
+//! [`SigTable`] at construction and then run the whole reaction hot
+//! path on dense [`SigId`]s and [`BitSet`] presence sets: kernel
+//! mailboxes, task dispatch, emission fan-out and trace recording never
+//! touch a string. The [`Runner`] trait exposes that fast path as
+//! [`Runner::instant_ids`] (zero heap allocations per instant in steady
+//! state) and keeps the original `&str`-based [`Runner::instant`] as a
+//! thin compatibility shim on top.
+//!
 //! Both runners can record a [`Trace`] of every signal occurrence
 //! (enable with `enable_trace`), and both implement the [`Runner`]
 //! trait, whose `run_events` testbench hook drives a whole
-//! [`InstantEvents`] stream and hands the per-instant present-name
-//! set to a callback — the attachment point for online monitors
+//! [`InstantEvents`] stream and hands the per-instant [`Present`] set
+//! to a callback — the attachment point for online monitors
 //! (`ecl-observe`).
 
 use crate::tb::InstantEvents;
 use crate::trace::{Recorder, Trace};
 use codegen::cost::CostParams;
 use ecl_core::{Design, Rt};
-use efsm::{DataHooks, Efsm, Signal, StateId};
+use efsm::{BitSet, DataHooks, Efsm, SigId, SigTable, Signal, StateId};
 use esterel::compile::CompileOptions;
 use rtk::{Kernel, KernelParams, TaskId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Simulation failure.
 #[derive(Debug)]
@@ -37,16 +47,94 @@ fn err<T>(msg: impl Into<String>) -> Result<T, SimError> {
     Err(SimError { msg: msg.into() })
 }
 
+/// One instant's present set: interned ids plus the table to resolve
+/// them — what [`Runner::run_events`] hands its callback. Names are
+/// materialized only on demand (the lazy name iterator), so monitors
+/// that work on ids never pay for strings.
+#[derive(Debug, Clone, Copy)]
+pub struct Present<'a> {
+    table: &'a SigTable,
+    set: &'a BitSet,
+}
+
+impl<'a> Present<'a> {
+    /// Wrap a presence set.
+    pub fn new(table: &'a SigTable, set: &'a BitSet) -> Present<'a> {
+        Present { table, set }
+    }
+
+    /// The signal table the ids resolve against.
+    pub fn table(&self) -> &'a SigTable {
+        self.table
+    }
+
+    /// The present ids.
+    pub fn ids(&self) -> &'a BitSet {
+        self.set
+    }
+
+    /// Is `sig` present?
+    pub fn contains_id(&self, sig: SigId) -> bool {
+        self.set.contains(sig.bit())
+    }
+
+    /// Is the (exact) global name present?
+    pub fn contains(&self, name: &str) -> bool {
+        self.table
+            .lookup(name)
+            .is_some_and(|id| self.set.contains(id.bit()))
+    }
+
+    /// Lazy iterator over the present names, in id order.
+    pub fn names(&self) -> impl Iterator<Item = &'a str> + 'a {
+        self.table.names_of(self.set)
+    }
+
+    /// Materialize the present names (compatibility helper).
+    pub fn to_names(&self) -> Vec<String> {
+        self.names().map(str::to_string).collect()
+    }
+}
+
 /// The common driving surface of both runners.
 pub trait Runner {
+    /// The design-wide signal interner (built once at construction).
+    fn sig_table(&self) -> &Arc<SigTable>;
+
+    /// Set a valued external input by interned id (the fast path of
+    /// [`Runner::set_input_i64`]).
+    ///
+    /// # Errors
+    ///
+    /// Unknown or pure signal.
+    fn set_input_i64_id(&mut self, sig: SigId, v: i64) -> Result<(), SimError>;
+
     /// Set a valued external input (the testbench side of `emit_v`).
     ///
     /// # Errors
     ///
     /// Unknown or pure signal.
-    fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), SimError>;
+    fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), SimError> {
+        let Some(id) = self.sig_table().lookup(name) else {
+            return err(format!("no task reads signal `{name}`"));
+        };
+        self.set_input_i64_id(id, v)
+    }
 
-    /// Run one environment instant; returns the emitted names.
+    /// Run one environment instant with the interned `events` present.
+    /// The emitted ids are written into `out` (cleared first). This is
+    /// the zero-allocation fast path: in steady state neither runner
+    /// touches the heap here (scratch buffers are reused across
+    /// instants).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reaction and data-evaluation failures.
+    fn instant_ids(&mut self, events: &BitSet, out: &mut BitSet) -> Result<(), SimError>;
+
+    /// Run one environment instant; returns the emitted names in
+    /// delivery order. Compatibility shim over [`Runner::instant_ids`]
+    /// (allocates; unknown event names are ignored).
     ///
     /// # Errors
     ///
@@ -57,14 +145,55 @@ pub trait Runner {
     fn now(&self) -> u64;
 
     /// Testbench hook: drive a whole event stream, calling
-    /// `on_instant` with the instant number and every present name
-    /// (stimuli first, then emissions in delivery order) after each
-    /// instant — the attachment point for online monitors.
+    /// `on_instant` with the instant number and the [`Present`] set
+    /// (stimuli plus emissions) after each instant — the attachment
+    /// point for online monitors. Runs entirely on the id fast path;
+    /// the only per-instant heap traffic is whatever the callback does.
     ///
     /// # Errors
     ///
     /// Propagates input and reaction failures.
     fn run_events<F>(&mut self, events: &[InstantEvents], mut on_instant: F) -> Result<(), SimError>
+    where
+        Self: Sized,
+        F: FnMut(u64, Present<'_>),
+    {
+        let mut ev_bits = BitSet::new();
+        let mut present = BitSet::new();
+        for ev in events {
+            ev_bits.clear();
+            for (name, v) in &ev.valued {
+                let Some(id) = self.sig_table().lookup(name) else {
+                    return err(format!("no task reads signal `{name}`"));
+                };
+                self.set_input_i64_id(id, *v)?;
+                ev_bits.insert(id.bit());
+            }
+            for name in ev.pure.iter() {
+                if let Some(id) = self.sig_table().lookup(name) {
+                    ev_bits.insert(id.bit());
+                }
+            }
+            let instant = self.now();
+            self.instant_ids(&ev_bits, &mut present)?;
+            present.union_with(&ev_bits);
+            on_instant(instant, Present::new(self.sig_table(), &present));
+        }
+        Ok(())
+    }
+
+    /// [`Runner::run_events`] with the legacy name-vector callback
+    /// (kept for comparison benchmarks and external callers; clones
+    /// every present name per instant).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Runner::run_events`].
+    fn run_events_names<F>(
+        &mut self,
+        events: &[InstantEvents],
+        mut on_instant: F,
+    ) -> Result<(), SimError>
     where
         Self: Sized,
         F: FnMut(u64, &[String]),
@@ -91,13 +220,20 @@ fn trace_value(rt: &Rt, v: &ecl_types::Value) -> Option<i64> {
     table.get(v.ty).is_integer().then(|| v.as_i64(table))
 }
 
-/// One RTOS task: a compiled design plus its data runtime.
+/// One RTOS task: a compiled design plus its data runtime and the
+/// local ↔ global signal wiring.
 struct Task {
     design: Design,
     efsm: Efsm,
     rt: Rt,
     state: StateId,
     id: TaskId,
+    /// Local signal index → interned global id.
+    to_global: Vec<SigId>,
+    /// Global id → local signal (None when this task doesn't know it).
+    from_global: Vec<Option<Signal>>,
+    /// Local signal index → carries a value?
+    valued: Vec<bool>,
 }
 
 /// N compiled designs running as RTOS tasks (N = 1 models the paper's
@@ -107,14 +243,19 @@ pub struct AsyncRunner {
     tasks: Vec<Task>,
     kernel: Kernel,
     cost: CostParams,
+    table: Arc<SigTable>,
     /// Current environment instant number.
     pub instant: u64,
-    /// (instant, signal name) emission trace.
-    pub trace: Vec<(u64, String)>,
-    /// Emission counts by signal name.
-    pub counts: HashMap<String, u64>,
+    /// Emission counts by interned id.
+    counts: Vec<u64>,
     /// Optional full-trace recorder (see [`AsyncRunner::enable_trace`]).
     recorder: Recorder,
+    // Reusable per-instant scratch (what makes `instant_ids`
+    // allocation-free in steady state).
+    evset_scratch: BitSet,
+    local_scratch: BitSet,
+    emit_scratch: Vec<Signal>,
+    order_scratch: Vec<SigId>,
 }
 
 impl AsyncRunner {
@@ -130,16 +271,38 @@ impl AsyncRunner {
         kernel_params: KernelParams,
     ) -> Result<AsyncRunner, SimError> {
         let mut kernel = Kernel::new(kernel_params);
-        let mut tasks = Vec::new();
-        for (i, design) in designs.into_iter().enumerate() {
+        // Pass 1: compile everything and intern the global namespace.
+        let mut table = SigTable::new();
+        let mut compiled = Vec::new();
+        for design in designs {
             let efsm = design
                 .to_efsm(compile_opts)
                 .map_err(|e| SimError { msg: e.to_string() })?;
+            for info in &efsm.signals {
+                table.intern(&info.name);
+            }
             let rt = design
                 .new_rt()
                 .map_err(|e| SimError { msg: e.to_string() })?;
-            let watches: HashSet<String> =
-                efsm.inputs().map(|(_, info)| info.name.clone()).collect();
+            compiled.push((design, efsm, rt));
+        }
+        // Pass 2: wire tasks through the now-complete table.
+        let mut tasks = Vec::new();
+        for (i, (design, efsm, rt)) in compiled.into_iter().enumerate() {
+            let to_global: Vec<SigId> = efsm
+                .signals
+                .iter()
+                .map(|info| table.lookup(&info.name).expect("interned in pass 1"))
+                .collect();
+            let mut from_global: Vec<Option<Signal>> = vec![None; table.len()];
+            for (local, gid) in to_global.iter().enumerate() {
+                from_global[gid.bit()] = Some(Signal(local as u32));
+            }
+            let valued: Vec<bool> = efsm.signals.iter().map(|info| info.valued).collect();
+            let watches: BitSet = efsm
+                .inputs()
+                .map(|(s, _)| to_global[s.0 as usize].bit())
+                .collect();
             let id = kernel.add_task(design.entry.clone(), (10 - i.min(9)) as u8, watches);
             tasks.push(Task {
                 state: efsm.init,
@@ -147,22 +310,36 @@ impl AsyncRunner {
                 efsm,
                 rt,
                 id,
+                to_global,
+                from_global,
+                valued,
             });
         }
+        let table = Arc::new(table);
+        let counts = vec![0; table.len()];
         Ok(AsyncRunner {
             tasks,
             kernel,
             cost,
+            recorder: Recorder::new(Arc::clone(&table)),
+            table,
             instant: 0,
-            trace: Vec::new(),
-            counts: HashMap::new(),
-            recorder: Recorder::default(),
+            counts,
+            evset_scratch: BitSet::new(),
+            local_scratch: BitSet::new(),
+            emit_scratch: Vec::new(),
+            order_scratch: Vec::new(),
         })
     }
 
     /// Access the kernel (cycle counters, loss statistics).
     pub fn kernel(&self) -> &Kernel {
         &self.kernel
+    }
+
+    /// The design-wide signal interner.
+    pub fn sig_table(&self) -> &Arc<SigTable> {
+        &self.table
     }
 
     /// Start recording a signal trace retaining the last `capacity`
@@ -191,6 +368,23 @@ impl AsyncRunner {
         self.tasks.iter().map(|t| &t.efsm)
     }
 
+    /// Emission count of one signal.
+    pub fn count_of(&self, name: &str) -> u64 {
+        self.table
+            .lookup(name)
+            .map_or(0, |id| self.counts[id.bit()])
+    }
+
+    /// Emission counts by signal name (signals emitted at least once).
+    pub fn counts(&self) -> HashMap<String, u64> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| (self.table.name(SigId(i as u32)).to_string(), *n))
+            .collect()
+    }
+
     /// Set the value of a valued *external* input on every task that
     /// reads it (the testbench side of `emit_v`).
     ///
@@ -198,44 +392,65 @@ impl AsyncRunner {
     ///
     /// Fails when no task knows the signal.
     pub fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), SimError> {
+        let Some(id) = self.table.lookup(name) else {
+            return err(format!("no task reads signal `{name}`"));
+        };
+        self.set_input_i64_id(id, v)
+    }
+
+    /// [`AsyncRunner::set_input_i64`] by interned id.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no task knows the signal, or the signal is pure.
+    pub fn set_input_i64_id(&mut self, sig: SigId, v: i64) -> Result<(), SimError> {
         let mut hit = false;
-        for t in &mut self.tasks {
-            if t.design.signal(name).is_some() {
-                t.rt.set_input_i64(name, v)
-                    .map_err(|e| SimError { msg: e.to_string() })?;
-                hit = true;
-            }
+        let entry_err = |t: &Task, e: ecl_core::rt::RtError| SimError {
+            msg: format!("task `{}`: {e}", t.design.entry),
+        };
+        for ti in 0..self.tasks.len() {
+            let Some(Some(local)) = self.tasks[ti].from_global.get(sig.bit()).copied() else {
+                continue;
+            };
+            let t = &mut self.tasks[ti];
+            t.rt.set_input_i64_idx(local.0 as usize, v)
+                .map_err(|e| entry_err(t, e))?;
+            hit = true;
         }
         if !hit {
-            return err(format!("no task reads signal `{name}`"));
+            return err(format!("no task reads signal `{}`", self.table.name(sig)));
         }
-        self.recorder.note_input(name, v);
+        self.recorder.note_input(sig, v);
         Ok(())
     }
 
-    /// Run one environment instant: post the external `events`, tick
-    /// every task once (the paper's footnote: tasks with pending
-    /// `await ()` deltas must be rescheduled even without events), then
-    /// run event cascades to quiescence. Returns the names emitted
-    /// during the instant (in delivery order).
+    /// Run one environment instant entirely on interned ids: post the
+    /// external `events`, tick every task once (the paper's footnote:
+    /// tasks with pending `await ()` deltas must be rescheduled even
+    /// without events), then run event cascades to quiescence. The
+    /// emitted ids land in `out` (cleared first); delivery order is
+    /// retained internally for the name shim. Allocation-free in
+    /// steady state.
     ///
     /// # Errors
     ///
     /// Propagates data-evaluation errors from any task.
-    pub fn instant(&mut self, events: &[&str]) -> Result<Vec<String>, SimError> {
+    pub fn instant_ids(&mut self, events: &BitSet, out: &mut BitSet) -> Result<(), SimError> {
+        out.clear();
+        self.order_scratch.clear();
         self.recorder.begin(self.instant, events);
-        for e in events {
-            self.kernel.post_external(e);
+        for e in events.iter() {
+            self.kernel.post_external(e as u32);
         }
-        let mut emitted_names = Vec::new();
         // Phase 1: periodic tick — every task reacts once.
         for ti in 0..self.tasks.len() {
-            let evset = self.kernel.dispatch(self.tasks[ti].id);
-            self.react_task(ti, &evset, &mut emitted_names)?;
+            let id = self.tasks[ti].id;
+            self.kernel.dispatch_into(id, &mut self.evset_scratch);
+            self.react_task(ti, out)?;
         }
         // Phase 2: cascades from internal emissions.
         let mut budget = 100_000u32; // runaway guard
-        while let Some((tid, evset)) = self.kernel.schedule() {
+        while let Some(tid) = self.kernel.schedule_into(&mut self.evset_scratch) {
             budget = budget.checked_sub(1).ok_or(SimError {
                 msg: "asynchronous network livelock (tasks keep waking each other)".into(),
             })?;
@@ -244,45 +459,66 @@ impl AsyncRunner {
                 .iter()
                 .position(|t| t.id == tid)
                 .expect("scheduled task exists");
-            self.react_task(ti, &evset, &mut emitted_names)?;
+            self.react_task(ti, out)?;
         }
         self.recorder.end();
         self.instant += 1;
-        Ok(emitted_names)
+        Ok(())
     }
 
-    /// Run one reaction of task `ti` with `evset` as present inputs.
-    fn react_task(
-        &mut self,
-        ti: usize,
-        evset: &HashSet<String>,
-        emitted_names: &mut Vec<String>,
-    ) -> Result<(), SimError> {
-        let tid = self.tasks[ti].id;
-        // Map names to this task's signal handles.
-        let inputs: HashSet<Signal> = evset
+    /// Run one environment instant; returns the names emitted during
+    /// the instant (in delivery order). Compatibility shim over
+    /// [`AsyncRunner::instant_ids`]; unknown event names are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates data-evaluation errors from any task.
+    pub fn instant(&mut self, events: &[&str]) -> Result<Vec<String>, SimError> {
+        let ev: BitSet = events
             .iter()
-            .filter_map(|n| self.tasks[ti].efsm.signal(n))
+            .filter_map(|n| self.table.lookup(n))
+            .map(SigId::bit)
             .collect();
+        let mut out = BitSet::new();
+        self.instant_ids(&ev, &mut out)?;
+        Ok(self
+            .order_scratch
+            .iter()
+            .map(|id| self.table.name(*id).to_string())
+            .collect())
+    }
+
+    /// Run one reaction of task `ti` with `evset_scratch` as the
+    /// present input snapshot (global ids), accumulating emissions
+    /// into `out` and `order_scratch`.
+    fn react_task(&mut self, ti: usize, out: &mut BitSet) -> Result<(), SimError> {
+        // Map the global event snapshot into the task's signal space.
+        self.local_scratch.clear();
+        {
+            let t = &self.tasks[ti];
+            for g in self.evset_scratch.iter() {
+                if let Some(Some(local)) = t.from_global.get(g) {
+                    self.local_scratch.insert(local.0 as usize);
+                }
+            }
+        }
         let fuel_before = self.tasks[ti].rt.machine().fuel();
-        let (r, emitted_with_values) = {
+        let emit_base = self.emit_scratch.len();
+        debug_assert_eq!(emit_base, 0);
+        let r = {
             let t = &mut self.tasks[ti];
-            let r = t.efsm.step(t.state, &inputs, &mut t.rt);
+            let r = t.efsm.step_bits(
+                t.state,
+                &self.local_scratch,
+                &mut t.rt,
+                &mut self.emit_scratch,
+            );
             t.state = r.next;
             if let Some(e) = t.rt.take_error() {
+                self.emit_scratch.clear();
                 return err(format!("task `{}`: {e}", t.design.entry));
             }
-            let ev: Vec<(String, Option<ecl_types::Value>, Option<i64>)> = r
-                .emitted
-                .iter()
-                .map(|s| {
-                    let name = t.efsm.signal_info(*s).name.clone();
-                    let v = t.rt.signal_value_by_name(&name).cloned();
-                    let as_i64 = v.as_ref().and_then(|v| trace_value(&t.rt, v));
-                    (name, v, as_i64)
-                })
-                .collect();
-            (r, ev)
+            r
         };
         // Cycle charges for the reaction.
         let fuel_after = self.tasks[ti].rt.machine().fuel();
@@ -290,29 +526,44 @@ impl AsyncRunner {
         let cycles = self.cost.cyc_reaction_base
             + r.nodes_visited as u64 * self.cost.cyc_test
             + ops * self.cost.cyc_per_op
-            + r.emitted.len() as u64 * self.cost.cyc_emit;
+            + self.emit_scratch.len() as u64 * self.cost.cyc_emit;
         self.kernel.charge_task(cycles);
         // Deliver emissions: values first, then events.
-        for (name, value, value_i64) in emitted_with_values {
-            self.recorder.emit(&name, value_i64);
+        let tid = self.tasks[ti].id;
+        for k in 0..self.emit_scratch.len() {
+            let local = self.emit_scratch[k];
+            let gid = self.tasks[ti].to_global[local.0 as usize];
+            if self.recorder.is_enabled() {
+                let t = &self.tasks[ti];
+                let traced =
+                    t.rt.signal_value(local.0 as usize)
+                        .and_then(|v| trace_value(&t.rt, v));
+                self.recorder.emit(gid, traced);
+            }
             // Copy the value into every *other* task that reads it.
-            if let Some(v) = &value {
-                for rj in 0..self.tasks.len() {
-                    if rj == ti {
-                        continue;
-                    }
-                    if self.tasks[rj].design.signal(&name).is_some() {
-                        let _ = self.tasks[rj].rt.set_input_value(&name, v.clone());
+            if self.tasks[ti].valued[local.0 as usize] {
+                let value = self.tasks[ti].rt.signal_value(local.0 as usize).cloned();
+                if let Some(v) = value {
+                    for rj in 0..self.tasks.len() {
+                        if rj == ti {
+                            continue;
+                        }
+                        let Some(Some(lj)) = self.tasks[rj].from_global.get(gid.bit()).copied()
+                        else {
+                            continue;
+                        };
+                        let _ = self.tasks[rj].rt.set_input_value_idx(lj.0 as usize, &v);
                         self.kernel
                             .charge_task(v.bytes.len() as u64 * self.cost.cyc_per_value_byte);
                     }
                 }
             }
-            self.kernel.post_internal(tid, &name);
-            *self.counts.entry(name.clone()).or_insert(0) += 1;
-            self.trace.push((self.instant, name.clone()));
-            emitted_names.push(name);
+            self.kernel.post_internal(tid, gid.0);
+            self.counts[gid.bit()] += 1;
+            self.order_scratch.push(gid);
+            out.insert(gid.bit());
         }
+        self.emit_scratch.clear();
         Ok(())
     }
 }
@@ -323,11 +574,13 @@ pub struct InterpRunner<'d> {
     design: &'d Design,
     machine: esterel::Machine<'d>,
     rt: Rt,
-    /// Emission counts by name.
-    pub counts: HashMap<String, u64>,
+    table: Arc<SigTable>,
+    /// Emission counts by interned id.
+    counts: Vec<u64>,
     /// Current environment instant number.
     pub instant: u64,
     recorder: Recorder,
+    order_scratch: Vec<SigId>,
 }
 
 impl<'d> InterpRunner<'d> {
@@ -340,14 +593,29 @@ impl<'d> InterpRunner<'d> {
         let rt = design
             .new_rt()
             .map_err(|e| SimError { msg: e.to_string() })?;
+        // Interning in program order makes SigId(i) ≡ Signal(i): the
+        // global and local signal spaces coincide for a single design.
+        let mut table = SigTable::new();
+        for info in design.program().signals() {
+            table.intern(&info.name);
+        }
+        let table = Arc::new(table);
+        let counts = vec![0; table.len()];
         Ok(InterpRunner {
             design,
             machine: esterel::Machine::new(design.program()),
             rt,
-            counts: HashMap::new(),
+            recorder: Recorder::new(Arc::clone(&table)),
+            table,
+            counts,
             instant: 0,
-            recorder: Recorder::default(),
+            order_scratch: Vec::new(),
         })
+    }
+
+    /// The design-wide signal interner.
+    pub fn sig_table(&self) -> &Arc<SigTable> {
+        &self.table
     }
 
     /// Start recording a signal trace retaining the last `capacity`
@@ -366,64 +634,132 @@ impl<'d> InterpRunner<'d> {
         self.recorder.take()
     }
 
+    /// Emission count of one signal.
+    pub fn count_of(&self, name: &str) -> u64 {
+        self.table
+            .lookup(name)
+            .map_or(0, |id| self.counts[id.bit()])
+    }
+
+    /// Emission counts by signal name (signals emitted at least once).
+    pub fn counts(&self) -> HashMap<String, u64> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| (self.table.name(SigId(i as u32)).to_string(), *n))
+            .collect()
+    }
+
     /// Set a valued input.
     ///
     /// # Errors
     ///
     /// Unknown/pure signal.
     pub fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), SimError> {
+        let Some(id) = self.table.lookup(name) else {
+            return err(format!("unknown signal `{name}`"));
+        };
+        self.set_input_i64_id(id, v)
+    }
+
+    /// [`InterpRunner::set_input_i64`] by interned id.
+    ///
+    /// # Errors
+    ///
+    /// Unknown/pure signal.
+    pub fn set_input_i64_id(&mut self, sig: SigId, v: i64) -> Result<(), SimError> {
         self.rt
-            .set_input_i64(name, v)
+            .set_input_i64_idx(sig.bit(), v)
             .map_err(|e| SimError { msg: e.to_string() })?;
-        self.recorder.note_input(name, v);
+        self.recorder.note_input(sig, v);
         Ok(())
     }
 
-    /// Run one instant; returns emitted names.
+    /// Run one instant on interned ids; emitted ids land in `out`
+    /// (cleared first). For this runner global ids coincide with the
+    /// program's signal indices, so `events` feeds the interpreter
+    /// directly.
+    ///
+    /// # Errors
+    ///
+    /// Non-constructive programs and data errors.
+    pub fn instant_ids(&mut self, events: &BitSet, out: &mut BitSet) -> Result<(), SimError> {
+        out.clear();
+        self.order_scratch.clear();
+        self.recorder.begin(self.instant, events);
+        let r = self
+            .machine
+            .react_set(events, &mut self.rt as &mut dyn DataHooks)
+            .map_err(|e| SimError { msg: e.to_string() })?;
+        if let Some(e) = self.rt.take_error() {
+            return err(e.to_string());
+        }
+        for s in &r.emitted {
+            let gid = SigId(s.0);
+            if self.recorder.is_enabled() {
+                let traced = self
+                    .rt
+                    .signal_value(s.0 as usize)
+                    .and_then(|v| trace_value(&self.rt, v));
+                self.recorder.emit(gid, traced);
+            }
+            self.counts[gid.bit()] += 1;
+            self.order_scratch.push(gid);
+            out.insert(gid.bit());
+        }
+        self.recorder.end();
+        self.instant += 1;
+        Ok(())
+    }
+
+    /// Run one instant; returns emitted names. Compatibility shim over
+    /// [`InterpRunner::instant_ids`]; unknown event names are ignored.
     ///
     /// # Errors
     ///
     /// Non-constructive programs and data errors.
     pub fn instant(&mut self, events: &[&str]) -> Result<Vec<String>, SimError> {
-        self.recorder.begin(self.instant, events);
-        let present: HashSet<Signal> = events
+        let ev: BitSet = events
             .iter()
-            .filter_map(|n| self.design.signal(n))
+            .filter_map(|n| self.table.lookup(n))
+            .map(SigId::bit)
             .collect();
-        let r = self
-            .machine
-            .react(&present, &mut self.rt as &mut dyn DataHooks)
-            .map_err(|e| SimError { msg: e.to_string() })?;
-        if let Some(e) = self.rt.take_error() {
-            return err(e.to_string());
-        }
-        let mut out = Vec::new();
-        for s in &r.emitted {
-            let name = self.design.program().signals()[s.0 as usize].name.clone();
-            if self.recorder.is_enabled() {
-                let traced = self
-                    .rt
-                    .signal_value_by_name(&name)
-                    .and_then(|v| trace_value(&self.rt, v));
-                self.recorder.emit(&name, traced);
-            }
-            *self.counts.entry(name.clone()).or_insert(0) += 1;
-            out.push(name);
-        }
-        self.recorder.end();
-        self.instant += 1;
-        Ok(out)
+        let mut out = BitSet::new();
+        self.instant_ids(&ev, &mut out)?;
+        Ok(self
+            .order_scratch
+            .iter()
+            .map(|id| self.table.name(*id).to_string())
+            .collect())
     }
 
     /// Access the runtime (inspect signal values).
     pub fn rt(&self) -> &Rt {
         &self.rt
     }
+
+    /// The design this runner executes.
+    pub fn design(&self) -> &'d Design {
+        self.design
+    }
 }
 
 impl Runner for AsyncRunner {
+    fn sig_table(&self) -> &Arc<SigTable> {
+        AsyncRunner::sig_table(self)
+    }
+
+    fn set_input_i64_id(&mut self, sig: SigId, v: i64) -> Result<(), SimError> {
+        AsyncRunner::set_input_i64_id(self, sig, v)
+    }
+
     fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), SimError> {
         AsyncRunner::set_input_i64(self, name, v)
+    }
+
+    fn instant_ids(&mut self, events: &BitSet, out: &mut BitSet) -> Result<(), SimError> {
+        AsyncRunner::instant_ids(self, events, out)
     }
 
     fn instant(&mut self, events: &[&str]) -> Result<Vec<String>, SimError> {
@@ -436,8 +772,20 @@ impl Runner for AsyncRunner {
 }
 
 impl<'d> Runner for InterpRunner<'d> {
+    fn sig_table(&self) -> &Arc<SigTable> {
+        InterpRunner::sig_table(self)
+    }
+
+    fn set_input_i64_id(&mut self, sig: SigId, v: i64) -> Result<(), SimError> {
+        InterpRunner::set_input_i64_id(self, sig, v)
+    }
+
     fn set_input_i64(&mut self, name: &str, v: i64) -> Result<(), SimError> {
         InterpRunner::set_input_i64(self, name, v)
+    }
+
+    fn instant_ids(&mut self, events: &BitSet, out: &mut BitSet) -> Result<(), SimError> {
+        InterpRunner::instant_ids(self, events, out)
     }
 
     fn instant(&mut self, events: &[&str]) -> Result<Vec<String>, SimError> {
@@ -501,7 +849,7 @@ mod tests {
                 got_o = true;
             }
         }
-        assert!(got_o, "o should fire; trace: {:?}", r.trace);
+        assert!(got_o, "o should fire; counts: {:?}", r.counts());
         assert!(r.kernel().task_cycles > 0);
         assert!(r.kernel().rtos_cycles > 0);
     }
@@ -524,7 +872,7 @@ mod tests {
                 got_o = true;
             }
         }
-        assert!(got_o, "trace: {:?}", r.trace);
+        assert!(got_o, "counts: {:?}", r.counts());
         // Internal deliveries happened.
         assert!(r.kernel().deliveries > 0);
     }
@@ -554,5 +902,56 @@ mod tests {
             b.retain(|n| n == "o");
             assert_eq!(a, b, "step {step}");
         }
+    }
+
+    #[test]
+    fn instant_ids_matches_the_name_shim() {
+        let d = Compiler::default().compile_str(RELAY, "top").unwrap();
+        let mut by_name = AsyncRunner::new(
+            vec![d.clone()],
+            &Default::default(),
+            CostParams::default(),
+            KernelParams::default(),
+        )
+        .unwrap();
+        let mut by_id = AsyncRunner::new(
+            vec![d],
+            &Default::default(),
+            CostParams::default(),
+            KernelParams::default(),
+        )
+        .unwrap();
+        let i = by_id.sig_table().lookup("i").unwrap();
+        let mut out = BitSet::new();
+        for step in 0..40 {
+            let on = step % 3 != 0;
+            let names = by_name.instant(if on { &["i"] } else { &[] }).unwrap();
+            let ev: BitSet = if on {
+                [i.bit()].into_iter().collect()
+            } else {
+                BitSet::new()
+            };
+            by_id.instant_ids(&ev, &mut out).unwrap();
+            let mut got: Vec<&str> = by_id.sig_table().names_of(&out).collect();
+            let mut want: Vec<&str> = names.iter().map(String::as_str).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(got, want, "step {step}");
+        }
+    }
+
+    #[test]
+    fn present_set_resolves_names_lazily() {
+        let mut table = SigTable::new();
+        let a = table.intern("a");
+        let b = table.intern("b");
+        let set: BitSet = [a.bit(), b.bit()].into_iter().collect();
+        let p = Present::new(&table, &set);
+        assert!(p.contains_id(a));
+        assert!(p.contains("b"));
+        assert!(!p.contains("c"));
+        assert_eq!(p.names().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(p.to_names(), vec!["a".to_string(), "b".to_string()]);
     }
 }

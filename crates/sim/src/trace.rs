@@ -6,27 +6,32 @@
 //! — external stimuli and design emissions alike — into a [`Trace`].
 //! The trace serves two consumers:
 //!
-//! * **online monitors** (`ecl-observe`): the per-instant present-name
-//!   sets are exactly what a monitor EFSM steps on, so a stored trace
-//!   can be replayed against a monitor after the fact with identical
-//!   verdicts;
+//! * **online monitors** (`ecl-observe`): the per-instant present sets
+//!   are exactly what a monitor EFSM steps on, so a stored trace can be
+//!   replayed against a monitor after the fact with identical verdicts;
 //! * **offline inspection**: [`Trace::to_vcd`] renders the retained
 //!   window as a Value Change Dump (pulse wires for pure signals,
 //!   integer vectors for valued ones) for waveform viewers and golden
 //!   tests.
 //!
+//! Events store interned [`SigId`]s, not names: the recording hot path
+//! never touches strings, and names are resolved against the trace's
+//! shared [`SigTable`] only at dump/report time.
+//!
 //! The buffer is a ring over *instants*: with capacity `N`, only the
 //! last `N` instants are retained and [`Trace::dropped`] counts the
 //! evicted ones. Capacity 0 means unbounded.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use efsm::{BitSet, SigId, SigTable};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// One signal occurrence inside an instant.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
-    /// Global signal name.
-    pub name: String,
+    /// Interned global signal id (resolve via [`Trace::table`]).
+    pub sig: SigId,
     /// Carried value for valued signals (`None` for pure presence).
     pub value: Option<i64>,
     /// `true` for environment stimuli, `false` for design emissions.
@@ -43,15 +48,22 @@ pub struct TraceRecord {
 }
 
 impl TraceRecord {
-    /// The distinct present signal names, in first-occurrence order.
-    pub fn present(&self) -> Vec<&str> {
-        let mut out: Vec<&str> = Vec::new();
+    /// The distinct present signal ids, in first-occurrence order.
+    pub fn present_ids(&self) -> Vec<SigId> {
+        let mut out: Vec<SigId> = Vec::new();
         for e in &self.events {
-            if !out.contains(&e.name.as_str()) {
-                out.push(&e.name);
+            if !out.contains(&e.sig) {
+                out.push(e.sig);
             }
         }
         out
+    }
+
+    /// Insert every present id into `set` (not cleared first).
+    pub fn present_into(&self, set: &mut BitSet) {
+        for e in &self.events {
+            set.insert(e.sig.bit());
+        }
     }
 }
 
@@ -61,17 +73,43 @@ pub struct Trace {
     capacity: usize,
     records: VecDeque<TraceRecord>,
     current: Option<TraceRecord>,
+    table: Arc<SigTable>,
     /// Instants evicted from the ring (recorded then dropped).
     pub dropped: u64,
 }
 
 impl Trace {
-    /// A trace retaining the last `capacity` instants (0 = unbounded).
+    /// A trace retaining the last `capacity` instants (0 = unbounded),
+    /// with its own (initially empty) signal table — names are interned
+    /// on first [`Trace::record`].
     pub fn new(capacity: usize) -> Trace {
         Trace {
             capacity,
             ..Trace::default()
         }
+    }
+
+    /// A trace sharing an existing signal table (the runner path: ids
+    /// recorded via [`Trace::record_id`] must come from `table`).
+    pub fn with_table(capacity: usize, table: Arc<SigTable>) -> Trace {
+        Trace {
+            capacity,
+            table,
+            ..Trace::default()
+        }
+    }
+
+    /// The signal table the recorded ids resolve against.
+    pub fn table(&self) -> &SigTable {
+        &self.table
+    }
+
+    /// The distinct present names of `rec`, in first-occurrence order.
+    pub fn present_names<'a>(&'a self, rec: &TraceRecord) -> Vec<&'a str> {
+        rec.present_ids()
+            .into_iter()
+            .map(|id| self.table.name(id))
+            .collect()
     }
 
     /// Open the record for environment instant `instant`. Implicitly
@@ -84,12 +122,28 @@ impl Trace {
         });
     }
 
-    /// Append one event to the open record. A no-op when no record is
-    /// open (recording disabled mid-run is not an error).
+    /// Append one event by *name* to the open record, interning the
+    /// name into the trace's own table. Compatibility/test entry point;
+    /// runners record pre-interned ids via [`Trace::record_id`]. A
+    /// no-op when no record is open (recording disabled mid-run is not
+    /// an error).
     pub fn record(&mut self, name: &str, value: Option<i64>, external: bool) {
+        if self.current.is_none() {
+            return;
+        }
+        let sig = match self.table.lookup(name) {
+            Some(id) => id,
+            None => Arc::make_mut(&mut self.table).intern(name),
+        };
+        self.record_id(sig, value, external);
+    }
+
+    /// Append one event to the open record. A no-op when no record is
+    /// open.
+    pub fn record_id(&mut self, sig: SigId, value: Option<i64>, external: bool) {
         if let Some(cur) = &mut self.current {
             cur.events.push(TraceEvent {
-                name: name.to_string(),
+                sig,
                 value,
                 external,
             });
@@ -137,7 +191,7 @@ impl Trace {
         let mut sigs: BTreeMap<&str, bool> = BTreeMap::new();
         for r in &self.records {
             for e in &r.events {
-                let v = sigs.entry(&e.name).or_insert(false);
+                let v = sigs.entry(self.table.name(e.sig)).or_insert(false);
                 *v |= e.value.is_some();
             }
         }
@@ -166,7 +220,7 @@ impl Trace {
             let mut lines: Vec<String> = Vec::new();
             let mut present = vec![false; names.len()];
             for (i, name) in names.iter().enumerate() {
-                let ev = r.events.iter().find(|e| e.name == *name);
+                let ev = r.events.iter().find(|e| self.table.name(e.sig) == *name);
                 match ev {
                     Some(e) => {
                         present[i] = true;
@@ -199,20 +253,31 @@ impl Trace {
 }
 
 /// The recording front-end shared by both runners: an optional
-/// [`Trace`] plus the last value written per valued input, so
-/// stimulus records carry their values. Every method is a no-op while
-/// recording is disabled.
+/// [`Trace`] plus the last value written per valued input (indexed by
+/// [`SigId`]), so stimulus records carry their values. Every recording
+/// method is a no-op while recording is disabled.
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     trace: Option<Trace>,
-    last_inputs: HashMap<String, i64>,
+    table: Arc<SigTable>,
+    last_inputs: Vec<Option<i64>>,
 }
 
 impl Recorder {
+    /// A recorder whose traces resolve ids against `table`.
+    pub fn new(table: Arc<SigTable>) -> Recorder {
+        let n = table.len();
+        Recorder {
+            trace: None,
+            table,
+            last_inputs: vec![None; n],
+        }
+    }
+
     /// Start recording, retaining the last `capacity` instants
     /// (0 = unbounded).
     pub fn enable(&mut self, capacity: usize) {
-        self.trace = Some(Trace::new(capacity));
+        self.trace = Some(Trace::with_table(capacity, Arc::clone(&self.table)));
     }
 
     /// Is recording enabled?
@@ -235,24 +300,29 @@ impl Recorder {
 
     /// Remember the value written to a valued input (recorded with the
     /// input's next stimulus event).
-    pub fn note_input(&mut self, name: &str, v: i64) {
-        self.last_inputs.insert(name.to_string(), v);
+    pub fn note_input(&mut self, sig: SigId, v: i64) {
+        if self.last_inputs.len() <= sig.bit() {
+            self.last_inputs.resize(sig.bit() + 1, None);
+        }
+        self.last_inputs[sig.bit()] = Some(v);
     }
 
-    /// Open the record for `instant` and log the external stimuli.
-    pub fn begin(&mut self, instant: u64, stimuli: &[&str]) {
+    /// Open the record for `instant` and log the external stimuli (a
+    /// presence set of interned ids), in id order.
+    pub fn begin(&mut self, instant: u64, stimuli: &BitSet) {
         if let Some(tr) = &mut self.trace {
             tr.begin_instant(instant);
-            for s in stimuli {
-                tr.record(s, self.last_inputs.get(*s).copied(), true);
+            for s in stimuli.iter() {
+                let v = self.last_inputs.get(s).copied().flatten();
+                tr.record_id(SigId(s as u32), v, true);
             }
         }
     }
 
     /// Log one design emission into the open record.
-    pub fn emit(&mut self, name: &str, value: Option<i64>) {
+    pub fn emit(&mut self, sig: SigId, value: Option<i64>) {
         if let Some(tr) = &mut self.trace {
-            tr.record(name, value, false);
+            tr.record_id(sig, value, false);
         }
     }
 
@@ -329,8 +399,21 @@ mod tests {
         t.record("a", None, false);
         t.record("b", Some(7), false);
         t.end_instant();
-        let r = t.records().next().unwrap();
-        assert_eq!(r.present(), vec!["a", "b"]);
+        let recs: Vec<&TraceRecord> = t.records().collect();
+        assert_eq!(t.present_names(recs[0]), vec!["a", "b"]);
+        assert_eq!(recs[0].present_ids().len(), 2);
+    }
+
+    #[test]
+    fn record_by_name_interns_into_the_trace_table() {
+        let mut t = Trace::new(0);
+        t.begin_instant(0);
+        t.record("x", None, true);
+        t.record("x", Some(2), false);
+        t.end_instant();
+        assert_eq!(t.table().len(), 1);
+        let rec = t.records().next().unwrap();
+        assert_eq!(rec.events[0].sig, rec.events[1].sig);
     }
 
     #[test]
@@ -353,6 +436,23 @@ mod tests {
         assert!(v1.contains("b101 \""), "{v1}");
         // Falling edge at instant 1.
         assert!(v1.contains("#1\n0!\nbx \""), "{v1}");
+    }
+
+    #[test]
+    fn recorder_carries_input_values_by_id() {
+        let mut table = SigTable::new();
+        let x = table.intern("x");
+        let mut rec = Recorder::new(Arc::new(table));
+        rec.enable(0);
+        rec.note_input(x, 42);
+        let stim: BitSet = [x.bit()].into_iter().collect();
+        rec.begin(0, &stim);
+        rec.end();
+        let tr = rec.take().unwrap();
+        let r = tr.records().next().unwrap();
+        assert_eq!(r.events[0].sig, x);
+        assert_eq!(r.events[0].value, Some(42));
+        assert!(r.events[0].external);
     }
 
     #[test]

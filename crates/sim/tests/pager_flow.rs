@@ -38,11 +38,11 @@ fn single_task_pager_plays_back() {
     let m = d.to_efsm(&Default::default()).unwrap();
     println!("pager monolithic: {}", m.stats());
     let r = run(vec![d]);
-    println!("counts: {:?}", r.counts);
-    let frames = r.counts.get("top::frame").copied().unwrap_or(0);
-    assert!(frames >= 4, "frames recorded: {frames}; {:?}", r.counts);
-    let dac = r.counts.get("dac").copied().unwrap_or(0);
-    assert!(dac >= 4, "dac samples played: {dac}; {:?}", r.counts);
+    println!("counts: {:?}", r.counts());
+    let frames = r.counts().get("top::frame").copied().unwrap_or(0);
+    assert!(frames >= 4, "frames recorded: {frames}; {:?}", r.counts());
+    let dac = r.counts().get("dac").copied().unwrap_or(0);
+    assert!(dac >= 4, "dac samples played: {dac}; {:?}", r.counts());
 }
 
 #[test]
@@ -54,7 +54,7 @@ fn three_task_pager_plays_back() {
         println!("pager task {}: {}", p.entry, m.stats());
     }
     let r = run(parts);
-    println!("counts: {:?}", r.counts);
-    let dac = r.counts.get("dac").copied().unwrap_or(0);
-    assert!(dac >= 4, "dac: {dac}; {:?}", r.counts);
+    println!("counts: {:?}", r.counts());
+    let dac = r.counts().get("dac").copied().unwrap_or(0);
+    assert!(dac >= 4, "dac: {dac}; {:?}", r.counts());
 }

@@ -37,16 +37,16 @@ fn single_task_stack_emits_packets_and_crc() {
         .compile_str(PROTOCOL_STACK, "toplevel")
         .unwrap();
     let r = run(vec![d], 12);
-    println!("counts: {:?}", r.counts);
-    let pk = r.counts.get("top::packet").copied().unwrap_or(0);
+    println!("counts: {:?}", r.counts());
+    let pk = r.counts().get("top::packet").copied().unwrap_or(0);
     assert_eq!(pk, 12, "every packet should be assembled");
-    let crc = r.counts.get("top::crc_ok").copied().unwrap_or(0);
+    let crc = r.counts().get("top::crc_ok").copied().unwrap_or(0);
     assert!(crc >= 11, "crc checked per packet, got {crc}");
-    let am = r.counts.get("addr_match").copied().unwrap_or(0);
+    let am = r.counts().get("addr_match").copied().unwrap_or(0);
     assert!(
         am >= 1,
         "some packets should match, got {am}; counts {:?}",
-        r.counts
+        r.counts()
     );
 }
 
@@ -57,10 +57,10 @@ fn three_task_stack_emits_packets_and_crc() {
         .unwrap();
     assert_eq!(parts.len(), 3);
     let r = run(parts, 12);
-    println!("counts: {:?}", r.counts);
-    let pk = r.counts.get("packet").copied().unwrap_or(0);
+    println!("counts: {:?}", r.counts());
+    let pk = r.counts().get("packet").copied().unwrap_or(0);
     assert_eq!(pk, 12);
-    let am = r.counts.get("addr_match").copied().unwrap_or(0);
-    assert!(am >= 1, "counts: {:?}", r.counts);
+    let am = r.counts().get("addr_match").copied().unwrap_or(0);
+    assert!(am >= 1, "counts: {:?}", r.counts());
     assert!(r.kernel().deliveries > 0);
 }

@@ -24,7 +24,8 @@ fn drive(mut r: AsyncRunner, label: &str) {
         r.instant(&names).unwrap();
     }
     println!("== {label} ==");
-    let mut counts: Vec<_> = r.counts.iter().collect();
+    let by_name = r.counts();
+    let mut counts: Vec<_> = by_name.iter().collect();
     counts.sort();
     for (name, n) in counts {
         println!("  {name}: {n}");

@@ -36,7 +36,8 @@ fn main() {
         let names = ev.names();
         r.instant(&names).unwrap();
     }
-    let mut counts: Vec<_> = r.counts.iter().collect();
+    let by_name = r.counts();
+    let mut counts: Vec<_> = by_name.iter().collect();
     counts.sort();
     println!("emissions after 3 record/play rounds:");
     for (name, n) in counts {

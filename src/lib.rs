@@ -84,10 +84,10 @@ pub mod prelude {
 
     // Back ends, machines, simulation.
     pub use codegen::cost::{rtos_cost, task_cost, CostParams};
-    pub use efsm::{DataHooks, Efsm, NoHooks};
+    pub use efsm::{BitSet, DataHooks, Efsm, NoHooks, SigId, SigTable};
     pub use esterel::CompileOptions;
     pub use sim::measure::measure;
-    pub use sim::runner::{AsyncRunner, InterpRunner};
+    pub use sim::runner::{AsyncRunner, InterpRunner, Present, Runner};
     pub use sim::tb::{PacketTb, PagerTb};
     pub use sim::trace::Trace;
 

@@ -5,8 +5,10 @@
 
 use ecl_core::{Compiler, Options, SplitStrategy};
 use ecl_observe::Monitor;
+use efsm::BitSet;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
+use sim::runner::AsyncRunner;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -185,6 +187,96 @@ fn check_observer_equiv(src: &str, seeds: u64) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// The fast path ≡ the compatibility shim: run the same random event
+/// stream through `instant_ids` (bitset path) and the legacy `instant`
+/// (name path) on two identical runners; the emitted *sets* must match
+/// at every instant, and a monitor stepped by ids (pre-bound masks)
+/// must reach the same verdict as one stepped by names.
+fn check_ids_vs_names(src: &str, seeds: u64) -> Result<(), TestCaseError> {
+    let full = format!("{src}\n{PIN_OBSERVER}");
+    let Ok(design) = Compiler::default().compile_str(&full, "m") else {
+        return Ok(());
+    };
+    let prog = ecl_syntax::parse_str(&full).expect("generated program parses");
+    let spec = Arc::new(
+        ecl_observe::synthesize(prog.observer("pin").expect("observer present"))
+            .expect("observer synthesizes"),
+    );
+    let build = || {
+        AsyncRunner::new(
+            vec![design.clone()],
+            &Default::default(),
+            Default::default(),
+            Default::default(),
+        )
+        .expect("runner builds")
+    };
+    for seed in 0..seeds {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut by_name = build();
+        let mut by_id = build();
+        let a = by_id.sig_table().lookup("a").expect("a interned");
+        let b = by_id.sig_table().lookup("b").expect("b interned");
+        let mut mon_names = Monitor::new(Arc::clone(&spec));
+        let mut mon_ids = Monitor::new(Arc::clone(&spec));
+        mon_ids.bind(by_id.sig_table());
+        let mut out = BitSet::new();
+        let mut present = BitSet::new();
+        for step in 0..50u64 {
+            let mut names: Vec<&str> = Vec::new();
+            let mut ev = BitSet::new();
+            if rng.gen_bool(0.5) {
+                names.push("a");
+                ev.insert(a.bit());
+            }
+            if rng.gen_bool(0.3) {
+                names.push("b");
+                ev.insert(b.bit());
+            }
+            let emitted_names = by_name.instant(&names).expect("name path runs");
+            by_id.instant_ids(&ev, &mut out).expect("id path runs");
+            // Identical emitted sets.
+            let mut got: Vec<&str> = by_id.sig_table().names_of(&out).collect();
+            let mut want: Vec<&str> = emitted_names.iter().map(String::as_str).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            want.dedup();
+            prop_assert_eq!(
+                got,
+                want,
+                "emitted sets diverged at seed {seed} step {step}\n{src}"
+            );
+            // Identical observer verdicts, names vs pre-bound ids.
+            present.clear();
+            present.union_with(&ev);
+            present.union_with(&out);
+            let mut present_names: Vec<String> = by_id
+                .sig_table()
+                .names_of(&present)
+                .map(str::to_string)
+                .collect();
+            present_names.sort_unstable();
+            mon_names.step(step, &present_names);
+            mon_ids.step_ids(step, &present, by_id.sig_table());
+            prop_assert_eq!(
+                mon_names.verdict(),
+                mon_ids.verdict(),
+                "verdicts diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+        }
+        prop_assert_eq!(
+            mon_names.finish(),
+            mon_ids.finish(),
+            "final verdicts in\n{}",
+            src
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -209,6 +301,14 @@ proptest! {
     fn observer_verdicts_match(seed in 0u64..10_000) {
         let src = gen_module(seed);
         check_observer_equiv(&src, 3)?;
+    }
+
+    /// `instant_ids` ≡ the legacy `instant` shim: identical emitted
+    /// sets and identical observer verdicts on random event streams.
+    #[test]
+    fn instant_ids_matches_name_shim(seed in 0u64..10_000) {
+        let src = gen_module(seed);
+        check_ids_vs_names(&src, 3)?;
     }
 
     /// Both strategies agree with each other on outputs.
