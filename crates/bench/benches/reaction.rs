@@ -1,14 +1,19 @@
 //! Reaction-throughput microbenchmarks: the interned-id fast path
 //! (`instant_ids` via `run_events`) against the legacy string shim
-//! (`instant` via `run_events_names`), on both evaluated designs.
+//! (`instant` via `run_events_names`), on both evaluated designs, plus
+//! monitor stepping through compiled transition tables vs the s-graph
+//! walker.
 //!
 //! Run with `cargo bench -p ecl-bench --bench reaction`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ecl_bench::{pager_events, pager_mono, stack_events, stack_mono};
 use ecl_core::Design;
+use ecl_observe::Monitor;
+use efsm::BitSet;
 use sim::runner::{AsyncRunner, Runner};
 use sim::tb::InstantEvents;
+use std::sync::Arc;
 
 const INSTANTS: usize = 1000;
 
@@ -25,6 +30,51 @@ fn runner(design: &Design) -> AsyncRunner {
 fn drive_ids(design: &Design, events: &[InstantEvents]) {
     let mut r = runner(design);
     r.run_events(events, |_, _| {}).expect("run succeeds");
+}
+
+/// Step every protocol-stack monitor over a fixed stimulus cycle on
+/// the chosen backend (compiled tables vs s-graph walk). Synthesis
+/// and binding stay outside the timed loop — only stepping is
+/// measured; fresh `Monitor` instances per call reset latched state
+/// (cheap clones of pre-synthesized specs).
+struct MonitorBench {
+    specs: Vec<Arc<ecl_observe::MonitorSpec>>,
+    table: efsm::SigTable,
+    pats: Vec<BitSet>,
+}
+
+impl MonitorBench {
+    fn new() -> MonitorBench {
+        let prog = ecl_syntax::parse_str(sim::designs::PROTOCOL_STACK).expect("stack parses");
+        let specs = ecl_observe::synthesize_all(&prog).expect("observers synthesize");
+        let mut table = efsm::SigTable::new();
+        for s in ["byte", "packet", "crc_ok", "deliver", "reset"] {
+            table.intern(s);
+        }
+        let pats: Vec<BitSet> = (0..4usize)
+            .map(|k| (0..5).filter(|b| k != 0 && b % 4 == k - 1).collect())
+            .collect();
+        MonitorBench { specs, table, pats }
+    }
+
+    fn drive(&self, tabled: bool, steps: u64) {
+        let mut mons: Vec<Monitor> = self
+            .specs
+            .iter()
+            .map(|s| {
+                let mut m = Monitor::new(Arc::clone(s));
+                m.set_use_table(tabled);
+                m.bind(&self.table);
+                m
+            })
+            .collect();
+        for i in 0..steps {
+            let p = &self.pats[(i % 4) as usize];
+            for m in mons.iter_mut() {
+                m.step_ids(i, p, &self.table);
+            }
+        }
+    }
 }
 
 fn drive_names(design: &Design, events: &[InstantEvents]) {
@@ -50,6 +100,9 @@ fn bench_reaction(c: &mut Criterion) {
     g.bench_function("pager_names_shim", |b| {
         b.iter(|| drive_names(&pager, &pager_ev))
     });
+    let mb = MonitorBench::new();
+    g.bench_function("monitors_tabled", |b| b.iter(|| mb.drive(true, 10_000)));
+    g.bench_function("monitors_walked", |b| b.iter(|| mb.drive(false, 10_000)));
     g.finish();
 }
 

@@ -2,12 +2,14 @@
 //!
 //! Measures instants/second for the two evaluated designs
 //! (protocol stack, voice pager) × two implementations (monolithic
-//! single task, 3-task partition) × two instrumentation modes (traced:
-//! ring-buffer recording on; monitored: observers bound and stepped
-//! per instant), all on the interned-id fast path, plus the same
-//! monitored protocol-stack run through the legacy string shim
-//! (`run_events_names` + name-matching monitors) as the reference the
-//! id path is compared against. End-to-end compile times ride along.
+//! single task, 3-task partition) × three instrumentation/backend
+//! modes (traced: ring-buffer recording on; monitored: observers bound
+//! and stepped per instant, s-graph walker forced; tabled: the same
+//! monitored run on the compiled transition tables — the production
+//! default), all on the interned-id fast path, plus the same monitored
+//! runs through the legacy string shim (`run_events_names` +
+//! name-matching monitors) as the reference every config is normalized
+//! against. End-to-end compile times ride along.
 //!
 //! Output is `BENCH_reaction.json`. With `--check BASELINE`, the run
 //! is compared against a checked-in baseline: the *normalized* ratio
@@ -95,6 +97,16 @@ fn run_ids(mut r: AsyncRunner, events: &[InstantEvents], monitors: &mut [Monitor
     events.len()
 }
 
+/// A runner forced onto the s-graph walker (the `monitored`/`traced`
+/// configs keep measuring the walked path so the checked-in normalized
+/// baselines stay comparable; `tabled` configs use the default-on
+/// compiled tables).
+fn walked(designs: Vec<Design>) -> AsyncRunner {
+    let mut r = runner(designs);
+    r.set_use_tables(false);
+    r
+}
+
 fn run_names(mut r: AsyncRunner, events: &[InstantEvents], monitors: &mut [Monitor]) -> usize {
     r.run_events_names(events, |instant, present| {
         for m in monitors.iter_mut() {
@@ -111,11 +123,15 @@ fn run_traced(mut r: AsyncRunner, events: &[InstantEvents]) -> usize {
     events.len()
 }
 
-fn monitors_for(specs: &[Arc<MonitorSpec>], r: &AsyncRunner) -> Vec<Monitor> {
+/// Bound monitor instances; `tabled` picks the stepping backend (the
+/// walked configs force the s-graph walker on monitors too, so they
+/// reproduce the pre-table hot path end to end).
+fn monitors_for(specs: &[Arc<MonitorSpec>], r: &AsyncRunner, tabled: bool) -> Vec<Monitor> {
     specs
         .iter()
         .map(|s| {
             let mut m = Monitor::new(Arc::clone(s));
+            m.set_use_table(tabled);
             m.bind(r.sig_table());
             m
         })
@@ -225,14 +241,24 @@ fn main() {
         let d = designs.clone();
         jobs.push((
             format!("{label}/traced"),
-            Box::new(move || run_traced(runner(d.clone()), events)),
+            Box::new(move || run_traced(walked(d.clone()), events)),
         ));
         let d = designs.clone();
         jobs.push((
             format!("{label}/monitored"),
             Box::new(move || {
+                let r = walked(d.clone());
+                let mut mons = monitors_for(specs, &r, false);
+                run_ids(r, events, &mut mons)
+            }),
+        ));
+        let d = designs.clone();
+        jobs.push((
+            format!("{label}/tabled"),
+            Box::new(move || {
                 let r = runner(d.clone());
-                let mut mons = monitors_for(specs, &r);
+                assert!(r.tables_enabled());
+                let mut mons = monitors_for(specs, &r, true);
                 run_ids(r, events, &mut mons)
             }),
         ));
@@ -242,8 +268,8 @@ fn main() {
     jobs.push((
         "stack/mono/monitored/names-shim".to_string(),
         Box::new(move || {
-            let r = runner(vec![sm.clone()]);
-            let mut mons = monitors_for(sspecs, &r);
+            let r = walked(vec![sm.clone()]);
+            let mut mons = monitors_for(sspecs, &r, false);
             run_names(r, sev, &mut mons)
         }),
     ));
@@ -252,22 +278,20 @@ fn main() {
     jobs.push((
         "pager/mono/monitored/names-shim".to_string(),
         Box::new(move || {
-            let r = runner(vec![pm.clone()]);
-            let mut mons = monitors_for(pspecs, &r);
+            let r = walked(vec![pm.clone()]);
+            let mut mons = monitors_for(pspecs, &r, false);
             run_names(r, pev, &mut mons)
         }),
     ));
     let runs = measure_all(jobs);
-    let names_ref = runs
-        .iter()
-        .find(|(l, _)| l == "stack/mono/monitored/names-shim")
-        .map(|(_, v)| *v)
-        .unwrap();
-    let pager_names_ref = runs
-        .iter()
-        .find(|(l, _)| l == "pager/mono/monitored/names-shim")
-        .map(|(_, v)| *v)
-        .unwrap();
+    let rate_of = |label: &str| {
+        runs.iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| *v)
+            .unwrap()
+    };
+    let names_ref = rate_of("stack/mono/monitored/names-shim");
+    let pager_names_ref = rate_of("pager/mono/monitored/names-shim");
     let ref_of = |label: &str| {
         if label.starts_with("pager") {
             pager_names_ref
@@ -276,12 +300,10 @@ fn main() {
         }
     };
 
-    let monitored_stack = runs
-        .iter()
-        .find(|(l, _)| l == "stack/mono/monitored")
-        .map(|(_, v)| *v)
-        .unwrap();
+    let monitored_stack = rate_of("stack/mono/monitored");
     let speedup = monitored_stack / names_ref;
+    let tabled_speedup_stack = rate_of("stack/mono/tabled") / rate_of("stack/mono/monitored");
+    let tabled_speedup_pager = rate_of("pager/mono/tabled") / rate_of("pager/mono/monitored");
 
     // Render JSON (no serde in the container: hand-rolled, stable).
     let mut json = String::new();
@@ -306,6 +328,10 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"speedup_ids_over_names\": {speedup:.2},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_tabled_over_walked\": {{\"stack_mono_monitored\": {tabled_speedup_stack:.2}, \"pager_mono_monitored\": {tabled_speedup_pager:.2}}},"
+    );
     let _ = writeln!(
         json,
         "  \"pre_pr_reference\": {{\"config\": \"stack/mono/monitored\", \"instants_per_sec\": {PRE_PR_STACK_MONO_MONITORED:.0}, \"note\": \"pre-refactor string path measured on the reference machine (commit 2c70065, best of 3); only meaningful when this file was produced on that machine — cross-machine tracking uses the normalized ratios above\"}},"

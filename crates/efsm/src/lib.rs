@@ -10,6 +10,9 @@
 //! to reduce size or improve speed", Section 3):
 //!
 //! * [`machine`] — the [`Efsm`] type and its single-instant executor;
+//! * [`table`] — dense compiled transition tables for pure-control
+//!   states (the fast execution backend; mixed states fall back to the
+//!   s-graph walker);
 //! * [`sgraph`] — s-graph nodes, path enumeration and structural checks;
 //! * [`opt`] — hash-consing reduction, dead-test elimination,
 //!   unreachable-state pruning, and observational state minimization
@@ -33,11 +36,13 @@ pub mod network;
 pub mod opt;
 pub mod sgraph;
 pub mod sig;
+pub mod table;
 
 pub use bitset::BitSet;
 pub use machine::{Efsm, SigKind, Signal, SignalInfo, State, StateId, StepOut, StepResult};
 pub use sgraph::{Node, NodeId, Path};
 pub use sig::{SigId, SigTable};
+pub use table::CompiledEfsm;
 
 /// Opaque id of a data predicate (resolved by [`DataHooks::eval_pred`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -318,6 +318,9 @@ impl Efsm {
             }
         }
         s.nodes = live.len() as u32;
+        s.pure_states = (0..self.states.len())
+            .filter(|&i| self.state_is_pure(StateId(i as u32)))
+            .count() as u32;
         s
     }
 
@@ -332,6 +335,10 @@ impl Efsm {
 pub struct EfsmStats {
     /// Number of control states.
     pub states: u32,
+    /// States whose live s-graph is pure control (only presence tests,
+    /// presence-only emits and gotos) — the states
+    /// [`crate::CompiledEfsm`] can flatten to transition tables.
+    pub pure_states: u32,
     /// Live s-graph nodes (shared nodes counted once).
     pub nodes: u32,
     /// Signal-presence test nodes.
@@ -350,8 +357,9 @@ impl fmt::Display for EfsmStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} states, {} nodes ({} tests, {} pred-tests, {} actions, {} emits, {} gotos)",
+            "{} states ({} pure), {} nodes ({} tests, {} pred-tests, {} actions, {} emits, {} gotos)",
             self.states,
+            self.pure_states,
             self.nodes,
             self.tests,
             self.pred_tests,
@@ -480,6 +488,7 @@ mod tests {
         let m = toggler();
         let s = m.stats();
         assert_eq!(s.states, 2);
+        assert_eq!(s.pure_states, 2, "toggler is pure control");
         assert_eq!(s.tests, 2);
         assert_eq!(s.emits, 1);
         assert_eq!(s.gotos, 4);

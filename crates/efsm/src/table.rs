@@ -1,0 +1,552 @@
+//! Compiled transition tables: the dense execution backend for
+//! pure-control EFSM states.
+//!
+//! The s-graph walker ([`Efsm::step_bits`]) re-decides one branch per
+//! node every instant. For a *pure* state — one whose live graph
+//! contains only presence tests, presence-only emissions and gotos —
+//! the whole reaction is a function of the input presence pattern
+//! alone, so it can be flattened once into rows of
+//! `(watch_mask, match_mask) → (emits, next)` and executed with
+//! word-wise mask compares, the same flattening assertion-monitor
+//! synthesis applies to checker automata. States with data predicates,
+//! data actions or valued emissions (*mixed* states) keep the exact
+//! walker semantics via fallback.
+//!
+//! A [`CompiledEfsm`] is built once per machine (runner construction,
+//! monitor synthesis) and is observationally identical to the walker:
+//! per instant it produces the same emissions in the same order, the
+//! same next state, and the same `nodes_visited` count (each row
+//! remembers how many nodes the walk it replaced would have visited,
+//! so cycle accounting and traces do not shift). The differential
+//! proptests in `tests/differential.rs` enforce this equivalence.
+
+use crate::machine::{Efsm, Signal, StateId, StepOut};
+use crate::sgraph::{self, Node};
+use crate::{BitSet, DataHooks};
+
+/// Per-state cap on flattened rows. An s-graph with `n` independent
+/// tests can have `2^n` paths; past this bound the state stays on the
+/// walker (correct, just not tabled) instead of exploding memory.
+pub const ROW_CAP: usize = 512;
+
+/// How one control state executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StateExec {
+    /// Dense rows `lo..hi` (indices into the row arrays).
+    Table { lo: u32, hi: u32 },
+    /// Exactly one row, necessarily input-independent (rows partition
+    /// the input space, so a lone row has an empty watch set): fire it
+    /// without touching the masks. Halted/latched monitor states live
+    /// here.
+    Always { row: u32 },
+    /// Fall back to [`Efsm::step_bits`] (data-dependent state, or the
+    /// flattening blew [`ROW_CAP`]).
+    Walk,
+}
+
+/// Metadata of one flattened transition row (masks live in the shared
+/// word array, emissions in the shared signal array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RowMeta {
+    /// Next control state when this row fires.
+    next: StateId,
+    /// Nodes the replaced walk would have visited (tests + emits + the
+    /// goto), kept so [`StepOut::nodes_visited`] — and everything
+    /// charged from it — is bit-identical to the walker.
+    nodes: u32,
+    /// Emissions `emits[start..end]`, in walk order.
+    emit_start: u32,
+    emit_end: u32,
+}
+
+/// The dense compiled backend of one [`Efsm`].
+///
+/// Holds no reference to the machine; callers pass the same machine to
+/// [`CompiledEfsm::step_table`] (checked by a debug assertion on the
+/// state count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledEfsm {
+    /// Words per mask: `ceil(signals / 64)` of the source machine.
+    words: usize,
+    /// Execution mode per state.
+    states: Vec<StateExec>,
+    /// Row masks, `2 * words` per row: watch words then match words.
+    masks: Vec<u64>,
+    /// Row metadata, parallel to the mask stride.
+    rows: Vec<RowMeta>,
+    /// Emission lists of all rows, concatenated.
+    emits: Vec<Signal>,
+    /// Number of states compiled to tables.
+    tabled: u32,
+}
+
+impl CompiledEfsm {
+    /// Flatten every pure state of `m` into transition rows; mixed
+    /// states are marked for walker fallback.
+    pub fn compile(m: &Efsm) -> CompiledEfsm {
+        let words = m.signals.len().div_ceil(64);
+        let mut c = CompiledEfsm {
+            words,
+            states: Vec::with_capacity(m.states.len()),
+            masks: Vec::new(),
+            rows: Vec::new(),
+            emits: Vec::new(),
+            tabled: 0,
+        };
+        for (si, _) in m.states.iter().enumerate() {
+            let exec = c.compile_state(m, StateId(si as u32));
+            c.states.push(exec);
+            if !matches!(exec, StateExec::Walk) {
+                c.tabled += 1;
+            }
+        }
+        c
+    }
+
+    /// Flatten one state, or decide it must stay on the walker.
+    fn compile_state(&mut self, m: &Efsm, s: StateId) -> StateExec {
+        if !m.state_is_pure(s) {
+            return StateExec::Walk;
+        }
+        let root = m.states[s.0 as usize].root;
+        let Some(paths) = sgraph::enumerate_paths(&m.nodes, root, ROW_CAP) else {
+            return StateExec::Walk; // path explosion: keep walking
+        };
+        let lo = self.rows.len() as u32;
+        // Scan-friendly row order: fewest required-present literals
+        // first. Under sparse inputs (the reactive-system norm, e.g.
+        // idle instants with nothing present) the emptier rows are the
+        // likelier ones, so the scan usually hits in the first row or
+        // two. Rows are mutually exclusive, so reordering cannot
+        // change which row fires.
+        let mut order: Vec<&sgraph::Path> = paths.iter().collect();
+        order.sort_by_key(|p| p.cube.iter().filter(|&&(_, present)| present).count());
+        'path: for p in order {
+            debug_assert!(p.preds.is_empty() && p.actions.is_empty());
+            let mut watch = vec![0u64; self.words];
+            let mut matched = vec![0u64; self.words];
+            // nodes_visited of the walk this row replaces: every test
+            // node on the path (repeats included), every emit, the goto.
+            let nodes = (p.cube.len() + p.emits.len() + 1) as u32;
+            for &(sig, present) in &p.cube {
+                let (w, b) = (sig.0 as usize / 64, sig.0 as usize % 64);
+                let bit = 1u64 << b;
+                if watch[w] & bit != 0 && (matched[w] & bit != 0) != present {
+                    // Contradictory literals: the walk can never take
+                    // this path, so the table drops the row.
+                    continue 'path;
+                }
+                watch[w] |= bit;
+                if present {
+                    matched[w] |= bit;
+                }
+            }
+            let emit_start = self.emits.len() as u32;
+            self.emits.extend(p.emits.iter().map(|&(sig, _)| sig));
+            self.masks.extend_from_slice(&watch);
+            self.masks.extend_from_slice(&matched);
+            self.rows.push(RowMeta {
+                next: p.target,
+                nodes,
+                emit_start,
+                emit_end: self.emits.len() as u32,
+            });
+        }
+        let hi = self.rows.len() as u32;
+        if hi - lo == 1
+            && self.masks[lo as usize * 2 * self.words..][..self.words]
+                .iter()
+                .all(|&w| w == 0)
+        {
+            StateExec::Always { row: lo }
+        } else {
+            StateExec::Table { lo, hi }
+        }
+    }
+
+    /// Words per mask (the source machine's signal-word count).
+    pub fn mask_words(&self) -> usize {
+        self.words
+    }
+
+    /// Is `s` compiled to a table (vs walker fallback)?
+    pub fn is_tabled(&self, s: StateId) -> bool {
+        !matches!(self.states[s.0 as usize], StateExec::Walk)
+    }
+
+    /// Number of states compiled to tables.
+    pub fn tabled_states(&self) -> u32 {
+        self.tabled
+    }
+
+    /// Are *all* states tabled (pure-control machine within the row
+    /// cap — always true for synthesized monitors)?
+    pub fn fully_tabled(&self) -> bool {
+        self.tabled as usize == self.states.len()
+    }
+
+    /// Total flattened rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Fire row `ri`: append its emissions, return its successor.
+    #[inline]
+    fn fire(&self, ri: usize, emitted: &mut Vec<Signal>) -> StepOut {
+        let row = &self.rows[ri];
+        emitted.extend_from_slice(&self.emits[row.emit_start as usize..row.emit_end as usize]);
+        StepOut {
+            next: row.next,
+            nodes_visited: row.nodes,
+        }
+    }
+
+    /// One instant through the compiled backend: scan the state's rows
+    /// with word-wise `(inputs & watch) == match` compares; on the
+    /// (unique) hit, append its emissions to `emitted` and return the
+    /// row's successor. Mixed states delegate to [`Efsm::step_bits`]
+    /// on `m` — which must be the machine this table was compiled
+    /// from. Allocation-free on the table path.
+    ///
+    /// # Panics
+    ///
+    /// Panics (like the walker) if the machine is structurally broken.
+    #[inline]
+    pub fn step_table(
+        &self,
+        m: &Efsm,
+        state: StateId,
+        inputs: &BitSet,
+        hooks: &mut dyn DataHooks,
+        emitted: &mut Vec<Signal>,
+    ) -> StepOut {
+        debug_assert_eq!(m.states.len(), self.states.len(), "table/machine mismatch");
+        let (lo, hi) = match self.states[state.0 as usize] {
+            StateExec::Table { lo, hi } => (lo, hi),
+            StateExec::Always { row } => return self.fire(row as usize, emitted),
+            StateExec::Walk => return m.step_bits(state, inputs, hooks, emitted),
+        };
+        let (lo, hi) = (lo as usize, hi as usize);
+        let w = self.words;
+        if w == 1 {
+            // The common shape (≤ 64 local signals): one masked
+            // compare per row over a contiguous (watch, match) slice.
+            let inw = inputs.word(0);
+            for (k, pair) in self.masks[lo * 2..hi * 2].chunks_exact(2).enumerate() {
+                if inw & pair[0] == pair[1] {
+                    return self.fire(lo + k, emitted);
+                }
+            }
+        } else {
+            for ri in lo..hi {
+                let base = ri * 2 * w;
+                let (watch, matched) = (
+                    &self.masks[base..base + w],
+                    &self.masks[base + w..base + 2 * w],
+                );
+                if (0..w).all(|k| inputs.word(k) & watch[k] == matched[k]) {
+                    return self.fire(ri, emitted);
+                }
+            }
+        }
+        // Rows partition the input space (they are the leaves of a
+        // decision DAG); reaching here means the table and machine are
+        // out of sync. Recover with the walker.
+        debug_assert!(false, "no table row matched in state {state:?}");
+        m.step_bits(state, inputs, hooks, emitted)
+    }
+}
+
+impl Efsm {
+    /// Is `state` *pure control*: its live s-graph contains only
+    /// presence tests, presence-only emissions and gotos? Pure states
+    /// are exactly the ones [`CompiledEfsm`] can flatten; a
+    /// [`crate::sgraph::Node::TestPred`], [`crate::sgraph::Node::Do`]
+    /// or valued [`crate::sgraph::Node::Emit`] anywhere in the live
+    /// graph makes the state mixed.
+    pub fn state_is_pure(&self, state: StateId) -> bool {
+        let root = self.states[state.0 as usize].root;
+        sgraph::reachable_nodes(&self.nodes, root).iter().all(|id| {
+            match self.nodes[id.0 as usize] {
+                Node::Test { .. } | Node::Goto { .. } => true,
+                Node::Emit { value, .. } => value.is_none(),
+                Node::TestPred { .. } | Node::Do { .. } => false,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::EfsmBuilder;
+    use crate::{ActionId, ExprId, NoHooks, PredId};
+    use std::collections::HashSet;
+
+    /// Two-state toggler (pure): on `tick` emit `tock` and flip.
+    fn toggler() -> Efsm {
+        let mut b = EfsmBuilder::new("toggler");
+        let tick = b.input("tick");
+        let tock = b.output("tock");
+        let g1 = b.goto(StateId(1));
+        let e = b.emit(tock, g1);
+        let g0 = b.goto(StateId(0));
+        let r0 = b.test(tick, e, g0);
+        b.state("s0", r0);
+        let g0b = b.goto(StateId(0));
+        let g1b = b.goto(StateId(1));
+        let r1 = b.test(tick, g0b, g1b);
+        b.state("s1", r1);
+        b.build()
+    }
+
+    fn step_both(m: &Efsm, c: &CompiledEfsm, s: StateId, inputs: &[u32]) -> (StepOut, StepOut) {
+        let bits: BitSet = inputs.iter().map(|&i| i as usize).collect();
+        let mut e1 = Vec::new();
+        let mut e2 = Vec::new();
+        let r1 = m.step_bits(s, &bits, &mut NoHooks, &mut e1);
+        let r2 = c.step_table(m, s, &bits, &mut NoHooks, &mut e2);
+        assert_eq!(e1, e2, "emission order from state {s:?} inputs {inputs:?}");
+        (r1, r2)
+    }
+
+    #[test]
+    fn table_matches_walker_on_pure_machine() {
+        let m = toggler();
+        let c = CompiledEfsm::compile(&m);
+        assert!(c.fully_tabled());
+        assert_eq!(c.tabled_states(), 2);
+        for s in [StateId(0), StateId(1)] {
+            for inputs in [&[][..], &[0][..]] {
+                let (r1, r2) = step_both(&m, &c, s, inputs);
+                assert_eq!(r1, r2);
+            }
+        }
+    }
+
+    #[test]
+    fn classifier_spots_pred_and_valued_emit() {
+        // State 0 pure; state 1 has a TestPred; state 2 a valued Emit;
+        // state 3 a Do action.
+        let mut m = Efsm::new("mixed");
+        let a = m.add_signal("a", crate::SigKind::Input, false);
+        let v = m.add_signal("v", crate::SigKind::Output, true);
+        let g0 = m.add_node(Node::Goto { target: StateId(0) });
+        let t0 = m.add_node(Node::Test {
+            sig: a,
+            then_: g0,
+            else_: g0,
+        });
+        m.add_state("pure", t0);
+        let g1 = m.add_node(Node::Goto { target: StateId(1) });
+        let p = m.add_node(Node::TestPred {
+            pred: PredId(0),
+            then_: g1,
+            else_: g1,
+        });
+        m.add_state("pred", p);
+        let g2 = m.add_node(Node::Goto { target: StateId(2) });
+        let ev = m.add_node(Node::Emit {
+            sig: v,
+            value: Some(ExprId(0)),
+            next: g2,
+        });
+        m.add_state("valued", ev);
+        let g3 = m.add_node(Node::Goto { target: StateId(3) });
+        let d = m.add_node(Node::Do {
+            action: ActionId(0),
+            next: g3,
+        });
+        m.add_state("action", d);
+        m.validate().unwrap();
+        assert!(m.state_is_pure(StateId(0)));
+        assert!(!m.state_is_pure(StateId(1)));
+        assert!(!m.state_is_pure(StateId(2)));
+        assert!(!m.state_is_pure(StateId(3)));
+        let c = CompiledEfsm::compile(&m);
+        assert!(c.is_tabled(StateId(0)));
+        assert!(!c.is_tabled(StateId(1)));
+        assert!(!c.is_tabled(StateId(2)));
+        assert!(!c.is_tabled(StateId(3)));
+        assert_eq!(c.tabled_states(), 1);
+        assert!(!c.fully_tabled());
+        assert_eq!(m.stats().pure_states, 1);
+    }
+
+    #[test]
+    fn impurity_anywhere_in_the_live_graph_forces_walk() {
+        // Test(a) ? Goto : Do; Goto — the impure node sits on one
+        // branch only; the whole state must still be mixed.
+        let mut m = Efsm::new("deep");
+        let a = m.add_signal("a", crate::SigKind::Input, false);
+        let g = m.add_node(Node::Goto { target: StateId(0) });
+        let d = m.add_node(Node::Do {
+            action: ActionId(9),
+            next: g,
+        });
+        let t = m.add_node(Node::Test {
+            sig: a,
+            then_: g,
+            else_: d,
+        });
+        m.add_state("s0", t);
+        m.validate().unwrap();
+        assert!(!m.state_is_pure(StateId(0)));
+        assert_eq!(m.stats().pure_states, 0);
+    }
+
+    #[test]
+    fn mixed_states_fall_back_with_exact_semantics() {
+        // State 0 pure, state 1 mixed (pred test chooses the branch).
+        let mut m = Efsm::new("hybrid");
+        let a = m.add_signal("a", crate::SigKind::Input, false);
+        let x = m.add_signal("x", crate::SigKind::Output, false);
+        let g1 = m.add_node(Node::Goto { target: StateId(1) });
+        let t0 = m.add_node(Node::Test {
+            sig: a,
+            then_: g1,
+            else_: g1,
+        });
+        m.add_state("pure", t0);
+        let g0 = m.add_node(Node::Goto { target: StateId(0) });
+        let e = m.add_node(Node::Emit {
+            sig: x,
+            value: None,
+            next: g0,
+        });
+        let stay = m.add_node(Node::Goto { target: StateId(1) });
+        let p = m.add_node(Node::TestPred {
+            pred: PredId(0),
+            then_: e,
+            else_: stay,
+        });
+        m.add_state("mixed", p);
+        m.validate().unwrap();
+        let c = CompiledEfsm::compile(&m);
+        for answer in [false, true] {
+            let bits = BitSet::new();
+            let mut e1 = Vec::new();
+            let mut e2 = Vec::new();
+            let r1 = m.step_bits(StateId(1), &bits, &mut crate::ConstHooks(answer), &mut e1);
+            let r2 = c.step_table(
+                &m,
+                StateId(1),
+                &bits,
+                &mut crate::ConstHooks(answer),
+                &mut e2,
+            );
+            assert_eq!(r1, r2);
+            assert_eq!(e1, e2);
+        }
+    }
+
+    #[test]
+    fn path_explosion_keeps_the_walker() {
+        // A chain of tests sharing a leaf: 2^12 paths > ROW_CAP, one
+        // state, still pure — but not tabled.
+        let mut m = Efsm::new("wide");
+        let sigs: Vec<Signal> = (0..12)
+            .map(|i| m.add_signal(format!("s{i}"), crate::SigKind::Input, false))
+            .collect();
+        let mut root = m.add_node(Node::Goto { target: StateId(0) });
+        for &s in &sigs {
+            root = m.add_node(Node::Test {
+                sig: s,
+                then_: root,
+                else_: root,
+            });
+        }
+        m.add_state("s0", root);
+        m.validate().unwrap();
+        assert!(m.state_is_pure(StateId(0)));
+        let c = CompiledEfsm::compile(&m);
+        assert!(!c.is_tabled(StateId(0)));
+        // Fallback still answers correctly.
+        let (r1, r2) = step_both(&m, &c, StateId(0), &[3]);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn nodes_visited_matches_the_walk_exactly() {
+        let m = toggler();
+        let c = CompiledEfsm::compile(&m);
+        let (r1, r2) = step_both(&m, &c, StateId(0), &[0]);
+        assert_eq!(r1.nodes_visited, 3); // test, emit, goto
+        assert_eq!(r2.nodes_visited, 3);
+        let (r1, r2) = step_both(&m, &c, StateId(0), &[]);
+        assert_eq!(r1.nodes_visited, 2); // test, goto
+        assert_eq!(r2.nodes_visited, 2);
+    }
+
+    #[test]
+    fn wide_signal_space_uses_multiple_words() {
+        // Signal indices past 64 force a second mask word.
+        let mut m = Efsm::new("wide-sigs");
+        let mut sigs = Vec::new();
+        for i in 0..70 {
+            sigs.push(m.add_signal(format!("s{i}"), crate::SigKind::Input, false));
+        }
+        let hi = sigs[69];
+        let out = m.add_signal("out", crate::SigKind::Output, false);
+        let g = m.add_node(Node::Goto { target: StateId(0) });
+        let e = m.add_node(Node::Emit {
+            sig: out,
+            value: None,
+            next: g,
+        });
+        let g2 = m.add_node(Node::Goto { target: StateId(0) });
+        let t = m.add_node(Node::Test {
+            sig: hi,
+            then_: e,
+            else_: g2,
+        });
+        m.add_state("s0", t);
+        m.validate().unwrap();
+        let c = CompiledEfsm::compile(&m);
+        assert_eq!(c.mask_words(), 2);
+        assert!(c.is_tabled(StateId(0)));
+        let (r1, r2) = step_both(&m, &c, StateId(0), &[69]);
+        assert_eq!(r1, r2);
+        let mut e2 = Vec::new();
+        let bits: BitSet = [69usize].into_iter().collect();
+        c.step_table(&m, StateId(0), &bits, &mut NoHooks, &mut e2);
+        assert_eq!(e2, vec![out]);
+    }
+
+    #[test]
+    fn exhaustive_random_inputs_agree_with_walker() {
+        // Shared-diamond graph: Test(a) and Test(b) funnel into shared
+        // emit/goto nodes — covers rows with repeated suffixes.
+        let mut b = EfsmBuilder::new("diamond");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let x = b.output("x");
+        let g0 = b.goto(StateId(0));
+        let e = b.emit(x, g0);
+        let g1 = b.goto(StateId(0));
+        let tb = b.test(bb, e, g1);
+        let r = b.test(a, e, tb);
+        b.state("s0", r);
+        let m = b.build();
+        let c = CompiledEfsm::compile(&m);
+        for pat in 0u32..4 {
+            let inputs: Vec<u32> = [a, bb]
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| pat & (1 << i) != 0)
+                .map(|(_, s)| s.0)
+                .collect();
+            let (r1, r2) = step_both(&m, &c, StateId(0), &inputs);
+            assert_eq!(r1, r2, "pattern {pat:#b}");
+        }
+        // And through the HashSet compatibility `step`.
+        let mut present = HashSet::new();
+        present.insert(a);
+        let walked = m.step(StateId(0), &present, &mut NoHooks);
+        let bits: BitSet = [a.0 as usize].into_iter().collect();
+        let mut e2 = Vec::new();
+        let tabled = c.step_table(&m, StateId(0), &bits, &mut NoHooks, &mut e2);
+        assert_eq!(walked.next, tabled.next);
+        assert_eq!(walked.emitted, e2);
+    }
+}

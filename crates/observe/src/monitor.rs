@@ -12,9 +12,13 @@
 //! precomputes, for every input of the monitor machine, the
 //! [`BitSet`] of global [`SigId`]s that denote it. From then on
 //! [`Monitor::step_ids`] turns a present-id set into machine inputs
-//! with a handful of word intersections and steps the EFSM through
-//! its allocation-free executor. The name-based [`Monitor::step`]
-//! remains as a compatibility shim with identical verdicts.
+//! with a handful of word intersections and steps the machine through
+//! its *compiled transition tables* (monitors are pure control, so
+//! states table fully up to the row cap — normally one masked row
+//! scan per instant; a state wide enough to blow
+//! [`efsm::table::ROW_CAP`] keeps the identical-semantics s-graph
+//! walk). The name-based [`Monitor::step`] remains as a compatibility
+//! shim with identical verdicts.
 
 use crate::synth::MonitorSpec;
 use efsm::{BitSet, NoHooks, SigTable, Signal, StateId};
@@ -96,6 +100,10 @@ pub struct Monitor {
     /// (computed by [`Monitor::bind`]; empty until then).
     binding: Vec<(Signal, BitSet)>,
     bound: bool,
+    /// Step through the spec's compiled transition tables (default) or
+    /// force the s-graph walker (identical verdicts; the switch exists
+    /// for measurement and differential testing).
+    use_table: bool,
     input_scratch: BitSet,
     emit_scratch: Vec<Signal>,
 }
@@ -110,9 +118,40 @@ impl Monitor {
             verdict: Verdict::Running,
             binding: Vec::new(),
             bound: false,
+            use_table: true,
             input_scratch: BitSet::new(),
             emit_scratch: Vec::new(),
         }
+    }
+
+    /// Choose the stepping backend: `true` (default) scans the spec's
+    /// compiled transition tables, `false` walks the s-graph. Verdicts
+    /// are identical either way.
+    pub fn set_use_table(&mut self, on: bool) {
+        self.use_table = on;
+    }
+
+    /// One machine instant over the chosen backend, with
+    /// `input_scratch` as the monitor-local present set.
+    fn machine_step(&mut self) {
+        self.emit_scratch.clear();
+        let r = if self.use_table {
+            self.spec.table.step_table(
+                &self.spec.efsm,
+                self.state,
+                &self.input_scratch,
+                &mut NoHooks,
+                &mut self.emit_scratch,
+            )
+        } else {
+            self.spec.efsm.step_bits(
+                self.state,
+                &self.input_scratch,
+                &mut NoHooks,
+                &mut self.emit_scratch,
+            )
+        };
+        self.state = r.next;
     }
 
     /// The underlying spec.
@@ -167,14 +206,7 @@ impl Monitor {
                 self.input_scratch.insert(s.0 as usize);
             }
         }
-        self.emit_scratch.clear();
-        let r = self.spec.efsm.step_bits(
-            self.state,
-            &self.input_scratch,
-            &mut NoHooks,
-            &mut self.emit_scratch,
-        );
-        self.state = r.next;
+        self.machine_step();
         if let Some(p) = first_failed(&self.spec, &self.emit_scratch) {
             let (index, describe) = (p.index, p.describe.clone());
             let mut witness: Vec<String> = table.names_of(present).map(str::to_string).collect();
@@ -206,19 +238,13 @@ impl Monitor {
         if matches!(self.verdict, Verdict::Fail(_)) {
             return None;
         }
-        let inputs: BitSet = self
-            .spec
-            .efsm
-            .inputs()
-            .filter(|(_, info)| present.iter().any(|p| name_matches(p.as_ref(), &info.name)))
-            .map(|(s, _)| s.0 as usize)
-            .collect();
-        self.emit_scratch.clear();
-        let r = self
-            .spec
-            .efsm
-            .step_bits(self.state, &inputs, &mut NoHooks, &mut self.emit_scratch);
-        self.state = r.next;
+        self.input_scratch.clear();
+        for (s, info) in self.spec.efsm.inputs() {
+            if present.iter().any(|p| name_matches(p.as_ref(), &info.name)) {
+                self.input_scratch.insert(s.0 as usize);
+            }
+        }
+        self.machine_step();
         if let Some(p) = first_failed(&self.spec, &self.emit_scratch) {
             let (index, describe) = (p.index, p.describe.clone());
             let mut witness: Vec<String> = present.iter().map(|s| s.as_ref().to_string()).collect();

@@ -28,7 +28,7 @@ use ecl_syntax::ast;
 use ecl_syntax::diag::{EclError, Stage};
 use ecl_syntax::pretty;
 use ecl_syntax::source::Span;
-use efsm::{Efsm, SigKind, Signal};
+use efsm::{CompiledEfsm, Efsm, SigKind, Signal};
 use esterel::compile::CompileOptions;
 use esterel::ir::ProgramBuilder;
 use esterel::{SigExpr, Stmt};
@@ -58,6 +58,10 @@ pub struct MonitorSpec {
     pub program: Arc<esterel::Program>,
     /// The compiled monitor machine (runs lockstep with the design).
     pub efsm: Arc<Efsm>,
+    /// Dense transition tables over `efsm`. Monitors are pure control,
+    /// so every state flattens and stepping is row scans only (the
+    /// walker remains as the structural fallback).
+    pub table: Arc<CompiledEfsm>,
     /// Per-property verdict signals.
     pub props: Vec<PropInfo>,
 }
@@ -109,11 +113,13 @@ pub fn synthesize(obs: &ast::Observer) -> Result<MonitorSpec, EclError> {
     })?;
     let efsm =
         esterel::compile::compile(&program, &CompileOptions::default()).map_err(EclError::from)?;
+    let table = CompiledEfsm::compile(&efsm);
     Ok(MonitorSpec {
         name: obs.name.name.clone(),
         watched,
         program: Arc::new(program),
         efsm: Arc::new(efsm),
+        table: Arc::new(table),
         props,
     })
 }
@@ -238,6 +244,8 @@ mod tests {
         let st = s.efsm.stats();
         assert_eq!(st.pred_tests, 0, "monitors carry no data part");
         assert_eq!(st.actions, 0);
+        assert_eq!(st.pure_states, st.states, "every monitor state is pure");
+        assert!(s.table.fully_tabled(), "monitors compile fully to tables");
         s.efsm.validate().unwrap();
     }
 

@@ -59,6 +59,26 @@ pub mod test_runner {
             ProptestConfig { cases: 64 }
         }
     }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable overrides the in-source config (mirroring real
+    /// proptest), so CI can deepen the search without a rebuild —
+    /// e.g. the `differential` job runs with `PROPTEST_CASES=512`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unparsable `PROPTEST_CASES` (like real proptest):
+    /// silently falling back would let a CI env typo run the shallow
+    /// tier under a deep-search label.
+    pub fn resolve_cases(config_cases: u32) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid PROPTEST_CASES `{v}`: {e}")),
+            Err(_) => config_cases,
+        }
+    }
 }
 
 /// Deterministic value generation (shim of `proptest::strategy`).
@@ -225,7 +245,8 @@ macro_rules! proptest {
             #[test]
             fn $name() {
                 let cfg: $crate::test_runner::ProptestConfig = $cfg;
-                for case in 0..cfg.cases {
+                let cases = $crate::test_runner::resolve_cases(cfg.cases);
+                for case in 0..cases {
                     let mut rng = $crate::strategy::CaseRng::new(case as u64);
                     $(
                         let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);

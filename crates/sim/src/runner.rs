@@ -21,7 +21,7 @@ use crate::tb::InstantEvents;
 use crate::trace::{Recorder, Trace};
 use codegen::cost::CostParams;
 use ecl_core::{Design, Rt};
-use efsm::{BitSet, DataHooks, Efsm, SigId, SigTable, Signal, StateId};
+use efsm::{BitSet, CompiledEfsm, DataHooks, Efsm, SigId, SigTable, Signal, StateId};
 use esterel::compile::CompileOptions;
 use rtk::{Kernel, KernelParams, TaskId};
 use std::collections::HashMap;
@@ -97,9 +97,57 @@ impl<'a> Present<'a> {
 }
 
 /// The common driving surface of both runners.
+///
+/// Trace recording and emission accounting are implemented here once,
+/// as default methods over the two slot accessors ([`Runner::trace_slot`]
+/// / [`Runner::counts_slot`]) — runners only expose their [`Recorder`]
+/// and count array.
 pub trait Runner {
     /// The design-wide signal interner (built once at construction).
     fn sig_table(&self) -> &Arc<SigTable>;
+
+    /// The runner's trace recorder.
+    fn trace_slot(&self) -> &Recorder;
+
+    /// The runner's trace recorder, mutably.
+    fn trace_slot_mut(&mut self) -> &mut Recorder;
+
+    /// Emission counts indexed by interned [`SigId`] bit.
+    fn counts_slot(&self) -> &[u64];
+
+    /// Start recording a signal trace retaining the last `capacity`
+    /// instants (0 = unbounded).
+    fn enable_trace(&mut self, capacity: usize) {
+        self.trace_slot_mut().enable(capacity);
+    }
+
+    /// The recorded trace so far, if tracing is enabled.
+    fn recorded_trace(&self) -> Option<&Trace> {
+        self.trace_slot().current()
+    }
+
+    /// Detach and return the recorded trace (tracing stops).
+    fn take_trace(&mut self) -> Option<Trace> {
+        self.trace_slot_mut().take()
+    }
+
+    /// Emission count of one signal.
+    fn count_of(&self, name: &str) -> u64 {
+        self.sig_table()
+            .lookup(name)
+            .map_or(0, |id| self.counts_slot()[id.bit()])
+    }
+
+    /// Emission counts by signal name (signals emitted at least once).
+    fn counts(&self) -> HashMap<String, u64> {
+        let table = self.sig_table();
+        self.counts_slot()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| (table.name(SigId(i as u32)).to_string(), *n))
+            .collect()
+    }
 
     /// Set a valued external input by interned id (the fast path of
     /// [`Runner::set_input_i64`]).
@@ -225,6 +273,9 @@ fn trace_value(rt: &Rt, v: &ecl_types::Value) -> Option<i64> {
 struct Task {
     design: Design,
     efsm: Efsm,
+    /// Dense compiled backend of `efsm` (pure states as transition
+    /// tables, mixed states fall back to the s-graph walker).
+    table: CompiledEfsm,
     rt: Rt,
     state: StateId,
     id: TaskId,
@@ -244,6 +295,11 @@ pub struct AsyncRunner {
     kernel: Kernel,
     cost: CostParams,
     table: Arc<SigTable>,
+    /// Drive pure-control states through compiled transition tables
+    /// (default); off forces the s-graph walker everywhere — the two
+    /// are observationally identical (differential-tested), the toggle
+    /// exists for benchmarking and bisection.
+    use_tables: bool,
     /// Current environment instant number.
     pub instant: u64,
     /// Emission counts by interned id.
@@ -304,10 +360,12 @@ impl AsyncRunner {
                 .map(|(s, _)| to_global[s.0 as usize].bit())
                 .collect();
             let id = kernel.add_task(design.entry.clone(), (10 - i.min(9)) as u8, watches);
+            let table = CompiledEfsm::compile(&efsm);
             tasks.push(Task {
                 state: efsm.init,
                 design,
                 efsm,
+                table,
                 rt,
                 id,
                 to_global,
@@ -323,6 +381,7 @@ impl AsyncRunner {
             cost,
             recorder: Recorder::new(Arc::clone(&table)),
             table,
+            use_tables: true,
             instant: 0,
             counts,
             evset_scratch: BitSet::new(),
@@ -342,22 +401,6 @@ impl AsyncRunner {
         &self.table
     }
 
-    /// Start recording a signal trace retaining the last `capacity`
-    /// instants (0 = unbounded).
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.recorder.enable(capacity);
-    }
-
-    /// The recorded trace so far, if tracing is enabled.
-    pub fn recorded_trace(&self) -> Option<&Trace> {
-        self.recorder.current()
-    }
-
-    /// Detach and return the recorded trace (tracing stops).
-    pub fn take_trace(&mut self) -> Option<Trace> {
-        self.recorder.take()
-    }
-
     /// The designs running in the tasks.
     pub fn designs(&self) -> impl Iterator<Item = &Design> {
         self.tasks.iter().map(|t| &t.design)
@@ -368,21 +411,28 @@ impl AsyncRunner {
         self.tasks.iter().map(|t| &t.efsm)
     }
 
-    /// Emission count of one signal.
-    pub fn count_of(&self, name: &str) -> u64 {
-        self.table
-            .lookup(name)
-            .map_or(0, |id| self.counts[id.bit()])
+    /// Choose the execution backend for pure-control states: `true`
+    /// (the default) scans compiled transition tables, `false` forces
+    /// the s-graph walker everywhere. Semantics are identical either
+    /// way; the switch exists for measurement and bisection.
+    pub fn set_use_tables(&mut self, on: bool) {
+        self.use_tables = on;
     }
 
-    /// Emission counts by signal name (signals emitted at least once).
-    pub fn counts(&self) -> HashMap<String, u64> {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| **n > 0)
-            .map(|(i, n)| (self.table.name(SigId(i as u32)).to_string(), *n))
-            .collect()
+    /// Is the compiled-table backend active?
+    pub fn tables_enabled(&self) -> bool {
+        self.use_tables
+    }
+
+    /// `(tabled states, total states)` over all tasks — how much of
+    /// the design the dense backend covers.
+    pub fn tabled_states(&self) -> (u32, u32) {
+        self.tasks.iter().fold((0, 0), |(t, n), task| {
+            (
+                t + task.table.tabled_states(),
+                n + task.efsm.states.len() as u32,
+            )
+        })
     }
 
     /// Set the value of a valued *external* input on every task that
@@ -507,12 +557,22 @@ impl AsyncRunner {
         debug_assert_eq!(emit_base, 0);
         let r = {
             let t = &mut self.tasks[ti];
-            let r = t.efsm.step_bits(
-                t.state,
-                &self.local_scratch,
-                &mut t.rt,
-                &mut self.emit_scratch,
-            );
+            let r = if self.use_tables {
+                t.table.step_table(
+                    &t.efsm,
+                    t.state,
+                    &self.local_scratch,
+                    &mut t.rt,
+                    &mut self.emit_scratch,
+                )
+            } else {
+                t.efsm.step_bits(
+                    t.state,
+                    &self.local_scratch,
+                    &mut t.rt,
+                    &mut self.emit_scratch,
+                )
+            };
             t.state = r.next;
             if let Some(e) = t.rt.take_error() {
                 self.emit_scratch.clear();
@@ -618,39 +678,6 @@ impl<'d> InterpRunner<'d> {
         &self.table
     }
 
-    /// Start recording a signal trace retaining the last `capacity`
-    /// instants (0 = unbounded).
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.recorder.enable(capacity);
-    }
-
-    /// The recorded trace so far, if tracing is enabled.
-    pub fn recorded_trace(&self) -> Option<&Trace> {
-        self.recorder.current()
-    }
-
-    /// Detach and return the recorded trace (tracing stops).
-    pub fn take_trace(&mut self) -> Option<Trace> {
-        self.recorder.take()
-    }
-
-    /// Emission count of one signal.
-    pub fn count_of(&self, name: &str) -> u64 {
-        self.table
-            .lookup(name)
-            .map_or(0, |id| self.counts[id.bit()])
-    }
-
-    /// Emission counts by signal name (signals emitted at least once).
-    pub fn counts(&self) -> HashMap<String, u64> {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| **n > 0)
-            .map(|(i, n)| (self.table.name(SigId(i as u32)).to_string(), *n))
-            .collect()
-    }
-
     /// Set a valued input.
     ///
     /// # Errors
@@ -750,6 +777,18 @@ impl Runner for AsyncRunner {
         AsyncRunner::sig_table(self)
     }
 
+    fn trace_slot(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    fn trace_slot_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    fn counts_slot(&self) -> &[u64] {
+        &self.counts
+    }
+
     fn set_input_i64_id(&mut self, sig: SigId, v: i64) -> Result<(), SimError> {
         AsyncRunner::set_input_i64_id(self, sig, v)
     }
@@ -774,6 +813,18 @@ impl Runner for AsyncRunner {
 impl<'d> Runner for InterpRunner<'d> {
     fn sig_table(&self) -> &Arc<SigTable> {
         InterpRunner::sig_table(self)
+    }
+
+    fn trace_slot(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    fn trace_slot_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    fn counts_slot(&self) -> &[u64] {
+        &self.counts
     }
 
     fn set_input_i64_id(&mut self, sig: SigId, v: i64) -> Result<(), SimError> {

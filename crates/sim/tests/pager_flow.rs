@@ -4,7 +4,7 @@ use codegen::cost::CostParams;
 use ecl_core::Compiler;
 use rtk::KernelParams;
 use sim::designs::VOICE_PAGER;
-use sim::runner::AsyncRunner;
+use sim::runner::{AsyncRunner, Runner};
 use sim::tb::PagerTb;
 
 fn run(designs: Vec<ecl_core::Design>) -> AsyncRunner {

@@ -4,7 +4,7 @@ use codegen::cost::CostParams;
 use ecl_core::Compiler;
 use rtk::KernelParams;
 use sim::designs::PROTOCOL_STACK;
-use sim::runner::AsyncRunner;
+use sim::runner::{AsyncRunner, Runner};
 use sim::tb::PacketTb;
 
 fn run(designs: Vec<ecl_core::Design>, packets: usize) -> AsyncRunner {

@@ -13,7 +13,7 @@ use codegen::cost::CostParams;
 use ecl_core::Compiler;
 use efsm::BitSet;
 use rtk::KernelParams;
-use sim::runner::AsyncRunner;
+use sim::runner::{AsyncRunner, Runner};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 

@@ -277,6 +277,130 @@ fn check_ids_vs_names(src: &str, seeds: u64) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// The compiled-table backend ≡ the s-graph walker, at two levels.
+///
+/// Machine level: from the same state with the same inputs, `step_table`
+/// must produce the *exact* walker result — emissions in walk order,
+/// next state, and `nodes_visited` (the cycle-cost proxy) — for pure
+/// and mixed (fallback) states alike. Runner level: an [`AsyncRunner`]
+/// on tables and one forced onto the walker must emit identical sets
+/// every instant and drive a pinned observer to identical verdicts.
+fn check_table_vs_sgraph(src: &str, seeds: u64) -> Result<(), TestCaseError> {
+    let full = format!("{src}\n{PIN_OBSERVER}");
+    let Ok(design) = Compiler::default().compile_str(&full, "m") else {
+        return Ok(());
+    };
+    let Ok(machine) = design.to_efsm(&Default::default()) else {
+        return Ok(());
+    };
+    let compiled = efsm::CompiledEfsm::compile(&machine);
+    let a = design.signal("a").unwrap();
+    let b = design.signal("b").unwrap();
+    // Machine level: lockstep walk vs table scan.
+    for seed in 0..seeds {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rt_w = design.new_rt().unwrap();
+        let mut rt_t = design.new_rt().unwrap();
+        let mut st_w = machine.init;
+        let mut st_t = machine.init;
+        for step in 0..50 {
+            let mut bits = BitSet::new();
+            if rng.gen_bool(0.5) {
+                bits.insert(a.0 as usize);
+            }
+            if rng.gen_bool(0.3) {
+                bits.insert(b.0 as usize);
+            }
+            let mut e_w = Vec::new();
+            let mut e_t = Vec::new();
+            let r_w = machine.step_bits(st_w, &bits, &mut rt_w, &mut e_w);
+            let r_t = compiled.step_table(&machine, st_t, &bits, &mut rt_t, &mut e_t);
+            prop_assert_eq!(
+                e_w,
+                e_t,
+                "emission order diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+            prop_assert_eq!(
+                r_w,
+                r_t,
+                "StepOut diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+            st_w = r_w.next;
+            st_t = r_t.next;
+        }
+    }
+    // Runner level, with the pinned observer on both backends.
+    let prog = ecl_syntax::parse_str(&full).expect("generated program parses");
+    let spec = Arc::new(
+        ecl_observe::synthesize(prog.observer("pin").expect("observer present"))
+            .expect("observer synthesizes"),
+    );
+    let build = || {
+        AsyncRunner::new(
+            vec![design.clone()],
+            &Default::default(),
+            Default::default(),
+            Default::default(),
+        )
+        .expect("runner builds")
+    };
+    for seed in 0..seeds {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut walked = build();
+        walked.set_use_tables(false);
+        let mut tabled = build();
+        prop_assert!(tabled.tables_enabled(), "tables are the default backend");
+        let ga = tabled.sig_table().lookup("a").expect("a interned");
+        let gb = tabled.sig_table().lookup("b").expect("b interned");
+        let mut mon_w = Monitor::new(Arc::clone(&spec));
+        let mut mon_t = Monitor::new(Arc::clone(&spec));
+        mon_w.bind(walked.sig_table());
+        mon_t.bind(tabled.sig_table());
+        let (mut out_w, mut out_t) = (BitSet::new(), BitSet::new());
+        let mut present = BitSet::new();
+        for step in 0..50u64 {
+            let mut ev = BitSet::new();
+            if rng.gen_bool(0.5) {
+                ev.insert(ga.bit());
+            }
+            if rng.gen_bool(0.3) {
+                ev.insert(gb.bit());
+            }
+            walked.instant_ids(&ev, &mut out_w).expect("walker runs");
+            tabled.instant_ids(&ev, &mut out_t).expect("table runs");
+            prop_assert_eq!(
+                &out_w,
+                &out_t,
+                "emitted sets diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+            present.clear();
+            present.union_with(&ev);
+            present.union_with(&out_t);
+            mon_w.step_ids(step, &present, walked.sig_table());
+            mon_t.step_ids(step, &present, tabled.sig_table());
+            prop_assert_eq!(
+                mon_w.verdict(),
+                mon_t.verdict(),
+                "observer verdicts diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+        }
+        prop_assert_eq!(mon_w.finish(), mon_t.finish(), "final verdicts in\n{}", src);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -309,6 +433,16 @@ proptest! {
     fn instant_ids_matches_name_shim(seed in 0u64..10_000) {
         let src = gen_module(seed);
         check_ids_vs_names(&src, 3)?;
+    }
+
+    /// The compiled transition tables ≡ the s-graph walker: exact
+    /// per-step results at the machine level (emission order, next
+    /// state, nodes visited) and identical emitted sets + observer
+    /// verdicts at the runner level.
+    #[test]
+    fn table_matches_sgraph(seed in 0u64..10_000) {
+        let src = gen_module(seed);
+        check_table_vs_sgraph(&src, 3)?;
     }
 
     /// Both strategies agree with each other on outputs.
