@@ -1,8 +1,9 @@
 //! Reaction-throughput microbenchmarks: the interned-id fast path
 //! (`instant_ids` via `run_events`) against the legacy string shim
-//! (`instant` via `run_events_names`), on both evaluated designs, plus
+//! (`instant` via `run_events_names`), on both evaluated designs;
 //! monitor stepping through compiled transition tables vs the s-graph
-//! walker.
+//! walker; and the data path on the register bytecode VM (`data_vm`)
+//! vs the tree-walking interpreter (`data_walker`).
 //!
 //! Run with `cargo bench -p ecl-bench --bench reaction`.
 
@@ -82,6 +83,15 @@ fn drive_names(design: &Design, events: &[InstantEvents]) {
     r.run_events_names(events, |_, _| {}).expect("run succeeds");
 }
 
+/// The data path isolated: same compiled-table control backend, data
+/// hooks on the bytecode VM (`vm = true`) or the tree-walking
+/// interpreter (`vm = false`).
+fn drive_data(design: &Design, events: &[InstantEvents], vm: bool) {
+    let mut r = runner(design);
+    r.set_use_vm(vm);
+    r.run_events(events, |_, _| {}).expect("run succeeds");
+}
+
 fn bench_reaction(c: &mut Criterion) {
     let stack = stack_mono();
     let mut stack_ev = stack_events(INSTANTS / 65 + 1);
@@ -99,6 +109,12 @@ fn bench_reaction(c: &mut Criterion) {
     g.bench_function("pager_ids", |b| b.iter(|| drive_ids(&pager, &pager_ev)));
     g.bench_function("pager_names_shim", |b| {
         b.iter(|| drive_names(&pager, &pager_ev))
+    });
+    g.bench_function("data_vm", |b| {
+        b.iter(|| drive_data(&stack, &stack_ev, true))
+    });
+    g.bench_function("data_walker", |b| {
+        b.iter(|| drive_data(&stack, &stack_ev, false))
     });
     let mb = MonitorBench::new();
     g.bench_function("monitors_tabled", |b| b.iter(|| mb.drive(true, 10_000)));

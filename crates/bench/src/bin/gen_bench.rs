@@ -2,14 +2,17 @@
 //!
 //! Measures instants/second for the two evaluated designs
 //! (protocol stack, voice pager) × two implementations (monolithic
-//! single task, 3-task partition) × three instrumentation/backend
+//! single task, 3-task partition) × four instrumentation/backend
 //! modes (traced: ring-buffer recording on; monitored: observers bound
-//! and stepped per instant, s-graph walker forced; tabled: the same
-//! monitored run on the compiled transition tables — the production
-//! default), all on the interned-id fast path, plus the same monitored
-//! runs through the legacy string shim (`run_events_names` +
-//! name-matching monitors) as the reference every config is normalized
-//! against. End-to-end compile times ride along.
+//! and stepped per instant, s-graph walker + tree-walking data path
+//! forced; tabled: the same monitored run on compiled transition
+//! tables with the data path still tree-walked — the PR 4 state; vm:
+//! tables *and* the data-path bytecode VM — the production default),
+//! all on the interned-id fast path, plus the same monitored runs
+//! through the legacy string shim (`run_events_names` + name-matching
+//! monitors) as the reference every config is normalized against.
+//! `speedup_vm_over_walker` isolates the data-path change: vm vs
+//! tabled on the same workload. End-to-end compile times ride along.
 //!
 //! Output is `BENCH_reaction.json`. With `--check BASELINE`, the run
 //! is compared against a checked-in baseline: the *normalized* ratio
@@ -97,13 +100,23 @@ fn run_ids(mut r: AsyncRunner, events: &[InstantEvents], monitors: &mut [Monitor
     events.len()
 }
 
-/// A runner forced onto the s-graph walker (the `monitored`/`traced`
-/// configs keep measuring the walked path so the checked-in normalized
-/// baselines stay comparable; `tabled` configs use the default-on
-/// compiled tables).
+/// A runner forced onto the s-graph walker *and* the tree-walking data
+/// path (the `monitored`/`traced` configs keep measuring the fully
+/// walked path so the checked-in normalized baselines stay
+/// comparable).
 fn walked(designs: Vec<Design>) -> AsyncRunner {
     let mut r = runner(designs);
     r.set_use_tables(false);
+    r.set_use_vm(false);
+    r
+}
+
+/// Compiled transition tables with the data path still on the
+/// tree-walker — the PR 4 state, and the denominator that isolates the
+/// bytecode VM's contribution in `speedup_vm_over_walker`.
+fn tabled(designs: Vec<Design>) -> AsyncRunner {
+    let mut r = runner(designs);
+    r.set_use_vm(false);
     r
 }
 
@@ -256,8 +269,18 @@ fn main() {
         jobs.push((
             format!("{label}/tabled"),
             Box::new(move || {
-                let r = runner(d.clone());
+                let r = tabled(d.clone());
                 assert!(r.tables_enabled());
+                let mut mons = monitors_for(specs, &r, true);
+                run_ids(r, events, &mut mons)
+            }),
+        ));
+        let d = designs.clone();
+        jobs.push((
+            format!("{label}/vm"),
+            Box::new(move || {
+                let r = runner(d.clone());
+                assert!(r.tables_enabled() && r.vm_enabled());
                 let mut mons = monitors_for(specs, &r, true);
                 run_ids(r, events, &mut mons)
             }),
@@ -304,6 +327,16 @@ fn main() {
     let speedup = monitored_stack / names_ref;
     let tabled_speedup_stack = rate_of("stack/mono/tabled") / rate_of("stack/mono/monitored");
     let tabled_speedup_pager = rate_of("pager/mono/tabled") / rate_of("pager/mono/monitored");
+    // The data-path VM's isolated contribution: vm vs tabled (same
+    // control backend, only the data hooks differ).
+    let vm_speedup =
+        |label: &str| rate_of(&format!("{label}/vm")) / rate_of(&format!("{label}/tabled"));
+    let vm_speedups = [
+        ("stack_mono", vm_speedup("stack/mono")),
+        ("stack_parts", vm_speedup("stack/parts")),
+        ("pager_mono", vm_speedup("pager/mono")),
+        ("pager_parts", vm_speedup("pager/parts")),
+    ];
 
     // Render JSON (no serde in the container: hand-rolled, stable).
     let mut json = String::new();
@@ -331,6 +364,15 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"speedup_tabled_over_walked\": {{\"stack_mono_monitored\": {tabled_speedup_stack:.2}, \"pager_mono_monitored\": {tabled_speedup_pager:.2}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_vm_over_walker\": {{{}}},",
+        vm_speedups
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let _ = writeln!(
         json,

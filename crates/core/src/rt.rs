@@ -8,17 +8,28 @@
 //!   mangled to unique names by elaboration);
 //! * the current value of every valued signal;
 //! * the C interpreter ([`ecl_types::Machine`]) used to run extracted
-//!   actions, evaluate EFSM predicates and compute `emit_v` values.
+//!   actions, evaluate EFSM predicates and compute `emit_v` values;
+//! * the compiled data path: at construction every predicate, action
+//!   and emit expression is lowered to register bytecode
+//!   ([`ecl_types::vm`]) over the frame's dense slots and the signal
+//!   indices, and the [`efsm::DataHooks`] impl dispatches there by
+//!   default ([`Rt::set_use_vm`] forces the tree-walker for
+//!   measurement; both backends are differential-tested equal,
+//!   including error instants, fuel-derived cycle charges and the
+//!   `pred_evals`/`action_runs` counters).
 //!
-//! One `Rt` instance backs either the Esterel interpreter or a compiled
-//! EFSM — both call the same [`efsm::DataHooks`] entry points, which is
-//! what makes differential testing between the two meaningful.
+//! One `Rt` instance backs the Esterel interpreter and compiled EFSMs
+//! alike — both call the same [`efsm::DataHooks`] entry points, which
+//! is what makes differential testing between the two meaningful.
 
 use crate::elab::Elab;
 use crate::split::DataTable;
 use ecl_syntax::ast::Program;
 use ecl_syntax::diag::DiagSink;
-use ecl_types::{FxHashMap, Machine, SignalReader, TypeTable, Value};
+use ecl_types::vm::{self, Compiled};
+use ecl_types::{
+    FxHashMap, Lowering, Machine, SignalLayout, TypeId, TypeTable, Value, ValuesReader,
+};
 use efsm::{ActionId, DataHooks, ExprId, PredId, Signal};
 use std::fmt;
 
@@ -37,6 +48,20 @@ impl fmt::Display for RtError {
 
 impl std::error::Error for RtError {}
 
+/// The compiled data hooks of one runtime: bytecode programs (or
+/// walker markers) per predicate / action / emit expression, plus the
+/// root-scope length they were resolved against — slot resolutions are
+/// valid only while the root frame hasn't grown (root bindings are
+/// append-only; only a walker-executed top-level declaration can add
+/// one, after which every hook conservatively walks).
+#[derive(Debug, Clone, Default)]
+struct DataProgs {
+    preds: Vec<Compiled>,
+    actions: Vec<Compiled>,
+    emits: Vec<Compiled>,
+    root_len: usize,
+}
+
 /// The data-side runtime for one design instance.
 #[derive(Debug, Clone)]
 pub struct Rt {
@@ -51,10 +76,31 @@ pub struct Rt {
     /// First evaluation error encountered (subsequent actions are
     /// skipped until it is taken).
     error: Option<ecl_types::EvalError>,
+    /// Bytecode programs compiled from the data table at construction.
+    progs: DataProgs,
+    /// Register-file scratch reused across hook runs (no steady-state
+    /// allocation).
+    vm_regs: Vec<i64>,
+    /// Dispatch data hooks to the bytecode VM (default on; off forces
+    /// the tree-walker everywhere — observationally identical, the
+    /// toggle exists for measurement and bisection).
+    use_vm: bool,
     /// Count of executed actions/predicates/emissions (cost metrics).
     pub action_runs: u64,
     /// Count of predicate evaluations.
     pub pred_evals: u64,
+}
+
+/// Compile-time signal resolution for the lowerer.
+struct SigLayout<'a> {
+    by_name: &'a FxHashMap<String, usize>,
+    sig_types: &'a [Option<TypeId>],
+}
+
+impl SignalLayout for SigLayout<'_> {
+    fn signal(&self, name: &str) -> Option<(usize, Option<TypeId>)> {
+        self.by_name.get(name).map(|&i| (i, self.sig_types[i]))
+    }
 }
 
 impl Rt {
@@ -116,6 +162,23 @@ impl Rt {
                 sig_types.push(Some(ty));
             }
         }
+        // Lower every data hook to bytecode once, now that the frame
+        // and signal layout are final.
+        let layout = SigLayout {
+            by_name: &by_name,
+            sig_types: &sig_types,
+        };
+        let mut lw = Lowering::new(&mut machine, &layout);
+        let progs = DataProgs {
+            preds: data.preds.iter().map(|e| lw.pred(e)).collect(),
+            actions: data.actions.iter().map(|a| lw.action(a)).collect(),
+            emits: data
+                .emit_exprs
+                .iter()
+                .map(|(e, sig)| lw.emit(e, sig.0 as usize, sig_types[sig.0 as usize]))
+                .collect(),
+            root_len: machine.root_len(),
+        };
         Ok(Rt {
             machine,
             data: data.clone(),
@@ -123,6 +186,9 @@ impl Rt {
             sig_types,
             by_name,
             error: None,
+            progs,
+            vm_regs: Vec::new(),
+            use_vm: true,
             action_runs: 0,
             pred_evals: 0,
         })
@@ -131,6 +197,44 @@ impl Rt {
     /// Access the C machine (e.g. to inspect variables in tests).
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    /// Mutable access to the C machine (fuel control in tests).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Dispatch data hooks to the bytecode VM (`true`, the default) or
+    /// force the tree-walker everywhere (`false`). Semantics are
+    /// identical either way (differential-tested); the switch exists
+    /// for measurement and bisection.
+    pub fn set_use_vm(&mut self, on: bool) {
+        self.use_vm = on;
+    }
+
+    /// Is the bytecode VM active?
+    pub fn vm_enabled(&self) -> bool {
+        self.use_vm
+    }
+
+    /// `(vm-compiled hooks, total hooks)` — how much of the design's
+    /// data path runs on bytecode rather than the walker.
+    pub fn vm_coverage(&self) -> (u32, u32) {
+        let all = [&self.progs.preds, &self.progs.actions, &self.progs.emits];
+        let total: usize = all.iter().map(|v| v.len()).sum();
+        let vm: usize = all
+            .iter()
+            .flat_map(|v| v.iter())
+            .filter(|c| c.is_vm())
+            .count();
+        (vm as u32, total as u32)
+    }
+
+    /// Are the compiled slot resolutions still valid? (The root frame
+    /// is append-only; it grows only if a walker-executed top-level
+    /// declaration added a binding.)
+    fn progs_valid(&self) -> bool {
+        self.use_vm && self.progs.root_len == self.machine.root_len()
     }
 
     /// Take the first pending evaluation error, if any.
@@ -260,19 +364,33 @@ impl DataHooks for Rt {
             return false;
         }
         self.pred_evals += 1;
-        // Split borrows: move the value store into a local reader; the
-        // expression is read straight out of the (disjoint) data table.
-        let values = std::mem::take(&mut self.values);
-        let reader = OwnedReader {
-            values: &values,
-            by_name: &self.by_name,
+        let i = pred.0 as usize;
+        let vm_path = self.progs_valid() && self.progs.preds[i].is_vm();
+        // One execution entry point: disjoint-field borrows split the
+        // machine (mutable) from the value store and data table (the
+        // shared `ValuesReader` view serves the walker and the VM's
+        // fallback ops alike).
+        let Rt {
+            machine,
+            values,
+            by_name,
+            data,
+            progs,
+            vm_regs,
+            ..
+        } = self;
+        let out = if vm_path {
+            let Compiled::Vm(prog) = &progs.preds[i] else {
+                unreachable!("vm_path checked above")
+            };
+            vm::run(prog, machine, values, by_name, vm_regs).map(|v| v != 0)
+        } else {
+            machine
+                .eval(&data.preds[i], &ValuesReader { values, by_name })
+                .map(|v| v.is_truthy())
         };
-        let out = self
-            .machine
-            .eval(&self.data.preds[pred.0 as usize], &reader);
-        self.values = values;
         match out {
-            Ok(v) => v.is_truthy(),
+            Ok(v) => v,
             Err(e) => {
                 self.error = Some(e);
                 false
@@ -285,47 +403,76 @@ impl DataHooks for Rt {
             return;
         }
         self.action_runs += 1;
-        let values = std::mem::take(&mut self.values);
-        let reader = OwnedReader {
-            values: &values,
-            by_name: &self.by_name,
-        };
-        for s in &self.data.actions[action.0 as usize] {
-            match self.machine.exec(s, &reader) {
-                Ok(_) => {}
-                Err(e) => {
+        let i = action.0 as usize;
+        let vm_path = self.progs_valid() && self.progs.actions[i].is_vm();
+        let Rt {
+            machine,
+            values,
+            by_name,
+            data,
+            progs,
+            vm_regs,
+            ..
+        } = self;
+        if vm_path {
+            let Compiled::Vm(prog) = &progs.actions[i] else {
+                unreachable!("vm_path checked above")
+            };
+            if let Err(e) = vm::run(prog, machine, values, by_name, vm_regs) {
+                self.error = Some(e);
+            }
+        } else {
+            let reader = ValuesReader { values, by_name };
+            for s in &data.actions[i] {
+                if let Err(e) = machine.exec(s, &reader) {
                     self.error = Some(e);
                     break;
                 }
             }
         }
-        self.values = values;
     }
 
     fn emit_value(&mut self, sig: Signal, expr: ExprId) {
         if self.error.is_some() {
             return;
         }
-        let (e, target) = &self.data.emit_exprs[expr.0 as usize];
+        let i = expr.0 as usize;
+        let si = sig.0 as usize;
+        let vm_path = self.progs_valid() && self.progs.emits[i].is_vm();
+        let Rt {
+            machine,
+            values,
+            by_name,
+            data,
+            sig_types,
+            progs,
+            vm_regs,
+            ..
+        } = self;
+        let (e, target) = &data.emit_exprs[i];
         debug_assert_eq!(*target, sig, "emit expr bound to a different signal");
-        let values = std::mem::take(&mut self.values);
-        let reader = OwnedReader {
-            values: &values,
-            by_name: &self.by_name,
-        };
-        let out = self.machine.eval(e, &reader);
-        self.values = values;
+        if vm_path {
+            // The compiled program stores the converted value into the
+            // signal's buffer itself (in place).
+            let Compiled::Vm(prog) = &progs.emits[i] else {
+                unreachable!("vm_path checked above")
+            };
+            if let Err(e) = vm::run(prog, machine, values, by_name, vm_regs) {
+                self.error = Some(e);
+            }
+            return;
+        }
+        let out = machine.eval(e, &ValuesReader { values, by_name });
         match out {
             Ok(v) => {
-                let i = sig.0 as usize;
-                if let Some(ty) = self.sig_types[i] {
-                    match v.convert(self.machine.table(), ty) {
-                        Some(cv) => self.values[i] = Some(cv),
+                if let Some(ty) = sig_types[si] {
+                    match v.convert(machine.table(), ty) {
+                        Some(cv) => values[si] = Some(cv),
                         None => {
                             self.error = Some(ecl_types::EvalError {
                                 msg: format!(
                                     "emit_v value not convertible to signal type for signal {}",
-                                    i
+                                    si
                                 ),
                                 span: e.span,
                             })
@@ -335,21 +482,6 @@ impl DataHooks for Rt {
             }
             Err(e) => self.error = Some(e),
         }
-    }
-}
-
-/// Reader over a moved-out value store (borrow-splitting helper).
-struct OwnedReader<'a> {
-    values: &'a [Option<Value>],
-    by_name: &'a FxHashMap<String, usize>,
-}
-
-impl<'a> SignalReader for OwnedReader<'a> {
-    fn read_signal(&self, name: &str) -> Option<Value> {
-        self.by_name
-            .get(name)
-            .and_then(|i| self.values.get(*i))
-            .and_then(|v| v.clone())
     }
 }
 

@@ -246,6 +246,68 @@ impl Machine {
         Ok(())
     }
 
+    /// Charge `n` interpreter steps at once — the bytecode VM's batched
+    /// equivalent of `n` [`Machine::burn`] calls: succeeds iff the
+    /// walker would have survived all `n`, and leaves the fuel at 0 on
+    /// exhaustion (exactly where the walker's step-by-step decrement
+    /// would have errored).
+    ///
+    /// # Errors
+    ///
+    /// The walker's fuel-exhaustion error when fewer than `n` steps
+    /// remain.
+    pub fn burn_n(&mut self, n: u64, span: Span) -> Result<(), EvalError> {
+        if self.fuel < n {
+            self.fuel = 0;
+            return err("interpreter fuel exhausted (runaway data loop?)", span);
+        }
+        self.fuel -= n;
+        Ok(())
+    }
+
+    // -- root-scope (flat frame) access for the bytecode VM ---------------
+
+    /// Number of slots in the root scope (the design's flat variable
+    /// frame). The VM compiler records this at lowering time: root
+    /// bindings are append-only, so an unchanged length proves every
+    /// compile-time slot resolution is still valid.
+    pub fn root_len(&self) -> usize {
+        self.scopes[0].slots.len()
+    }
+
+    /// Root-scope slot of `name`, if bound there.
+    pub fn root_lookup(&self, name: &str) -> Option<usize> {
+        self.scopes[0].index.get(name).copied()
+    }
+
+    /// Read a root-scope slot by index (the VM's variable load path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn root_value(&self, slot: usize) -> &Value {
+        &self.scopes[0].slots[slot]
+    }
+
+    /// Mutable root-scope slot by index (the VM's variable store path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn root_value_mut(&mut self, slot: usize) -> &mut Value {
+        &mut self.scopes[0].slots[slot]
+    }
+
+    /// Iterate the root scope's `(name, value)` bindings in slot order
+    /// (differential tests compare whole frames through this).
+    pub fn root_entries(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.scopes[0]
+            .names
+            .iter()
+            .map(String::as_str)
+            .zip(self.scopes[0].slots.iter())
+    }
+
     // -- expressions -----------------------------------------------------
 
     /// Evaluate an expression to a value.

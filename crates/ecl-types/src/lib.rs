@@ -12,7 +12,11 @@
 //!   little-endian byte buffers, which makes the paper's union-based
 //!   "two views of a packet" idiom (Figure 1) work exactly as in C;
 //! * [`interp`] — an interpreter for the data fragments the ECL splitter
-//!   extracts as C functions, plus plain user C functions.
+//!   extracts as C functions, plus plain user C functions;
+//! * [`lower`] + [`vm`] — the compiled data path: every predicate,
+//!   action and valued-emit expression lowers once to a register
+//!   bytecode program over dense frame slots and signal indices, with
+//!   tree-walker fallback ops for constructs outside the subset.
 //!
 //! # Example
 //!
@@ -29,10 +33,14 @@
 
 pub mod consteval;
 pub mod interp;
+pub mod lower;
 pub mod types;
 pub mod value;
+pub mod vm;
 
 pub use ecl_syntax::fxmap::{FxHashMap, FxHasher};
 pub use interp::{EvalError, Flow, Machine, SignalReader};
+pub use lower::{Lowering, SignalLayout};
 pub use types::{Field, Record, Type, TypeId, TypeTable};
 pub use value::{Bytes, Value};
+pub use vm::{Compiled, Program, ValuesReader};

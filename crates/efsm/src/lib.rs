@@ -60,6 +60,16 @@ pub struct ExprId(pub u32);
 ///
 /// The ECL runtime implements this against the module's local variable
 /// frame; pure-control machines can use [`NoHooks`].
+///
+/// An implementation is free to *compile* the hooks: the production
+/// runtime lowers every id to a register bytecode program at
+/// construction and dispatches these calls to a VM (with tree-walker
+/// fallback), which is transparent here — the same ids, the same
+/// entry points, bit-identical observable behavior. Implementations
+/// that meter execution cost (the runtime charges kernel cycles from
+/// interpreter fuel) must keep that metering identical across their
+/// backends, or compiled-vs-interpreted runs drift apart in RTOS
+/// scheduling metrics.
 pub trait DataHooks {
     /// Evaluate data predicate `pred` against the current data state.
     fn eval_pred(&mut self, pred: PredId) -> bool;

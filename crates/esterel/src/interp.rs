@@ -10,7 +10,12 @@
 //!
 //! Data effects (actions, predicate evaluations, valued emissions) are
 //! journaled by `(node, occurrence)` so that restarts never re-execute
-//! them — see `engine.rs` for why that key is stable.
+//! them — see `engine.rs` for why that key is stable. They resolve
+//! through the same [`DataHooks`] ids the compiled EFSM uses, so the
+//! runtime's data backend (the register bytecode VM, or its
+//! tree-walker when `set_use_vm(false)`) accelerates this interpreter
+//! and the compiled machine identically — one journal entry per hook
+//! call either way.
 
 use crate::engine::{Engine, ExecFailure, ExecOut, Sem};
 use crate::ir::{Node, Program, SigExpr, StmtId, Tri};

@@ -300,6 +300,9 @@ pub struct AsyncRunner {
     /// are observationally identical (differential-tested), the toggle
     /// exists for benchmarking and bisection.
     use_tables: bool,
+    /// Run the data path (predicates/actions/valued emits) on the
+    /// compiled bytecode VM (default); off forces the tree-walker.
+    use_vm: bool,
     /// Current environment instant number.
     pub instant: u64,
     /// Emission counts by interned id.
@@ -382,6 +385,7 @@ impl AsyncRunner {
             recorder: Recorder::new(Arc::clone(&table)),
             table,
             use_tables: true,
+            use_vm: true,
             instant: 0,
             counts,
             evset_scratch: BitSet::new(),
@@ -422,6 +426,33 @@ impl AsyncRunner {
     /// Is the compiled-table backend active?
     pub fn tables_enabled(&self) -> bool {
         self.use_tables
+    }
+
+    /// Choose the execution backend for the *data* path of every task:
+    /// `true` (the default) runs predicates, actions and valued emits
+    /// on the compiled bytecode VM, `false` forces the tree-walking
+    /// interpreter. Semantics are identical either way
+    /// (differential-tested); the switch exists for measurement and
+    /// bisection.
+    pub fn set_use_vm(&mut self, on: bool) {
+        self.use_vm = on;
+        for t in &mut self.tasks {
+            t.rt.set_use_vm(on);
+        }
+    }
+
+    /// Is the bytecode data path active?
+    pub fn vm_enabled(&self) -> bool {
+        self.use_vm
+    }
+
+    /// `(vm-compiled hooks, total hooks)` over all tasks — how much of
+    /// the data path runs on bytecode rather than the walker.
+    pub fn vm_coverage(&self) -> (u32, u32) {
+        self.tasks.iter().fold((0, 0), |(c, n), t| {
+            let (tc, tn) = t.rt.vm_coverage();
+            (c + tc, n + tn)
+        })
     }
 
     /// `(tabled states, total states)` over all tasks — how much of
@@ -600,8 +631,9 @@ impl AsyncRunner {
                         .and_then(|v| trace_value(&t.rt, v));
                 self.recorder.emit(gid, traced);
             }
-            // Copy the value into every *other* task that reads it.
-            if self.tasks[ti].valued[local.0 as usize] {
+            // Copy the value into every *other* task that reads it
+            // (single-task runs skip the clone entirely).
+            if self.tasks.len() > 1 && self.tasks[ti].valued[local.0 as usize] {
                 let value = self.tasks[ti].rt.signal_value(local.0 as usize).cloned();
                 if let Some(v) = value {
                     for rj in 0..self.tasks.len() {
@@ -759,6 +791,19 @@ impl<'d> InterpRunner<'d> {
             .iter()
             .map(|id| self.table.name(*id).to_string())
             .collect())
+    }
+
+    /// Choose the data-path backend: bytecode VM (`true`, the default)
+    /// or the tree-walking interpreter (`false`). The reactive side —
+    /// the constructive Esterel interpreter — evaluates the very same
+    /// hooks either way.
+    pub fn set_use_vm(&mut self, on: bool) {
+        self.rt.set_use_vm(on);
+    }
+
+    /// `(vm-compiled hooks, total hooks)` of the design's data path.
+    pub fn vm_coverage(&self) -> (u32, u32) {
+        self.rt.vm_coverage()
     }
 
     /// Access the runtime (inspect signal values).

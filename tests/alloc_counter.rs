@@ -2,12 +2,17 @@
 //!
 //! A counting global allocator wraps `System`; after a warm-up phase
 //! (scratch buffers grown to their steady-state capacity), driving
-//! further instants through `AsyncRunner::instant_ids` on a
-//! pure-control design must perform **zero** heap allocations — the
-//! acceptance bar of the interned-id hot path. The design is pure
-//! (no valued signals, no data actions): the claim covers the control
-//! path — kernel mailboxes, dispatch, EFSM stepping, emission fan-out
-//! — not the C data interpreter.
+//! further instants through `AsyncRunner::instant_ids` must perform
+//! **zero** heap allocations — the acceptance bar of the interned-id
+//! hot path. Two tiers:
+//!
+//! * the pure-control relay covers the control path — kernel
+//!   mailboxes, dispatch, EFSM stepping, emission fan-out;
+//! * the full protocol stack (valued signals, packet aggregates, CRC
+//!   loops, monitored) covers the *data* path on the bytecode VM:
+//!   programs compile once at construction, then predicates, actions
+//!   and valued emits run register-to-slot with zero heap traffic —
+//!   unlike the tree-walker, which clones a `Value` per signal read.
 
 use codegen::cost::CostParams;
 use ecl_core::Compiler;
@@ -101,4 +106,77 @@ fn instant_ids_is_allocation_free_in_steady_state() {
     );
     // The run did something: emissions reached `out` at least once.
     assert!(runner.count_of("o") > 0, "relay never fired");
+}
+
+#[test]
+fn vm_data_path_is_allocation_free_in_steady_state() {
+    use ecl_observe::{synthesize_all, Monitor};
+    use sim::designs::PROTOCOL_STACK;
+    use sim::tb::PacketTb;
+    use std::sync::Arc;
+
+    let design = Compiler::default()
+        .compile_str(PROTOCOL_STACK, "toplevel")
+        .unwrap();
+    let prog = ecl_syntax::parse_str(PROTOCOL_STACK).unwrap();
+    let specs = synthesize_all(&prog).expect("observers synthesize");
+    let mut runner = AsyncRunner::new(
+        vec![design],
+        &Default::default(),
+        CostParams::default(),
+        KernelParams::default(),
+    )
+    .unwrap();
+    // The whole data path must be on bytecode — a walker fallback
+    // would clone `Value`s per signal read and void the guarantee.
+    let (compiled, total) = runner.vm_coverage();
+    assert!(
+        compiled == total && total > 0,
+        "stack data hooks fully compiled ({compiled}/{total})"
+    );
+    let mut monitors: Vec<Monitor> = specs
+        .iter()
+        .map(|s| {
+            let mut m = Monitor::new(Arc::clone(s));
+            m.bind(runner.sig_table());
+            m
+        })
+        .collect();
+    let events = PacketTb {
+        packets: 40,
+        corrupt_every: 0,
+        reset_every: 0,
+        seed: 1999,
+    }
+    .events();
+    // One driving pass: the first `WARM` instants grow every scratch
+    // buffer (register file, kernel mailboxes, driver bitsets) to
+    // steady state; the next 1000 monitored instants of packet
+    // assembly, CRC accumulation and valued emission must then be
+    // allocation-free. Boundaries are sampled inside the callback so
+    // the whole window runs through a single `run_events` call.
+    const WARM: u64 = 300;
+    let mut before = 0u64;
+    let mut after = 0u64;
+    assert!(events.len() as u64 >= WARM + 1000, "testbench long enough");
+    runner
+        .run_events(&events[..(WARM + 1000) as usize], |instant, present| {
+            for m in monitors.iter_mut() {
+                m.step_present(instant, present);
+            }
+            if instant + 1 == WARM {
+                before = my_allocs();
+            } else if instant + 1 == WARM + 1000 {
+                after = my_allocs();
+            }
+        })
+        .unwrap();
+    assert!(after > 0 || before == my_allocs(), "boundaries sampled");
+    assert_eq!(
+        after - before,
+        0,
+        "VM data path allocated {} times over 1000 steady-state instants",
+        after - before
+    );
+    assert!(runner.count_of("top::packet") > 0, "packets were assembled");
 }

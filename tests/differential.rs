@@ -107,6 +107,286 @@ fn check_equiv(src: &str, strategy: SplitStrategy, seeds: u64) -> Result<(), Tes
     Ok(())
 }
 
+/// Generate a data-heavy module: integer locals, an aggregate record,
+/// valued signals read in predicates/actions/projections (including
+/// signal-rooted chains through the aggregate output `q`), valued and
+/// aggregate emits, inc/dec and compound assignments, for/do-while
+/// loops, casts/sizeof/comma, a helper C function (exercising the
+/// VM's statement-level walker fallback), and *deliberate* runtime errors
+/// (divisions whose divisor is input-dependent, occasionally
+/// out-of-bounds indices) — the workload of the `vm_matches_walker`
+/// differential.
+fn gen_data_module(seed: u64) -> String {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut body = String::new();
+    let mut stmts = 0;
+    gen_data_block(&mut rng, &mut body, 2, &mut stmts);
+    format!(
+        "typedef unsigned char byte;\n\
+         typedef struct {{ byte d[4]; int w; }} rec_t;\n\
+         int helper(int z) {{ return z * 3 - 1; }}\n\
+         module m(input int a, input pure b, output int x, output rec_t q, output pure y) {{\n\
+           int u; int v; rec_t r;\n\
+           while (1) {{ await (a | b); {body} }} }}"
+    )
+}
+
+fn gen_data_expr(rng: &mut impl Rng, depth: u32) -> String {
+    if depth == 0 {
+        // Leaves include signal-rooted projections (`q.*` reads the
+        // aggregate output's current value — LoadSigOff/LoadSigAt).
+        return match rng.gen_range(0..8) {
+            0 => "u".to_string(),
+            1 => "v".to_string(),
+            2 => "a".to_string(),
+            3 => "r.w".to_string(),
+            4 => format!("r.d[{}]", rng.gen_range(0..4)),
+            5 => format!("q.d[{}]", rng.gen_range(0..4)),
+            6 => "q.w".to_string(),
+            _ => format!("{}", rng.gen_range(-3..60)),
+        };
+    }
+    let a = gen_data_expr(rng, depth - 1);
+    let b = gen_data_expr(rng, depth - 1);
+    match rng.gen_range(0..19) {
+        0 => format!("({a} + {b})"),
+        1 => format!("({a} - {b})"),
+        2 => format!("({a} * {b})"),
+        // Input-dependent divisors: zero sometimes → real error instants.
+        3 => format!("({a} / (a & 3))"),
+        4 => format!("({a} % ((v & 7) + {}))", rng.gen_range(0..2)),
+        5 => format!("({a} < {b})"),
+        6 => format!("({a} == {b})"),
+        7 => format!("({a} & {b})"),
+        8 => format!("({a} ^ {b})"),
+        9 => format!("({a} << ({b} & 7))"),
+        10 => format!("({a} >> 1)"),
+        11 => format!("(-{a})"),
+        12 => format!("(~{a})"),
+        13 => format!("((byte) {a})"),
+        14 => format!("((unsigned int) {a} >> 1)"),
+        15 => format!("(sizeof(rec_t) + {a})"),
+        16 => format!("(q.d[(u & 3)] + {a})"),
+        17 => format!("(v = {a}, v & 31)"),
+        _ => format!("(!{a})"),
+    }
+}
+
+fn gen_data_block(rng: &mut impl Rng, out: &mut String, depth: u32, stmts: &mut u32) {
+    let n = rng.gen_range(2..=4);
+    for _ in 0..n {
+        if *stmts > 14 {
+            return;
+        }
+        *stmts += 1;
+        match rng.gen_range(0..19) {
+            0 => {
+                let e = gen_data_expr(rng, 2);
+                out.push_str(&format!("u = {e}; "));
+            }
+            1 => {
+                let e = gen_data_expr(rng, 1);
+                out.push_str(&format!("v = v + {e}; "));
+            }
+            2 => {
+                // Sometimes a deliberately out-of-bounds index.
+                let i = if rng.gen_bool(0.15) {
+                    "(a & 7)".to_string()
+                } else {
+                    format!("{}", rng.gen_range(0..4))
+                };
+                let e = gen_data_expr(rng, 1);
+                out.push_str(&format!("r.d[{i}] = {e}; "));
+            }
+            3 => out.push_str("r.w = r.w + r.d[1] + 1; "),
+            4 if depth > 0 => {
+                let c = gen_data_expr(rng, 1);
+                out.push_str(&format!("if ({c}) {{ "));
+                gen_data_block(rng, out, depth - 1, stmts);
+                out.push_str("} else { ");
+                gen_data_block(rng, out, depth - 1, stmts);
+                out.push_str("} ");
+            }
+            5 if depth > 0 => {
+                out.push_str("u = u & 15; while (u > 0) { u = u - 1; ");
+                gen_data_block(rng, out, depth - 1, stmts);
+                out.push_str("} ");
+            }
+            // Outside the bytecode subset → statement-level fallback.
+            6 => out.push_str("v = helper(v & 63); "),
+            7 => {
+                let e = gen_data_expr(rng, 2);
+                out.push_str(&format!("emit_v (x, {e}); "));
+            }
+            8 => out.push_str("emit (y); "),
+            9 => out.push_str("await (b); "),
+            10 => out.push_str("u = u + (a > 2 ? v : r.w); "),
+            11 => {
+                let c = gen_data_expr(rng, 1);
+                out.push_str(&format!("if ({c}) {{ emit_v (x, v); }} "));
+            }
+            // Inc/dec and compound assignments (pre/post, += families).
+            12 => out.push_str("u++; --v; r.w += u; "),
+            13 => {
+                let e = gen_data_expr(rng, 1);
+                out.push_str(&format!("v ^= {e}; u <<= 1; u &= 255; "));
+            }
+            // For / do-while with per-iteration burn placement.
+            14 if depth > 0 => {
+                out.push_str("for (u = 0; u < (a & 7); u++) { ");
+                gen_data_block(rng, out, depth - 1, stmts);
+                out.push_str("} ");
+            }
+            15 if depth > 0 => {
+                out.push_str("v = v & 7; do { v--; ");
+                gen_data_block(rng, out, depth - 1, stmts);
+                out.push_str("} while (v > 0); ");
+            }
+            // Aggregate emit (EmitCopy) feeding the `q.*` signal reads.
+            16 => out.push_str("emit_v (q, r); "),
+            17 => out.push_str("u = (v += r.d[2], v) % 97 + sizeof(int); "),
+            _ => out.push_str("v = v + r.d[u & 3] - q.d[v & 3]; "),
+        }
+    }
+}
+
+/// The bytecode VM ≡ the tree-walker, hook for hook. Two runtimes
+/// drive the same compiled EFSM in lockstep — one on the VM (the
+/// default), one forced onto the walker — and must agree every step on
+/// emissions and next state, the emitted value of `x`, every root-frame
+/// variable, error presence (message *and* span), the
+/// `pred_evals`/`action_runs` counters, and — on error-free steps —
+/// the exact fuel consumed (the kernel's cycle-charge source).
+fn check_vm_vs_walker(src: &str, seeds: u64) -> Result<(), TestCaseError> {
+    let Ok(design) = Compiler::default().compile_str(src, "m") else {
+        return Ok(());
+    };
+    let Ok(machine) = design.to_efsm(&Default::default()) else {
+        return Ok(());
+    };
+    let a = design.signal("a").unwrap();
+    let b = design.signal("b").unwrap();
+    for seed in 0..seeds {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rt_vm = design.new_rt().unwrap();
+        let mut rt_w = design.new_rt().unwrap();
+        prop_assert!(rt_vm.vm_enabled(), "the VM is the default backend");
+        rt_w.set_use_vm(false);
+        // Small fuel budget: generated programs can loop for real, and
+        // exhaustion is itself a behavior the two backends must share.
+        rt_vm.machine_mut().set_fuel(200_000);
+        rt_w.machine_mut().set_fuel(200_000);
+        let mut st_vm = machine.init;
+        let mut st_w = machine.init;
+        for step in 0..60 {
+            let mut bits = BitSet::new();
+            if rng.gen_bool(0.6) {
+                let val = rng.gen_range(-4i64..12);
+                rt_vm.set_input_i64("a", val).unwrap();
+                rt_w.set_input_i64("a", val).unwrap();
+                bits.insert(a.0 as usize);
+            }
+            if rng.gen_bool(0.3) {
+                bits.insert(b.0 as usize);
+            }
+            let fuel_before = rt_vm.machine().fuel();
+            prop_assert_eq!(fuel_before, rt_w.machine().fuel());
+            let mut e_vm = Vec::new();
+            let mut e_w = Vec::new();
+            let r_vm = machine.step_bits(st_vm, &bits, &mut rt_vm, &mut e_vm);
+            let r_w = machine.step_bits(st_w, &bits, &mut rt_w, &mut e_w);
+            st_vm = r_vm.next;
+            st_w = r_w.next;
+            prop_assert_eq!(
+                &e_vm,
+                &e_w,
+                "emissions diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+            prop_assert_eq!(
+                r_vm,
+                r_w,
+                "StepOut diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+            let err_vm = rt_vm.take_error();
+            let err_w = rt_w.take_error();
+            // Fuel exhaustion reports the span where the counter hit
+            // zero — burn coalescing legitimately shifts it within the
+            // exhausted expression, so compare those by message.
+            let fuel_err = err_vm.as_ref().is_some_and(|e| e.msg.contains("fuel"));
+            if fuel_err {
+                prop_assert_eq!(
+                    err_vm.as_ref().map(|e| &e.msg),
+                    err_w.as_ref().map(|e| &e.msg),
+                    "errors diverged at seed {} step {} in\n{}",
+                    seed,
+                    step,
+                    src
+                );
+            } else {
+                prop_assert_eq!(
+                    &err_vm,
+                    &err_w,
+                    "errors diverged at seed {} step {} in\n{}",
+                    seed,
+                    step,
+                    src
+                );
+            }
+            prop_assert_eq!(rt_vm.pred_evals, rt_w.pred_evals, "pred_evals diverged");
+            prop_assert_eq!(rt_vm.action_runs, rt_w.action_runs, "action_runs diverged");
+            prop_assert_eq!(
+                rt_vm.signal_value_by_name("x"),
+                rt_w.signal_value_by_name("x"),
+                "value of x diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+            // Whole-frame comparison: every variable slot byte-equal.
+            for ((n1, v1), (n2, v2)) in rt_vm
+                .machine()
+                .root_entries()
+                .zip(rt_w.machine().root_entries())
+            {
+                prop_assert_eq!(n1, n2);
+                prop_assert_eq!(
+                    v1,
+                    v2,
+                    "variable `{}` diverged at seed {} step {} in\n{}",
+                    n1,
+                    seed,
+                    step,
+                    src
+                );
+            }
+            if err_vm.is_none() {
+                // Error-free steps consume identical fuel (burn
+                // parity); after an error the tails legitimately differ
+                // (coalesced burns stop at the error) — resynchronize.
+                prop_assert_eq!(
+                    rt_vm.machine().fuel(),
+                    rt_w.machine().fuel(),
+                    "fuel diverged at seed {} step {} in\n{}",
+                    seed,
+                    step,
+                    src
+                );
+            } else {
+                let sync = rt_vm.machine().fuel().min(rt_w.machine().fuel());
+                rt_vm.machine_mut().set_fuel(sync);
+                rt_w.machine_mut().set_fuel(sync);
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The observer attached to every generated program: an
 /// `always`-style invariant ("outputs fire only under or right after
 /// stimulus") that generated programs *can* genuinely violate, plus a
@@ -443,6 +723,17 @@ proptest! {
     fn table_matches_sgraph(seed in 0u64..10_000) {
         let src = gen_module(seed);
         check_table_vs_sgraph(&src, 3)?;
+    }
+
+    /// The bytecode VM ≡ the tree-walker on generated data-heavy
+    /// programs (ints, bools, if/while, signal reads and projections,
+    /// valued emits, function-call fallbacks, deliberate runtime
+    /// errors): identical emissions, frames, signal values, error
+    /// instants, hook counters and fuel.
+    #[test]
+    fn vm_matches_walker(seed in 0u64..10_000) {
+        let src = gen_data_module(seed);
+        check_vm_vs_walker(&src, 3)?;
     }
 
     /// Both strategies agree with each other on outputs.

@@ -1,0 +1,127 @@
+//! Walker-fallback smoke: `set_use_vm(false)` forces the tree-walking
+//! interpreter on the whole data path, and the run must be
+//! observationally identical to the default bytecode-VM run — emitted
+//! sets per instant, emission counts, monitor verdicts and the
+//! fuel-derived kernel cycle charges. CI runs this as a dedicated
+//! `no-vm` pass so the walker stays exercised and green.
+
+use ecl_observe::{synthesize_all, Monitor};
+use efsm::BitSet;
+use sim::designs::{PROTOCOL_STACK, VOICE_PAGER};
+use sim::runner::{AsyncRunner, Runner};
+use sim::tb::{PacketTb, PagerTb};
+use std::sync::Arc;
+
+fn runner(designs: Vec<ecl_core::Design>) -> AsyncRunner {
+    AsyncRunner::new(
+        designs,
+        &Default::default(),
+        Default::default(),
+        Default::default(),
+    )
+    .expect("runner builds")
+}
+
+fn vm_off_matches_vm_on(src: &str, entry: &str, events: &[sim::tb::InstantEvents]) {
+    let design = ecl_core::Compiler::default()
+        .compile_str(src, entry)
+        .expect("design compiles");
+    let prog = ecl_syntax::parse_str(src).expect("source parses");
+    let specs = synthesize_all(&prog).expect("observers synthesize");
+
+    let mut vm_on = runner(vec![design.clone()]);
+    assert!(vm_on.vm_enabled(), "the VM is the default data backend");
+    let (compiled, total) = vm_on.vm_coverage();
+    assert!(
+        compiled == total && total > 0,
+        "every data hook of `{entry}` should compile to bytecode ({compiled}/{total})"
+    );
+    let mut vm_off = runner(vec![design]);
+    vm_off.set_use_vm(false);
+    assert!(!vm_off.vm_enabled());
+
+    let bind = |r: &AsyncRunner| -> Vec<Monitor> {
+        specs
+            .iter()
+            .map(|s| {
+                let mut m = Monitor::new(Arc::clone(s));
+                m.bind(r.sig_table());
+                m
+            })
+            .collect()
+    };
+    let mut mons_on = bind(&vm_on);
+    let mut mons_off = bind(&vm_off);
+
+    let (mut out_on, mut out_off) = (BitSet::new(), BitSet::new());
+    let mut present = BitSet::new();
+    let mut ev_bits = BitSet::new();
+    for (step, ev) in events.iter().enumerate() {
+        ev_bits.clear();
+        for (name, v) in &ev.valued {
+            let id = vm_on.sig_table().lookup(name).expect("valued input known");
+            vm_on.set_input_i64_id(id, *v).expect("input on vm run");
+            vm_off
+                .set_input_i64_id(id, *v)
+                .expect("input on walker run");
+            ev_bits.insert(id.bit());
+        }
+        for name in ev.pure.iter() {
+            if let Some(id) = vm_on.sig_table().lookup(name) {
+                ev_bits.insert(id.bit());
+            }
+        }
+        vm_on
+            .instant_ids(&ev_bits, &mut out_on)
+            .expect("vm instant");
+        vm_off
+            .instant_ids(&ev_bits, &mut out_off)
+            .expect("walker instant");
+        assert_eq!(out_on, out_off, "emitted sets diverged at instant {step}");
+        present.clear();
+        present.union_with(&ev_bits);
+        present.union_with(&out_on);
+        for (mon_on, mon_off) in mons_on.iter_mut().zip(mons_off.iter_mut()) {
+            mon_on.step_ids(step as u64, &present, vm_on.sig_table());
+            mon_off.step_ids(step as u64, &present, vm_off.sig_table());
+            assert_eq!(
+                mon_on.verdict(),
+                mon_off.verdict(),
+                "observer verdicts diverged at instant {step}"
+            );
+        }
+    }
+    assert_eq!(vm_on.counts(), vm_off.counts(), "emission counts diverged");
+    // Fuel parity: the VM burns exactly the walker's interpreter steps,
+    // so the kernels charged identical data cycles.
+    assert_eq!(
+        vm_on.kernel().task_cycles,
+        vm_off.kernel().task_cycles,
+        "fuel-derived cycle charges diverged"
+    );
+}
+
+#[test]
+fn stack_walker_matches_vm() {
+    let mut ev = PacketTb {
+        packets: 40,
+        corrupt_every: 0,
+        reset_every: 0,
+        seed: 1999,
+    }
+    .events();
+    ev.truncate(2000);
+    vm_off_matches_vm_on(PROTOCOL_STACK, "toplevel", &ev);
+}
+
+#[test]
+fn pager_walker_matches_vm() {
+    let mut ev = PagerTb {
+        rounds: 30,
+        frames: 4,
+        seed: 7,
+    }
+    .events();
+    ev.truncate(2000);
+    vm_off_matches_vm_on(VOICE_PAGER, "pager", &ev);
+}
