@@ -152,6 +152,11 @@ fn monitors_for(specs: &[Arc<MonitorSpec>], r: &AsyncRunner, tabled: bool) -> Ve
 }
 
 fn main() {
+    // Honors `ECL_TELEMETRY=1`: the same interleaved best-of-3
+    // methodology then measures the *instrumented* hot path, which is
+    // how EXPERIMENTS.md quantifies telemetry overhead. The shipped
+    // baseline (and the `--check` gate) is a telemetry-off run.
+    ecl_telemetry::init_from_env();
     let args: Vec<String> = std::env::args().collect();
     let mut out_path = "BENCH_reaction.json".to_string();
     let mut check_path: Option<String> = None;
@@ -249,6 +254,25 @@ fn main() {
             &pager_specs,
         ),
     ];
+    // Static backend coverage per design configuration: how much of
+    // the data path the bytecode VM compiles, and how many control
+    // states the dense tables flatten — recorded so the benchmark
+    // file says what the `tabled`/`vm` configs actually exercised.
+    let coverage: Vec<(String, String)> = configs
+        .iter()
+        .map(|(label, designs, _, _)| {
+            let r = runner(designs.clone());
+            let (vm_compiled, vm_total) = r.vm_coverage();
+            let (tabled_states, states) = r.tabled_states();
+            let pure: u32 = r.machines().map(|m| m.stats().pure_states).sum();
+            (
+                label.replace('/', "_"),
+                format!(
+                    "{{\"vm_compiled\": {vm_compiled}, \"vm_total\": {vm_total}, \"pure_states\": {pure}, \"states\": {states}, \"tabled_states\": {tabled_states}}}"
+                ),
+            )
+        })
+        .collect();
     let mut jobs: Vec<(String, Box<dyn FnMut() -> usize + '_>)> = Vec::new();
     for (label, designs, events, specs) in &configs {
         let d = designs.clone();
@@ -348,6 +372,15 @@ fn main() {
     let _ = writeln!(json, "    \"stack_parts\": {:.2},", stack_parts.ms);
     let _ = writeln!(json, "    \"pager_mono\": {:.2},", pager_mono.ms);
     let _ = writeln!(json, "    \"pager_parts\": {:.2}", pager_parts.ms);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"coverage\": {{");
+    for (i, (key, obj)) in coverage.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{key}\": {obj}{}",
+            if i + 1 < coverage.len() { "," } else { "" }
+        );
+    }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"runs\": [");
     for (i, (label, rate)) in runs.iter().enumerate() {

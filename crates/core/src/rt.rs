@@ -385,6 +385,7 @@ impl DataHooks for Rt {
             };
             vm::run(prog, machine, values, by_name, vm_regs).map(|v| v != 0)
         } else {
+            ecl_telemetry::metrics::VM_WALKER_HOOKS.incr();
             machine
                 .eval(&data.preds[i], &ValuesReader { values, by_name })
                 .map(|v| v.is_truthy())
@@ -422,6 +423,7 @@ impl DataHooks for Rt {
                 self.error = Some(e);
             }
         } else {
+            ecl_telemetry::metrics::VM_WALKER_HOOKS.incr();
             let reader = ValuesReader { values, by_name };
             for s in &data.actions[i] {
                 if let Err(e) = machine.exec(s, &reader) {
@@ -462,6 +464,7 @@ impl DataHooks for Rt {
             }
             return;
         }
+        ecl_telemetry::metrics::VM_WALKER_HOOKS.incr();
         let out = machine.eval(e, &ValuesReader { values, by_name });
         match out {
             Ok(v) => {

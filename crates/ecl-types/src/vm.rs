@@ -371,6 +371,45 @@ pub enum Op {
     },
 }
 
+impl Op {
+    /// Index of this opcode in the telemetry per-opcode counter table
+    /// (`ecl_telemetry::metrics::VM_OPS`), in declaration order. A unit
+    /// test checks the mnemonics against
+    /// `ecl_telemetry::metrics::VM_OP_NAMES` so the two stay in sync.
+    #[inline]
+    pub fn telemetry_index(&self) -> usize {
+        match self {
+            Op::Burn { .. } => 0,
+            Op::Const { .. } => 1,
+            Op::Conv { .. } => 2,
+            Op::AddConst { .. } => 3,
+            Op::AddScaled { .. } => 4,
+            Op::LoadVar { .. } => 5,
+            Op::StoreVar { .. } => 6,
+            Op::LoadVarOff { .. } => 7,
+            Op::StoreVarOff { .. } => 8,
+            Op::LoadVarAt { .. } => 9,
+            Op::StoreVarAt { .. } => 10,
+            Op::LoadSig { .. } => 11,
+            Op::LoadSigOff { .. } => 12,
+            Op::LoadSigAt { .. } => 13,
+            Op::StoreSig { .. } => 14,
+            Op::EmitCopy { .. } => 15,
+            Op::Bin { .. } => 16,
+            Op::Un { .. } => 17,
+            Op::Jmp { .. } => 18,
+            Op::JmpIf { .. } => 19,
+            Op::FallbackStmt { .. } => 20,
+        }
+    }
+
+    /// The opcode's telemetry mnemonic (matches
+    /// `ecl_telemetry::metrics::VM_OP_NAMES`).
+    pub fn mnemonic(&self) -> &'static str {
+        ecl_telemetry::metrics::VM_OP_NAMES[self.telemetry_index()]
+    }
+}
+
 /// A compiled data hook: flat ops, the register-file size, the result
 /// register (predicates/emits), and the cloned statement subtrees
 /// referenced by [`Op::FallbackStmt`].
@@ -445,8 +484,20 @@ pub fn run(
 ) -> Result<i64, EvalError> {
     regs.clear();
     regs.resize(prog.regs as usize, 0);
+    // Hoist the telemetry gate once per program run; per-op counting is
+    // then a predictable branch on a register-held bool.
+    let tel = ecl_telemetry::enabled();
+    if tel {
+        ecl_telemetry::metrics::VM_HOOK_RUNS.raw_add(1);
+    }
     let mut pc = 0usize;
     while pc < prog.ops.len() {
+        if tel {
+            ecl_telemetry::metrics::VM_OPS[prog.ops[pc].telemetry_index()].raw_add(1);
+            if matches!(prog.ops[pc], Op::FallbackStmt { .. }) {
+                ecl_telemetry::metrics::VM_FALLBACK_STMTS.raw_add(1);
+            }
+        }
         match prog.ops[pc] {
             Op::Burn { n, span } => m.burn_n(u64::from(n), span)?,
             Op::Const { dst, v } => regs[dst as usize] = v,
@@ -638,6 +689,119 @@ pub fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn telemetry_indices_cover_every_opcode_in_order() {
+        use ecl_syntax::source::Span;
+        let span = Span::default();
+        let ext = Ext::INT;
+        // One instance of every variant, in declaration order.
+        let ops = [
+            Op::Burn { n: 0, span },
+            Op::Const { dst: 0, v: 0 },
+            Op::Conv {
+                dst: 0,
+                src: 0,
+                ext,
+            },
+            Op::AddConst { dst: 0, k: 0 },
+            Op::AddScaled {
+                off: 0,
+                idx: 0,
+                elem: 1,
+                len: 1,
+                span,
+            },
+            Op::LoadVar {
+                dst: 0,
+                slot: 0,
+                ext,
+            },
+            Op::StoreVar {
+                slot: 0,
+                src: 0,
+                ext,
+            },
+            Op::LoadVarOff {
+                dst: 0,
+                slot: 0,
+                off: 0,
+                ext,
+            },
+            Op::StoreVarOff {
+                slot: 0,
+                off: 0,
+                src: 0,
+                ext,
+            },
+            Op::LoadVarAt {
+                dst: 0,
+                slot: 0,
+                off: 0,
+                ext,
+            },
+            Op::StoreVarAt {
+                slot: 0,
+                off: 0,
+                src: 0,
+                ext,
+            },
+            Op::LoadSig {
+                dst: 0,
+                sig: 0,
+                ext,
+            },
+            Op::LoadSigOff {
+                dst: 0,
+                sig: 0,
+                off: 0,
+                ext,
+            },
+            Op::LoadSigAt {
+                dst: 0,
+                sig: 0,
+                off: 0,
+                ext,
+            },
+            Op::StoreSig {
+                sig: 0,
+                src: 0,
+                ext,
+            },
+            Op::EmitCopy { sig: 0, slot: 0 },
+            Op::Bin {
+                op: BinKind::Add,
+                dst: 0,
+                a: 0,
+                b: 0,
+                ext,
+                span,
+            },
+            Op::Un {
+                op: UnKind::Neg,
+                dst: 0,
+                src: 0,
+                ext,
+            },
+            Op::Jmp { target: 0 },
+            Op::JmpIf {
+                cond: 0,
+                target: 0,
+                when_true: true,
+            },
+            Op::FallbackStmt {
+                stmt: 0,
+                brk: 0,
+                cont: 0,
+                ret: 0,
+            },
+        ];
+        assert_eq!(ops.len(), ecl_telemetry::metrics::VM_OP_NAMES.len());
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(op.telemetry_index(), i, "{op:?}");
+            assert_eq!(op.mnemonic(), ecl_telemetry::metrics::VM_OP_NAMES[i]);
+        }
+    }
 
     #[test]
     fn ext_normalization_matches_c_conversions() {

@@ -23,6 +23,7 @@
 use crate::machine::{Efsm, Signal, StateId, StepOut};
 use crate::sgraph::{self, Node};
 use crate::{BitSet, DataHooks};
+use ecl_telemetry::metrics as tm;
 
 /// Per-state cap on flattened rows. An s-graph with `n` independent
 /// tests can have `2^n` paths; past this bound the state stays on the
@@ -221,10 +222,24 @@ impl CompiledEfsm {
         emitted: &mut Vec<Signal>,
     ) -> StepOut {
         debug_assert_eq!(m.states.len(), self.states.len(), "table/machine mismatch");
+        let tel = ecl_telemetry::enabled();
+        if tel {
+            tm::TABLE_STEPS.raw_add(1);
+        }
         let (lo, hi) = match self.states[state.0 as usize] {
             StateExec::Table { lo, hi } => (lo, hi),
-            StateExec::Always { row } => return self.fire(row as usize, emitted),
-            StateExec::Walk => return m.step_bits(state, inputs, hooks, emitted),
+            StateExec::Always { row } => {
+                if tel {
+                    tm::TABLE_ALWAYS_HITS.raw_add(1);
+                }
+                return self.fire(row as usize, emitted);
+            }
+            StateExec::Walk => {
+                if tel {
+                    tm::TABLE_WALK_FALLBACKS.raw_add(1);
+                }
+                return m.step_bits(state, inputs, hooks, emitted);
+            }
         };
         let (lo, hi) = (lo as usize, hi as usize);
         let w = self.words;
@@ -234,6 +249,9 @@ impl CompiledEfsm {
             let inw = inputs.word(0);
             for (k, pair) in self.masks[lo * 2..hi * 2].chunks_exact(2).enumerate() {
                 if inw & pair[0] == pair[1] {
+                    if tel {
+                        tm::TABLE_ROWS_SCANNED.raw_add(k as u64 + 1);
+                    }
                     return self.fire(lo + k, emitted);
                 }
             }
@@ -245,6 +263,9 @@ impl CompiledEfsm {
                     &self.masks[base + w..base + 2 * w],
                 );
                 if (0..w).all(|k| inputs.word(k) & watch[k] == matched[k]) {
+                    if tel {
+                        tm::TABLE_ROWS_SCANNED.raw_add((ri - lo) as u64 + 1);
+                    }
                     return self.fire(ri, emitted);
                 }
             }

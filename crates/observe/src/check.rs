@@ -94,6 +94,9 @@ pub fn check_async(
             m.step_present(instant, present);
         }
     })?;
+    // Mailbox overwrites matter to observers (lost events can mask or
+    // cause violations) — surface them in the telemetry stream.
+    runner.kernel().emit_events_lost_event();
     Ok(MonitoredRun {
         report: MonitorReport::conclude(monitors),
         trace: runner.take_trace().unwrap_or_default(),

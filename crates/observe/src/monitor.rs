@@ -134,6 +134,7 @@ impl Monitor {
     /// One machine instant over the chosen backend, with
     /// `input_scratch` as the monitor-local present set.
     fn machine_step(&mut self) {
+        ecl_telemetry::metrics::MON_STEPS.incr();
         self.emit_scratch.clear();
         let r = if self.use_table {
             self.spec.table.step_table(
@@ -211,6 +212,7 @@ impl Monitor {
             let (index, describe) = (p.index, p.describe.clone());
             let mut witness: Vec<String> = table.names_of(present).map(str::to_string).collect();
             witness.sort_unstable();
+            self.note_violation(instant, index);
             self.verdict = Verdict::Fail(Violation {
                 instant,
                 property: index,
@@ -222,6 +224,20 @@ impl Monitor {
             }
         }
         None
+    }
+
+    /// Telemetry on a freshly latched violation: bump the counter and
+    /// emit a `verdict` event (slow path — runs at most once per
+    /// monitor per run).
+    fn note_violation(&self, instant: u64, property: usize) {
+        ecl_telemetry::metrics::MON_VIOLATIONS.incr();
+        if let Some(e) = ecl_telemetry::event("verdict") {
+            e.str("monitor", &self.spec.name)
+                .str("verdict", "fail")
+                .u64("instant", instant)
+                .u64("property", property as u64)
+                .emit();
+        }
     }
 
     /// [`Monitor::step_ids`] on a runner's [`Present`] set — the
@@ -249,6 +265,7 @@ impl Monitor {
             let (index, describe) = (p.index, p.describe.clone());
             let mut witness: Vec<String> = present.iter().map(|s| s.as_ref().to_string()).collect();
             witness.sort_unstable();
+            self.note_violation(instant, index);
             self.verdict = Verdict::Fail(Violation {
                 instant,
                 property: index,
@@ -294,13 +311,25 @@ pub struct MonitorReport {
 }
 
 impl MonitorReport {
-    /// Conclude a set of monitors into a report.
+    /// Conclude a set of monitors into a report, emitting one final
+    /// `verdict` telemetry event per monitor.
     pub fn conclude(monitors: Vec<Monitor>) -> MonitorReport {
         MonitorReport {
             verdicts: monitors
                 .into_iter()
                 .map(|mut m| {
                     let v = m.finish();
+                    if let Some(e) = ecl_telemetry::event("verdict") {
+                        let e = e.str("monitor", &m.spec.name).bool("final", true);
+                        match &v {
+                            Verdict::Fail(viol) => e
+                                .str("verdict", "fail")
+                                .u64("instant", viol.instant)
+                                .u64("property", viol.property as u64)
+                                .emit(),
+                            _ => e.str("verdict", "pass").emit(),
+                        }
+                    }
                     (m.spec.name.clone(), v)
                 })
                 .collect(),

@@ -21,6 +21,7 @@
 //! computes: the simulator in the `sim` crate runs compiled EFSMs
 //! inside tasks and owns the id ↔ name mapping.
 
+use ecl_telemetry::metrics as tm;
 use efsm::BitSet;
 
 /// Handle of a registered task.
@@ -139,9 +140,12 @@ impl Kernel {
         for t in watchers {
             self.rtos_cycles += self.params.input_cycles;
             self.deliveries += 1;
+            tm::RTK_DELIVERIES.incr();
+            tm::RTK_RTOS_CYCLES.add(self.params.input_cycles);
             if !self.tasks[t.0].pending.insert(sig as usize) {
                 self.events_lost += 1;
                 self.tasks[t.0].lost += 1;
+                tm::RTK_EVENTS_LOST.incr();
             }
         }
     }
@@ -159,9 +163,12 @@ impl Kernel {
             }
             self.rtos_cycles += self.params.send_cycles;
             self.deliveries += 1;
+            tm::RTK_DELIVERIES.incr();
+            tm::RTK_RTOS_CYCLES.add(self.params.send_cycles);
             if !self.tasks[t.0].pending.insert(sig as usize) {
                 self.events_lost += 1;
                 self.tasks[t.0].lost += 1;
+                tm::RTK_EVENTS_LOST.incr();
             }
         }
     }
@@ -194,6 +201,11 @@ impl Kernel {
         let id = TaskId(best.0);
         self.rtos_cycles += self.params.dispatch_cycles;
         self.dispatches += 1;
+        if ecl_telemetry::enabled() {
+            tm::RTK_DISPATCHES.raw_add(1);
+            tm::RTK_RTOS_CYCLES.raw_add(self.params.dispatch_cycles);
+            tm::RTK_MAILBOX_OCCUPANCY.raw_record(self.tasks[id.0].pending.len() as u64);
+        }
         events.clear();
         events.union_with(&self.tasks[id.0].pending);
         self.tasks[id.0].pending.clear();
@@ -207,6 +219,11 @@ impl Kernel {
     pub fn dispatch_into(&mut self, id: TaskId, events: &mut BitSet) {
         self.rtos_cycles += self.params.dispatch_cycles;
         self.dispatches += 1;
+        if ecl_telemetry::enabled() {
+            tm::RTK_DISPATCHES.raw_add(1);
+            tm::RTK_RTOS_CYCLES.raw_add(self.params.dispatch_cycles);
+            tm::RTK_MAILBOX_OCCUPANCY.raw_record(self.tasks[id.0].pending.len() as u64);
+        }
         events.clear();
         events.union_with(&self.tasks[id.0].pending);
         self.tasks[id.0].pending.clear();
@@ -215,6 +232,28 @@ impl Kernel {
     /// Charge application cycles (the caller measured a reaction).
     pub fn charge_task(&mut self, cycles: u64) {
         self.task_cycles += cycles;
+        tm::RTK_TASK_CYCLES.add(cycles);
+    }
+
+    /// Emit the per-task loss totals as an `events_lost` telemetry
+    /// warning (no-op when nothing was lost or telemetry is off). Run
+    /// harnesses call this once at the end of a simulation so mailbox
+    /// overwrites are visible in the event stream, not just in Table 1.
+    pub fn emit_events_lost_event(&self) {
+        if self.events_lost == 0 {
+            return;
+        }
+        if let Some(e) = ecl_telemetry::event("events_lost") {
+            e.u64("total", self.events_lost)
+                .obj_u64(
+                    "by_task",
+                    self.tasks
+                        .iter()
+                        .filter(|t| t.lost > 0)
+                        .map(|t| (t.name.as_str(), t.lost)),
+                )
+                .emit();
+        }
     }
 
     /// Does `task` watch `sig`?

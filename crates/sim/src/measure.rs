@@ -90,6 +90,9 @@ pub fn measure(
     let rtos = rtos_cost(n_tasks, mailboxes, mailbox_bytes, cost);
     // Dynamic run, on the interned-id fast path.
     runner.run_events(events, |_, _| {})?;
+    // Mailbox overwrites are a semantic warning, not just a Table 1
+    // column — surface them in the event stream too.
+    runner.kernel().emit_events_lost_event();
     Ok(Measurement {
         label: label.to_string(),
         task,

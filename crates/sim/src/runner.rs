@@ -21,6 +21,7 @@ use crate::tb::InstantEvents;
 use crate::trace::{Recorder, Trace};
 use codegen::cost::CostParams;
 use ecl_core::{Design, Rt};
+use ecl_telemetry::metrics as tm;
 use efsm::{BitSet, CompiledEfsm, DataHooks, Efsm, SigId, SigTable, Signal, StateId};
 use esterel::compile::CompileOptions;
 use rtk::{Kernel, KernelParams, TaskId};
@@ -208,6 +209,14 @@ pub trait Runner {
     {
         let mut ev_bits = BitSet::new();
         let mut present = BitSet::new();
+        // Telemetry state, hoisted once per call: the clock is read
+        // only when collection is on, and span bookkeeping is all
+        // locals (no allocation until a span line is rendered).
+        let tel = ecl_telemetry::enabled();
+        let span_every = if tel { ecl_telemetry::span_every() } else { 0 };
+        let mut span_from = self.now();
+        let mut span_t0 = (span_every > 0).then(std::time::Instant::now);
+        let mut in_window = 0u64;
         for ev in events {
             ev_bits.clear();
             for (name, v) in &ev.valued {
@@ -223,9 +232,41 @@ pub trait Runner {
                 }
             }
             let instant = self.now();
-            self.instant_ids(&ev_bits, &mut present)?;
+            let r = if tel {
+                let t0 = std::time::Instant::now();
+                let r = self.instant_ids(&ev_bits, &mut present);
+                tm::SIM_INSTANT_NS.raw_record(t0.elapsed().as_nanos() as u64);
+                tm::SIM_INSTANTS.raw_add(1);
+                r
+            } else {
+                self.instant_ids(&ev_bits, &mut present)
+            };
+            if let Err(e) = r {
+                tm::SIM_ERRORS.add(1);
+                if let Some(ev) = ecl_telemetry::event("error") {
+                    ev.u64("instant", instant).str("msg", &e.msg).emit();
+                }
+                return Err(e);
+            }
             present.union_with(&ev_bits);
             on_instant(instant, Present::new(self.sig_table(), &present));
+            if span_every > 0 {
+                in_window += 1;
+                if in_window >= span_every {
+                    let window_ns = span_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    if let Some(e) = ecl_telemetry::event("span") {
+                        e.u64("from", span_from)
+                            .u64("to", instant + 1)
+                            .u64("window_ns", window_ns)
+                            .u64("p50_ns", tm::SIM_INSTANT_NS.quantile(0.5))
+                            .u64("p99_ns", tm::SIM_INSTANT_NS.quantile(0.99))
+                            .emit();
+                    }
+                    span_from = instant + 1;
+                    span_t0 = Some(std::time::Instant::now());
+                    in_window = 0;
+                }
+            }
         }
         Ok(())
     }

@@ -22,6 +22,7 @@
 //! last `N` instants are retained and [`Trace::dropped`] counts the
 //! evicted ones. Capacity 0 means unbounded.
 
+use ecl_telemetry::metrics as tm;
 use efsm::{BitSet, SigId, SigTable};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
@@ -159,7 +160,12 @@ impl Trace {
                 while self.records.len() > self.capacity {
                     self.records.pop_front();
                     self.dropped += 1;
+                    tm::SIM_TRACE_DROPPED.incr();
                 }
+            }
+            if ecl_telemetry::enabled() {
+                tm::SIM_TRACE_INSTANTS.raw_add(1);
+                tm::SIM_TRACE_OCCUPANCY.raw_record(self.records.len() as u64);
             }
         }
     }

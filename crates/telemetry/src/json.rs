@@ -1,0 +1,149 @@
+//! Minimal JSON rendering: an append-only object builder with correct
+//! string escaping. The container has no serde; every emitted telemetry
+//! line goes through this builder so escaping lives in exactly one
+//! place.
+
+use std::fmt::Write as _;
+
+/// Append `s` as a JSON string literal (quotes included) to `out`.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An in-progress JSON object: `{"k":v` pairs appended in call order,
+/// closed by [`ObjBuilder::finish`].
+#[derive(Debug, Default)]
+pub struct ObjBuilder {
+    buf: String,
+    has_fields: bool,
+}
+
+impl ObjBuilder {
+    /// Start an empty object.
+    pub fn new() -> ObjBuilder {
+        ObjBuilder {
+            buf: String::from("{"),
+            has_fields: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.has_fields {
+            self.buf.push(',');
+        }
+        self.has_fields = true;
+        push_str_escaped(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Append an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Append a signed integer field.
+    pub fn i64(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Append a float field (non-finite values render as null).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v:.3}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Append a string field (escaped).
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        push_str_escaped(&mut self.buf, v);
+        self
+    }
+
+    /// Append a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Append a nested object of `(name, u64)` pairs (per-task
+    /// breakdowns and similar small maps).
+    pub fn obj_u64<'a>(
+        &mut self,
+        k: &str,
+        pairs: impl IntoIterator<Item = (&'a str, u64)>,
+    ) -> &mut Self {
+        self.key(k);
+        self.buf.push('{');
+        let mut first = true;
+        for (name, v) in pairs {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            push_str_escaped(&mut self.buf, name);
+            let _ = write!(self.buf, ":{v}");
+        }
+        self.buf.push('}');
+        self
+    }
+
+    /// Close the object and return the rendered line.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut s = String::new();
+        push_str_escaped(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn builder_renders_an_object() {
+        let mut b = ObjBuilder::new();
+        b.str("event", "x")
+            .u64("n", 7)
+            .i64("d", -2)
+            .f64("r", 0.5)
+            .bool("ok", true)
+            .obj_u64("tasks", [("a", 1u64), ("b", 2)]);
+        let line = b.finish();
+        assert_eq!(
+            line,
+            r#"{"event":"x","n":7,"d":-2,"r":0.500,"ok":true,"tasks":{"a":1,"b":2}}"#
+        );
+        // And it parses back through our own reader.
+        crate::schema::parse(&line).unwrap();
+    }
+}

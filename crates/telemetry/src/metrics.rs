@@ -1,0 +1,248 @@
+//! The well-known metric registry: every instrumented subsystem bumps
+//! a static handle defined here, and profiling harnesses snapshot the
+//! whole set by enumeration.
+//!
+//! Handles live in this crate (not in the crates that bump them) so
+//! the registry is closed and enumerable without link-time tricks:
+//! [`counters`] and [`histograms`] return every handle, and
+//! [`Snapshot`] captures/diffs them for per-config profiling
+//! (`gen_profile` resets between configs to attribute counts to one
+//! design).
+
+use crate::{Counter, Histogram};
+
+// ---- rtk: the POLIS-style kernel ----------------------------------------
+
+/// Task dispatches (scheduler picks + periodic ticks).
+pub static RTK_DISPATCHES: Counter = Counter::new("rtk.dispatches");
+/// Events delivered into task mailboxes (external + internal).
+pub static RTK_DELIVERIES: Counter = Counter::new("rtk.deliveries");
+/// Events overwritten in a 1-place mailbox before consumption.
+pub static RTK_EVENTS_LOST: Counter = Counter::new("rtk.events_lost");
+/// Cycles charged to application reactions.
+pub static RTK_TASK_CYCLES: Counter = Counter::new("rtk.task_cycles");
+/// Cycles charged to kernel services.
+pub static RTK_RTOS_CYCLES: Counter = Counter::new("rtk.rtos_cycles");
+/// Mailbox occupancy (pending events) observed at each dispatch.
+pub static RTK_MAILBOX_OCCUPANCY: Histogram = Histogram::new("rtk.mailbox_occupancy");
+
+// ---- sim: the runners ---------------------------------------------------
+
+/// Environment instants driven through `run_events`.
+pub static SIM_INSTANTS: Counter = Counter::new("sim.instants");
+/// Reaction failures surfaced by `run_events`.
+pub static SIM_ERRORS: Counter = Counter::new("sim.errors");
+/// Wall time of one environment instant, nanoseconds.
+pub static SIM_INSTANT_NS: Histogram = Histogram::new("sim.instant_ns");
+/// Instants recorded into a trace ring.
+pub static SIM_TRACE_INSTANTS: Counter = Counter::new("sim.trace_instants");
+/// Instants evicted from a trace ring (recorded then dropped).
+pub static SIM_TRACE_DROPPED: Counter = Counter::new("sim.trace_dropped");
+/// Trace-ring occupancy (retained instants) sampled per recorded
+/// instant.
+pub static SIM_TRACE_OCCUPANCY: Histogram = Histogram::new("sim.trace_occupancy");
+
+// ---- efsm: the compiled-table control engine ----------------------------
+
+/// Reactions stepped through `CompiledEfsm::step_table`.
+pub static TABLE_STEPS: Counter = Counter::new("table.steps");
+/// Rows compared until the hit, summed over all table-scanned steps
+/// (rows-per-hit = this / table-scanned steps).
+pub static TABLE_ROWS_SCANNED: Counter = Counter::new("table.rows_scanned");
+/// Steps answered by the single-row `Always` fast path.
+pub static TABLE_ALWAYS_HITS: Counter = Counter::new("table.always_hits");
+/// Steps that fell back to the s-graph walker (mixed states, row-cap
+/// blowouts).
+pub static TABLE_WALK_FALLBACKS: Counter = Counter::new("table.walk_fallbacks");
+
+// ---- ecl-types: the data-path bytecode VM -------------------------------
+
+/// Compiled-program runs (one per predicate/action/valued-emit hook).
+pub static VM_HOOK_RUNS: Counter = Counter::new("vm.hook_runs");
+/// `FallbackStmt` executions (statement subtrees the walker ran
+/// inside a compiled program).
+pub static VM_FALLBACK_STMTS: Counter = Counter::new("vm.fallback_stmts");
+/// Hook dispatches that bypassed the VM entirely (walker-compiled
+/// hook or `set_use_vm(false)`).
+pub static VM_WALKER_HOOKS: Counter = Counter::new("vm.walker_hooks");
+
+/// Opcode mnemonics, in the VM's `Op` declaration order.
+/// `ecl_types::vm::Op::telemetry_index` indexes [`VM_OPS`] with this
+/// ordering; a unit test over there keeps the two in sync.
+pub const VM_OP_NAMES: [&str; 21] = [
+    "burn",
+    "const",
+    "conv",
+    "add_const",
+    "add_scaled",
+    "load_var",
+    "store_var",
+    "load_var_off",
+    "store_var_off",
+    "load_var_at",
+    "store_var_at",
+    "load_sig",
+    "load_sig_off",
+    "load_sig_at",
+    "store_sig",
+    "emit_copy",
+    "bin",
+    "un",
+    "jmp",
+    "jmp_if",
+    "fallback_stmt",
+];
+
+/// Per-opcode execution counters, indexed by
+/// `Op::telemetry_index` (same order as [`VM_OP_NAMES`]).
+pub static VM_OPS: [Counter; 21] = [
+    Counter::new("vm.op.burn"),
+    Counter::new("vm.op.const"),
+    Counter::new("vm.op.conv"),
+    Counter::new("vm.op.add_const"),
+    Counter::new("vm.op.add_scaled"),
+    Counter::new("vm.op.load_var"),
+    Counter::new("vm.op.store_var"),
+    Counter::new("vm.op.load_var_off"),
+    Counter::new("vm.op.store_var_off"),
+    Counter::new("vm.op.load_var_at"),
+    Counter::new("vm.op.store_var_at"),
+    Counter::new("vm.op.load_sig"),
+    Counter::new("vm.op.load_sig_off"),
+    Counter::new("vm.op.load_sig_at"),
+    Counter::new("vm.op.store_sig"),
+    Counter::new("vm.op.emit_copy"),
+    Counter::new("vm.op.bin"),
+    Counter::new("vm.op.un"),
+    Counter::new("vm.op.jmp"),
+    Counter::new("vm.op.jmp_if"),
+    Counter::new("vm.op.fallback_stmt"),
+];
+
+// ---- ecl-observe: monitors ----------------------------------------------
+
+/// Monitor instants stepped (per monitor per environment instant).
+pub static MON_STEPS: Counter = Counter::new("mon.steps");
+/// Violations latched (first failure per monitor).
+pub static MON_VIOLATIONS: Counter = Counter::new("mon.violations");
+
+/// Every registered counter.
+pub fn counters() -> Vec<&'static Counter> {
+    let mut all: Vec<&'static Counter> = vec![
+        &RTK_DISPATCHES,
+        &RTK_DELIVERIES,
+        &RTK_EVENTS_LOST,
+        &RTK_TASK_CYCLES,
+        &RTK_RTOS_CYCLES,
+        &SIM_INSTANTS,
+        &SIM_ERRORS,
+        &SIM_TRACE_INSTANTS,
+        &SIM_TRACE_DROPPED,
+        &TABLE_STEPS,
+        &TABLE_ROWS_SCANNED,
+        &TABLE_ALWAYS_HITS,
+        &TABLE_WALK_FALLBACKS,
+        &VM_HOOK_RUNS,
+        &VM_FALLBACK_STMTS,
+        &VM_WALKER_HOOKS,
+        &MON_STEPS,
+        &MON_VIOLATIONS,
+    ];
+    all.extend(VM_OPS.iter());
+    all
+}
+
+/// Every registered histogram.
+pub fn histograms() -> Vec<&'static Histogram> {
+    vec![
+        &RTK_MAILBOX_OCCUPANCY,
+        &SIM_INSTANT_NS,
+        &SIM_TRACE_OCCUPANCY,
+    ]
+}
+
+/// Zero the whole registry (profiling harnesses call this between
+/// configs so counts attribute to exactly one run).
+pub fn reset_all() {
+    for c in counters() {
+        c.reset();
+    }
+    for h in histograms() {
+        h.reset();
+    }
+}
+
+/// A point-in-time capture of every counter (histograms are read live
+/// via their handles; only counters need delta arithmetic).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// Capture every counter.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        counters: counters().iter().map(|c| (c.name(), c.get())).collect(),
+    }
+}
+
+impl Snapshot {
+    /// Value of a named counter (0 when unknown).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Per-counter difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (*n, v.saturating_sub(earlier.get(n))))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<&str> = counters().iter().map(|c| c.name()).collect();
+        names.extend(histograms().iter().map(|h| h.name()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(n, names.len(), "duplicate metric name in registry");
+    }
+
+    #[test]
+    fn vm_op_counters_follow_the_name_table() {
+        for (i, name) in VM_OP_NAMES.iter().enumerate() {
+            assert_eq!(VM_OPS[i].name(), format!("vm.op.{name}"));
+        }
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_a_window() {
+        let _g = crate::tests::locked();
+        crate::set_enabled(true);
+        reset_all();
+        RTK_DISPATCHES.add(3);
+        let base = snapshot();
+        RTK_DISPATCHES.add(4);
+        SIM_INSTANTS.add(2);
+        let delta = snapshot().since(&base);
+        assert_eq!(delta.get("rtk.dispatches"), 4);
+        assert_eq!(delta.get("sim.instants"), 2);
+        assert_eq!(delta.get("vm.hook_runs"), 0);
+        crate::set_enabled(false);
+        reset_all();
+    }
+}

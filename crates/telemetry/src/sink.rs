@@ -1,0 +1,161 @@
+//! Pluggable event sinks: where rendered JSONL lines go.
+//!
+//! The installed sink is process-global (one telemetry stream per
+//! process matches the one-kernel-per-process execution model). Hot
+//! paths never touch the sink mutex: [`has_sink`] is a relaxed load of
+//! an [`AtomicBool`] mirror, and the mutex is taken only when a line
+//! is actually emitted.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A destination for rendered JSONL event lines.
+pub trait Sink: Send {
+    /// Deliver one rendered JSON object (no trailing newline).
+    fn write_line(&mut self, line: &str);
+    /// Flush any buffering (called on uninstall and run end).
+    fn flush(&mut self) {}
+}
+
+static SINK: Mutex<Option<Box<dyn Sink>>> = Mutex::new(None);
+static HAS_SINK: AtomicBool = AtomicBool::new(false);
+
+/// Install a sink, replacing (and flushing) any previous one.
+pub fn install_sink(sink: Box<dyn Sink>) {
+    let mut slot = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(old) = slot.as_mut() {
+        old.flush();
+    }
+    *slot = Some(sink);
+    HAS_SINK.store(true, Ordering::Relaxed);
+}
+
+/// Remove the installed sink (flushed first), if any.
+pub fn uninstall_sink() {
+    let mut slot = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(old) = slot.as_mut() {
+        old.flush();
+    }
+    *slot = None;
+    HAS_SINK.store(false, Ordering::Relaxed);
+}
+
+/// Is a sink installed? One relaxed load — safe on the hot path.
+#[inline(always)]
+pub fn has_sink() -> bool {
+    HAS_SINK.load(Ordering::Relaxed)
+}
+
+/// Deliver a rendered line to the installed sink (drops it if the
+/// sink was uninstalled since the caller checked).
+pub(crate) fn emit_line(line: &str) {
+    let mut slot = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(sink) = slot.as_mut() {
+        sink.write_line(line);
+    }
+}
+
+/// Flush the installed sink, if any.
+pub fn flush() {
+    let mut slot = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(sink) = slot.as_mut() {
+        sink.flush();
+    }
+}
+
+/// A sink that collects lines in memory — for tests and for harnesses
+/// that post-process the stream.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// An empty sink. Clone it before installing to keep a reading
+    /// handle (both clones share the buffer).
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// All lines captured so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn write_line(&mut self, line: &str) {
+        self.lines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(line.to_string());
+    }
+}
+
+/// A sink that writes one line per event to any [`Write`]r (file,
+/// stderr). Buffered; flushed on run end and uninstall.
+pub struct WriterSink {
+    out: Box<dyn Write + Send>,
+}
+
+impl WriterSink {
+    /// Wrap a writer (buffered internally).
+    pub fn new(w: impl Write + Send + 'static) -> WriterSink {
+        WriterSink {
+            out: Box::new(std::io::BufWriter::new(w)),
+        }
+    }
+
+    /// A sink writing to stderr.
+    pub fn stderr() -> WriterSink {
+        WriterSink::new(std::io::stderr())
+    }
+}
+
+impl Sink for WriterSink {
+    fn write_line(&mut self, line: &str) {
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_round_trips_lines() {
+        let _g = crate::tests::locked();
+        let mem = MemorySink::new();
+        install_sink(Box::new(mem.clone()));
+        assert!(has_sink());
+        emit_line(r#"{"event":"x"}"#);
+        uninstall_sink();
+        assert!(!has_sink());
+        assert_eq!(mem.lines(), vec![r#"{"event":"x"}"#.to_string()]);
+    }
+
+    #[test]
+    fn writer_sink_writes_newline_terminated_lines() {
+        let _g = crate::tests::locked();
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = WriterSink::new(Shared(buf.clone()));
+        w.write_line("{}");
+        w.flush();
+        assert_eq!(&*buf.lock().unwrap(), b"{}\n");
+    }
+}

@@ -7,13 +7,37 @@
 //! implementation. Finishes with the head of the recorded VCD trace.
 //!
 //! Run with: `cargo run --example monitored_run`
+//!
+//! With `ECL_TELEMETRY=1` (plus `ECL_TELEMETRY_OUT=<path|->` and
+//! optionally `ECL_TELEMETRY_SPAN=<n>`), every run is bracketed by a
+//! telemetry [`Run`] and the example doubles as a JSONL emitter — the
+//! CI smoke job validates that stream with `check_telemetry`.
 
 use ecl_core::{Compiler, Workspace};
-use ecl_observe::{check_async, check_interp, WorkspaceObserveExt};
+use ecl_observe::{check_async, check_interp, MonitoredRun, WorkspaceObserveExt};
+use ecl_syntax::diag::EclError;
+use ecl_telemetry::Run;
 use sim::designs::PROTOCOL_STACK;
 use sim::tb::PacketTb;
 
+/// Bracket one monitored run with a telemetry `Run` (a no-op when the
+/// stream is off), so run_start/run_end lines correlate the spans and
+/// verdicts in between.
+fn bracketed(
+    config: &str,
+    instants: usize,
+    f: impl FnOnce() -> Result<MonitoredRun, EclError>,
+) -> MonitoredRun {
+    let run = Run::start("protocol_stack", config);
+    let r = f().expect("monitored run succeeds");
+    run.end(instants as u64);
+    r
+}
+
 fn main() {
+    // Telemetry is opt-in from the environment; when on, the whole
+    // example emits one schema-versioned JSON object per line.
+    ecl_telemetry::init_from_env();
     // The Monitored stage through the batch driver: design machine
     // compiled and cached, observers synthesized alongside.
     let mut ws = Workspace::new();
@@ -59,15 +83,23 @@ fn main() {
         .expect("stack partitions");
 
     println!("\nclean run (3 packets):");
-    let r = check_interp(&mono, &clean, monitored.specs(), 0).expect("interp run");
+    let r = bracketed("example/interp-clean", clean.len(), || {
+        check_interp(&mono, &clean, monitored.specs(), 0)
+    });
     println!(" interpreter:\n{}", r.report);
-    let r = check_async(parts.clone(), &clean, monitored.specs(), 0).expect("async run");
+    let r = bracketed("example/async-clean", clean.len(), || {
+        check_async(parts.clone(), &clean, monitored.specs(), 0)
+    });
     println!(" 3 RTOS tasks:\n{}", r.report);
 
     println!("corrupted run (CRC byte of packet #2 flipped):");
-    let interp_run = check_interp(&mono, &corrupted, monitored.specs(), 200).expect("interp run");
+    let interp_run = bracketed("example/interp-corrupted", corrupted.len(), || {
+        check_interp(&mono, &corrupted, monitored.specs(), 200)
+    });
     println!(" interpreter:\n{}", interp_run.report);
-    let r = check_async(parts, &corrupted, monitored.specs(), 0).expect("async run");
+    let r = bracketed("example/async-corrupted", corrupted.len(), || {
+        check_async(parts, &corrupted, monitored.specs(), 0)
+    });
     println!(" 3 RTOS tasks:\n{}", r.report);
 
     // The recorder kept the last 200 instants; dump the window head.

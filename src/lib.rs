@@ -65,6 +65,7 @@ pub use codegen;
 pub use ecl_core;
 pub use ecl_observe;
 pub use ecl_syntax;
+pub use ecl_telemetry;
 pub use ecl_types;
 pub use efsm;
 pub use esterel;

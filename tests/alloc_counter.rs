@@ -13,6 +13,15 @@
 //!   programs compile once at construction, then predicates, actions
 //!   and valued emits run register-to-slot with zero heap traffic —
 //!   unlike the tree-walker, which clones a `Value` per signal read.
+//! * the same relay with telemetry *enabled* pins the instrumentation
+//!   down: counters and histograms are preallocated atomics, so the
+//!   steady state stays at zero allocations — heap traffic happens
+//!   only when a span line renders into the sink, which the test
+//!   keeps out of the measured window (`set_span_every(0)`).
+//!
+//! The telemetry master switch is process-global, so the tests
+//! serialize on a mutex and each pins the switch to the state it
+//! measures.
 
 use codegen::cost::CostParams;
 use ecl_core::Compiler;
@@ -21,6 +30,15 @@ use rtk::KernelParams;
 use sim::runner::{AsyncRunner, Runner};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes the tests (they toggle the process-global telemetry
+/// switch); a panicking holder must not wedge the others.
+static TELEMETRY_STATE: Mutex<()> = Mutex::new(());
+
+fn locked() -> MutexGuard<'static, ()> {
+    TELEMETRY_STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 struct CountingAlloc;
 
@@ -71,6 +89,8 @@ const RELAY: &str = "
 
 #[test]
 fn instant_ids_is_allocation_free_in_steady_state() {
+    let _g = locked();
+    ecl_telemetry::set_enabled(false);
     let design = Compiler::default().compile_str(RELAY, "top").unwrap();
     let mut runner = AsyncRunner::new(
         vec![design],
@@ -115,6 +135,8 @@ fn vm_data_path_is_allocation_free_in_steady_state() {
     use sim::tb::PacketTb;
     use std::sync::Arc;
 
+    let _g = locked();
+    ecl_telemetry::set_enabled(false);
     let design = Compiler::default()
         .compile_str(PROTOCOL_STACK, "toplevel")
         .unwrap();
@@ -179,4 +201,60 @@ fn vm_data_path_is_allocation_free_in_steady_state() {
         after - before
     );
     assert!(runner.count_of("top::packet") > 0, "packets were assembled");
+}
+
+#[test]
+fn telemetry_enabled_steady_state_is_allocation_free() {
+    let _g = locked();
+    // Full instrumentation: master switch on, a sink installed —
+    // but span summaries off, so nothing renders a line inside the
+    // measured window. Counters and histograms are static atomics;
+    // bumping them must not touch the heap.
+    ecl_telemetry::set_enabled(true);
+    ecl_telemetry::set_span_every(0);
+    let sink = ecl_telemetry::MemorySink::new();
+    ecl_telemetry::install_sink(Box::new(sink.clone()));
+    ecl_telemetry::metrics::reset_all();
+
+    let design = Compiler::default().compile_str(RELAY, "top").unwrap();
+    let mut runner = AsyncRunner::new(
+        vec![design],
+        &Default::default(),
+        CostParams::default(),
+        KernelParams::default(),
+    )
+    .unwrap();
+    let i = runner.sig_table().lookup("i").unwrap();
+    let on: BitSet = [i.bit()].into_iter().collect();
+    let off = BitSet::new();
+    let mut out = BitSet::new();
+    for k in 0..100u32 {
+        let ev = if k % 3 == 0 { &off } else { &on };
+        runner.instant_ids(ev, &mut out).unwrap();
+    }
+    let before = my_allocs();
+    for k in 0..1000u32 {
+        let ev = if k % 3 == 0 { &off } else { &on };
+        runner.instant_ids(ev, &mut out).unwrap();
+    }
+    let after = my_allocs();
+
+    // Restore the global default before asserting, so a failure here
+    // cannot leak an enabled switch into an unrelated test.
+    ecl_telemetry::uninstall_sink();
+    ecl_telemetry::set_enabled(false);
+    ecl_telemetry::set_span_every(1024);
+
+    assert_eq!(
+        after - before,
+        0,
+        "enabled telemetry allocated {} times over 1000 steady-state instants",
+        after - before
+    );
+    // The instrumentation really ran: the kernel counted dispatches.
+    assert!(
+        ecl_telemetry::metrics::RTK_DISPATCHES.get() >= 1000,
+        "dispatch counter did not advance"
+    );
+    assert!(runner.count_of("o") > 0, "relay never fired");
 }
