@@ -87,7 +87,6 @@ fn profile_one(
         }
     })
     .expect("run succeeds");
-    r.kernel().emit_events_lost_event();
     let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
     run.end(events.len() as u64);
     Profile {

@@ -62,6 +62,18 @@ struct DataProgs {
     root_len: usize,
 }
 
+/// Degradation latches, one per compiled hook: once a VM program is
+/// demoted (by an injected fault) it walks for the rest of the
+/// runtime's life. Demotion is semantics-preserving — the walker
+/// computes the identical result — so a latched hook only changes
+/// which backend runs, never what it produces.
+#[derive(Debug, Clone, Default)]
+struct Demoted {
+    preds: Vec<bool>,
+    actions: Vec<bool>,
+    emits: Vec<bool>,
+}
+
 /// The data-side runtime for one design instance.
 #[derive(Debug, Clone)]
 pub struct Rt {
@@ -78,6 +90,8 @@ pub struct Rt {
     error: Option<ecl_types::EvalError>,
     /// Bytecode programs compiled from the data table at construction.
     progs: DataProgs,
+    /// Per-hook walker-demotion latches (fault-injection recovery).
+    demoted: Demoted,
     /// Register-file scratch reused across hook runs (no steady-state
     /// allocation).
     vm_regs: Vec<i64>,
@@ -179,6 +193,11 @@ impl Rt {
                 .collect(),
             root_len: machine.root_len(),
         };
+        let demoted = Demoted {
+            preds: vec![false; progs.preds.len()],
+            actions: vec![false; progs.actions.len()],
+            emits: vec![false; progs.emits.len()],
+        };
         Ok(Rt {
             machine,
             data: data.clone(),
@@ -187,6 +206,7 @@ impl Rt {
             by_name,
             error: None,
             progs,
+            demoted,
             vm_regs: Vec::new(),
             use_vm: true,
             action_runs: 0,
@@ -215,6 +235,20 @@ impl Rt {
     /// Is the bytecode VM active?
     pub fn vm_enabled(&self) -> bool {
         self.use_vm
+    }
+
+    /// How many compiled hooks have been demoted to the walker by the
+    /// fault-injection degradation ladder (0 without a plan).
+    pub fn demoted_hooks(&self) -> u32 {
+        [
+            &self.demoted.preds,
+            &self.demoted.actions,
+            &self.demoted.emits,
+        ]
+        .iter()
+        .flat_map(|v| v.iter())
+        .filter(|d| **d)
+        .count() as u32
     }
 
     /// `(vm-compiled hooks, total hooks)` — how much of the design's
@@ -307,6 +341,10 @@ impl Rt {
     ///
     /// Unknown index or pure signal.
     pub fn set_input_i64_idx(&mut self, idx: usize, v: i64) -> Result<(), RtError> {
+        // Fault site: a corrupted sensor/bus flips bits in the value
+        // before the type system ever sees it (stream site — the
+        // testbench drives this identically on every backend).
+        let v = ecl_faults::corrupt_i64(idx, v).unwrap_or(v);
         let Some(ty) = self.sig_types.get(idx).copied().flatten() else {
             return Err(RtError {
                 msg: format!("signal #{idx} is pure or unknown"),
@@ -365,7 +403,16 @@ impl DataHooks for Rt {
         }
         self.pred_evals += 1;
         let i = pred.0 as usize;
-        let vm_path = self.progs_valid() && self.progs.preds[i].is_vm();
+        let mut vm_path = self.progs_valid() && self.progs.preds[i].is_vm();
+        if vm_path && (self.demoted.preds[i] || ecl_faults::enabled()) {
+            if self.demoted.preds[i] {
+                vm_path = false;
+            } else if ecl_faults::vm_fault(ecl_faults::VM_PRED, pred.0) {
+                self.demoted.preds[i] = true;
+                ecl_faults::note_degraded("vm", "pred", u64::from(pred.0));
+                vm_path = false;
+            }
+        }
         // One execution entry point: disjoint-field borrows split the
         // machine (mutable) from the value store and data table (the
         // shared `ValuesReader` view serves the walker and the VM's
@@ -405,7 +452,16 @@ impl DataHooks for Rt {
         }
         self.action_runs += 1;
         let i = action.0 as usize;
-        let vm_path = self.progs_valid() && self.progs.actions[i].is_vm();
+        let mut vm_path = self.progs_valid() && self.progs.actions[i].is_vm();
+        if vm_path && (self.demoted.actions[i] || ecl_faults::enabled()) {
+            if self.demoted.actions[i] {
+                vm_path = false;
+            } else if ecl_faults::vm_fault(ecl_faults::VM_ACTION, action.0) {
+                self.demoted.actions[i] = true;
+                ecl_faults::note_degraded("vm", "action", u64::from(action.0));
+                vm_path = false;
+            }
+        }
         let Rt {
             machine,
             values,
@@ -440,7 +496,16 @@ impl DataHooks for Rt {
         }
         let i = expr.0 as usize;
         let si = sig.0 as usize;
-        let vm_path = self.progs_valid() && self.progs.emits[i].is_vm();
+        let mut vm_path = self.progs_valid() && self.progs.emits[i].is_vm();
+        if vm_path && (self.demoted.emits[i] || ecl_faults::enabled()) {
+            if self.demoted.emits[i] {
+                vm_path = false;
+            } else if ecl_faults::vm_fault(ecl_faults::VM_EMIT, expr.0) {
+                self.demoted.emits[i] = true;
+                ecl_faults::note_degraded("vm", "emit", u64::from(expr.0));
+                vm_path = false;
+            }
+        }
         let Rt {
             machine,
             values,

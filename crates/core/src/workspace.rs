@@ -383,14 +383,21 @@ impl Workspace {
     }
 
     /// Fan `jobs` across scoped threads; `f` must be safe for
-    /// concurrent calls (all query methods are).
+    /// concurrent calls (all query methods are). Each job runs under
+    /// `catch_unwind`: a panicking job yields an [`EclError`] for its
+    /// slot (and a telemetry `error` event) instead of tearing down the
+    /// whole batch — sibling jobs complete normally.
     fn run_jobs<T, F>(&self, jobs: &[(&str, &str)], f: F) -> Vec<Result<T, EclError>>
     where
         T: Send,
         F: Fn(&str, &str) -> Result<T, EclError> + Sync,
     {
+        let guarded = |name: &str, entry: &str| -> Result<T, EclError> {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(name, entry)))
+                .unwrap_or_else(|p| Err(job_panic_error(name, entry, p.as_ref())))
+        };
         if jobs.len() <= 1 {
-            return jobs.iter().map(|(n, e)| f(n, e)).collect();
+            return jobs.iter().map(|(n, e)| guarded(n, e)).collect();
         }
         let workers = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -406,7 +413,7 @@ impl Workspace {
                     let Some((name, entry)) = jobs.get(i) else {
                         break;
                     };
-                    let result = f(name, entry);
+                    let result = guarded(name, entry);
                     *slots[i].lock().expect("slot lock") = Some(result);
                 });
             }
@@ -420,6 +427,27 @@ impl Workspace {
             })
             .collect()
     }
+}
+
+/// Convert a caught job panic into an [`EclError`] (and a telemetry
+/// `error` event), keeping the payload message when it is a string.
+fn job_panic_error(name: &str, entry: &str, payload: &(dyn Any + Send)) -> EclError {
+    let what = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload");
+    if let Some(e) = ecl_telemetry::event("error") {
+        e.str("kind", "panic")
+            .str("job", name)
+            .str("msg", what)
+            .emit();
+    }
+    EclError::msg(
+        Stage::Runtime,
+        format!("job `{name}:{entry}` panicked: {what}"),
+        Span::dummy(),
+    )
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use codegen::cost::CostParams;
 use ecl_core::Design;
 use ecl_syntax::diag::EclError;
 use rtk::KernelParams;
-use sim::runner::{AsyncRunner, InterpRunner, Runner};
+use sim::runner::{AsyncRunner, InterpRunner, Runner, SimError, WatchdogBudget};
 use sim::tb::InstantEvents;
 use sim::trace::Trace;
 use std::sync::Arc;
@@ -42,6 +42,30 @@ fn instances(specs: &[Arc<MonitorSpec>], table: &efsm::SigTable) -> Vec<Monitor>
         .collect()
 }
 
+/// Conclude a monitored run whose simulation loop returned `result`:
+/// a clean run concludes normally; a run cut short by an
+/// *inconclusive* error kind (watchdog trip, livelock budget) yields
+/// `Inconclusive` verdicts rather than an `Err` — the run is a valid,
+/// reportable outcome, just not a conclusive one. Hard errors
+/// propagate.
+fn conclude_run<R: Runner>(
+    mut runner: R,
+    monitors: Vec<Monitor>,
+    result: Result<(), SimError>,
+) -> Result<MonitoredRun, EclError> {
+    let report = match result {
+        Ok(()) => MonitorReport::conclude(monitors),
+        Err(e) if e.kind.is_inconclusive() => {
+            MonitorReport::conclude_inconclusive(monitors, runner.now(), &e.msg)
+        }
+        Err(e) => return Err(e.into()),
+    };
+    Ok(MonitoredRun {
+        report,
+        trace: runner.take_trace().unwrap_or_default(),
+    })
+}
+
 /// Run `events` through the constructive interpreter with `specs`
 /// attached as online monitors.
 ///
@@ -54,18 +78,34 @@ pub fn check_interp(
     specs: &[Arc<MonitorSpec>],
     trace_capacity: usize,
 ) -> Result<MonitoredRun, EclError> {
+    check_interp_with(design, events, specs, trace_capacity, None)
+}
+
+/// [`check_interp`] with per-instant watchdog budgets. A watchdog trip
+/// (or livelock budget) does not abort the check: monitors that were
+/// still running conclude [`crate::Verdict::Inconclusive`] and the
+/// partial trace is returned.
+///
+/// # Errors
+///
+/// Propagates non-recoverable simulation failures as [`EclError`].
+pub fn check_interp_with(
+    design: &Design,
+    events: &[InstantEvents],
+    specs: &[Arc<MonitorSpec>],
+    trace_capacity: usize,
+    watchdog: Option<WatchdogBudget>,
+) -> Result<MonitoredRun, EclError> {
     let mut runner = InterpRunner::new(design)?;
+    runner.set_watchdog(watchdog);
     runner.enable_trace(trace_capacity);
     let mut monitors = instances(specs, runner.sig_table());
-    runner.run_events(events, |instant, present| {
+    let r = runner.run_events(events, |instant, present| {
         for m in &mut monitors {
             m.step_present(instant, present);
         }
-    })?;
-    Ok(MonitoredRun {
-        report: MonitorReport::conclude(monitors),
-        trace: runner.take_trace().unwrap_or_default(),
-    })
+    });
+    conclude_run(runner, monitors, r)
 }
 
 /// Run `events` through the RTOS-backed runner (one design =
@@ -81,26 +121,39 @@ pub fn check_async(
     specs: &[Arc<MonitorSpec>],
     trace_capacity: usize,
 ) -> Result<MonitoredRun, EclError> {
+    check_async_with(designs, events, specs, trace_capacity, None)
+}
+
+/// [`check_async`] with per-instant watchdog budgets; trips conclude
+/// as [`crate::Verdict::Inconclusive`], like [`check_interp_with`].
+/// Mailbox-overwrite losses surface in the telemetry stream via the
+/// runner's `run_events` loss bracket (on the error path too).
+///
+/// # Errors
+///
+/// Propagates non-recoverable compilation and simulation failures.
+pub fn check_async_with(
+    designs: Vec<Design>,
+    events: &[InstantEvents],
+    specs: &[Arc<MonitorSpec>],
+    trace_capacity: usize,
+    watchdog: Option<WatchdogBudget>,
+) -> Result<MonitoredRun, EclError> {
     let mut runner = AsyncRunner::new(
         designs,
         &Default::default(),
         CostParams::default(),
         KernelParams::default(),
     )?;
+    runner.set_watchdog(watchdog);
     runner.enable_trace(trace_capacity);
     let mut monitors = instances(specs, runner.sig_table());
-    runner.run_events(events, |instant, present| {
+    let r = runner.run_events(events, |instant, present| {
         for m in &mut monitors {
             m.step_present(instant, present);
         }
-    })?;
-    // Mailbox overwrites matter to observers (lost events can mask or
-    // cause violations) — surface them in the telemetry stream.
-    runner.kernel().emit_events_lost_event();
-    Ok(MonitoredRun {
-        report: MonitorReport::conclude(monitors),
-        trace: runner.take_trace().unwrap_or_default(),
-    })
+    });
+    conclude_run(runner, monitors, r)
 }
 
 #[cfg(test)]

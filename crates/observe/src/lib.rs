@@ -19,7 +19,10 @@
 //!   ring-buffered [`sim::Trace`] recording on the side;
 //! * [`stage`] — the `Monitored` terminal pipeline stage next to
 //!   `codegen::Artifacts`, batch-compiled and memoized by
-//!   [`ecl_core::Workspace`], including monitor C emission.
+//!   [`ecl_core::Workspace`], including monitor C emission;
+//! * [`session`] — panic-isolated batch checking: one poisoned or
+//!   panicking session surfaces as a contained
+//!   [`SessionOutcome::Poisoned`] while its siblings complete.
 //!
 //! # Example
 //!
@@ -43,10 +46,12 @@
 
 pub mod check;
 pub mod monitor;
+pub mod session;
 pub mod stage;
 pub mod synth;
 
-pub use check::{check_async, check_interp, MonitoredRun};
+pub use check::{check_async, check_async_with, check_interp, check_interp_with, MonitoredRun};
 pub use monitor::{name_matches, Monitor, MonitorReport, Verdict, Violation};
+pub use session::{run_session, run_sessions, SessionOutcome};
 pub use stage::{Monitored, WorkspaceObserveExt};
 pub use synth::{synthesize, synthesize_all, MonitorSpec, PropInfo};

@@ -59,12 +59,26 @@ pub enum Verdict {
     Pass,
     /// A property was violated (first violation is latched).
     Fail(Violation),
+    /// The run was cut short (watchdog trip, livelock budget) before
+    /// the monitor could conclude: not a pass, not a violation.
+    Inconclusive {
+        /// Instant at which the run was cut short.
+        instant: u64,
+        /// Why the run could not conclude (e.g. the watchdog message).
+        reason: String,
+    },
 }
 
 impl Verdict {
-    /// Is this a (final or provisional) pass?
+    /// Is this a (final or provisional) pass? An inconclusive run is
+    /// *not* a pass: the property was never checked to completion.
     pub fn is_pass(&self) -> bool {
-        !matches!(self, Verdict::Fail(_))
+        matches!(self, Verdict::Running | Verdict::Pass)
+    }
+
+    /// Was the run cut short before this monitor could conclude?
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, Verdict::Inconclusive { .. })
     }
 }
 
@@ -74,6 +88,9 @@ impl fmt::Display for Verdict {
             Verdict::Running => write!(f, "RUNNING"),
             Verdict::Pass => write!(f, "PASS"),
             Verdict::Fail(v) => write!(f, "{v}"),
+            Verdict::Inconclusive { instant, reason } => {
+                write!(f, "INCONCLUSIVE at instant {instant}: {reason}")
+            }
         }
     }
 }
@@ -336,9 +353,55 @@ impl MonitorReport {
         }
     }
 
+    /// Conclude a run that was cut short at `instant` (watchdog trip,
+    /// livelock budget): monitors still `Running` become
+    /// [`Verdict::Inconclusive`] — never `Pass` — while already-latched
+    /// violations are kept. One final `verdict` telemetry event per
+    /// monitor, as in [`MonitorReport::conclude`].
+    pub fn conclude_inconclusive(
+        monitors: Vec<Monitor>,
+        instant: u64,
+        reason: &str,
+    ) -> MonitorReport {
+        MonitorReport {
+            verdicts: monitors
+                .into_iter()
+                .map(|mut m| {
+                    let v = match m.finish() {
+                        Verdict::Fail(viol) => Verdict::Fail(viol),
+                        _ => Verdict::Inconclusive {
+                            instant,
+                            reason: reason.to_string(),
+                        },
+                    };
+                    if let Some(e) = ecl_telemetry::event("verdict") {
+                        let e = e.str("monitor", &m.spec.name).bool("final", true);
+                        match &v {
+                            Verdict::Fail(viol) => e
+                                .str("verdict", "fail")
+                                .u64("instant", viol.instant)
+                                .u64("property", viol.property as u64)
+                                .emit(),
+                            _ => e
+                                .str("verdict", "inconclusive")
+                                .u64("instant", instant)
+                                .emit(),
+                        }
+                    }
+                    (m.spec.name.clone(), v)
+                })
+                .collect(),
+        }
+    }
+
     /// Did every monitor pass?
     pub fn all_pass(&self) -> bool {
         self.verdicts.iter().all(|(_, v)| *v == Verdict::Pass)
+    }
+
+    /// Was any monitor's run cut short before it could conclude?
+    pub fn any_inconclusive(&self) -> bool {
+        self.verdicts.iter().any(|(_, v)| v.is_inconclusive())
     }
 
     /// The first violation, if any.

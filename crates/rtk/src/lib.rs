@@ -68,6 +68,10 @@ pub struct Kernel {
     tasks: Vec<TaskCb>,
     /// Reverse index: signal id → watching tasks.
     watchers: Vec<Vec<TaskId>>,
+    /// Internal events held back by the delay-internal fault site,
+    /// delivered by [`Kernel::flush_deferred`] (empty with faults
+    /// off).
+    deferred: Vec<(TaskId, u32)>,
     /// Total cycles charged to application reactions.
     pub task_cycles: u64,
     /// Total cycles charged to kernel services.
@@ -93,6 +97,7 @@ impl Kernel {
             params,
             tasks: Vec::new(),
             watchers: Vec::new(),
+            deferred: Vec::new(),
             task_cycles: 0,
             rtos_cycles: 0,
             events_lost: 0,
@@ -134,6 +139,7 @@ impl Kernel {
     /// Post an *external* event (environment input). Charged as input
     /// buffering per watching task.
     pub fn post_external(&mut self, sig: u32) {
+        let cap = ecl_faults::mailbox_cap();
         let Some(watchers) = self.watchers.get(sig as usize) else {
             return;
         };
@@ -142,11 +148,26 @@ impl Kernel {
             self.deliveries += 1;
             tm::RTK_DELIVERIES.incr();
             tm::RTK_RTOS_CYCLES.add(self.params.input_cycles);
-            if !self.tasks[t.0].pending.insert(sig as usize) {
+            let cb = &mut self.tasks[t.0];
+            if cb.pending.contains(sig as usize) {
                 self.events_lost += 1;
-                self.tasks[t.0].lost += 1;
+                cb.lost += 1;
                 tm::RTK_EVENTS_LOST.incr();
+                continue;
             }
+            if let Some(cap) = cap {
+                if cb.pending.len() >= cap {
+                    // Mailbox pressure: no free slot, the event is
+                    // lost before it ever lands — the same loss
+                    // accounting as an overwrite.
+                    self.events_lost += 1;
+                    cb.lost += 1;
+                    tm::RTK_EVENTS_LOST.incr();
+                    ecl_faults::note_mailbox_rejection(t.0 as u64, sig);
+                    continue;
+                }
+            }
+            cb.pending.insert(sig as usize);
         }
     }
 
@@ -154,6 +175,25 @@ impl Kernel {
     /// inter-task send per receiving task. The emitting task never
     /// receives its own emission.
     pub fn post_internal(&mut self, from: TaskId, sig: u32) {
+        if self.watchers.get(sig as usize).is_none_or(Vec::is_empty) {
+            return;
+        }
+        if ecl_faults::enabled() {
+            // Stream-drawn decisions: posting order is emission
+            // order, identical on every backend.
+            if ecl_faults::drop_internal(sig) {
+                return;
+            }
+            if ecl_faults::delay_internal(sig) {
+                self.deferred.push((from, sig));
+                return;
+            }
+        }
+        self.deliver_internal(from, sig);
+    }
+
+    fn deliver_internal(&mut self, from: TaskId, sig: u32) {
+        let cap = ecl_faults::mailbox_cap();
         let Some(watchers) = self.watchers.get(sig as usize) else {
             return;
         };
@@ -165,20 +205,50 @@ impl Kernel {
             self.deliveries += 1;
             tm::RTK_DELIVERIES.incr();
             tm::RTK_RTOS_CYCLES.add(self.params.send_cycles);
-            if !self.tasks[t.0].pending.insert(sig as usize) {
+            let cb = &mut self.tasks[t.0];
+            if cb.pending.contains(sig as usize) {
                 self.events_lost += 1;
-                self.tasks[t.0].lost += 1;
+                cb.lost += 1;
                 tm::RTK_EVENTS_LOST.incr();
+                continue;
             }
+            if let Some(cap) = cap {
+                if cb.pending.len() >= cap {
+                    self.events_lost += 1;
+                    cb.lost += 1;
+                    tm::RTK_EVENTS_LOST.incr();
+                    ecl_faults::note_mailbox_rejection(t.0 as u64, sig);
+                    continue;
+                }
+            }
+            cb.pending.insert(sig as usize);
         }
     }
 
-    /// Per-task loss counters: `(task name, events lost)` in
-    /// registration order. Sums to [`Kernel::events_lost`].
-    pub fn events_lost_by_task(&self) -> Vec<(String, u64)> {
+    /// Deliver events held back by the delay-internal fault site.
+    /// Runners call this at the start of each instant; with faults
+    /// off the queue is always empty and this is one branch.
+    pub fn flush_deferred(&mut self) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let mut deferred = std::mem::take(&mut self.deferred);
+        for &(from, sig) in &deferred {
+            self.deliver_internal(from, sig);
+        }
+        deferred.clear();
+        self.deferred = deferred;
+    }
+
+    /// Per-task loss counters: `(task, events lost)` in registration
+    /// order. Sums to [`Kernel::events_lost`]. Names are resolved
+    /// only at the telemetry/report boundary (see
+    /// [`Kernel::task_name`]).
+    pub fn events_lost_by_task(&self) -> Vec<(TaskId, u64)> {
         self.tasks
             .iter()
-            .map(|t| (t.name.clone(), t.lost))
+            .enumerate()
+            .map(|(i, t)| (TaskId(i), t.lost))
             .collect()
     }
 
@@ -324,16 +394,108 @@ mod tests {
     fn losses_are_attributed_per_task() {
         let mut k = Kernel::default();
         let a = k.add_task("a", 1, set(&[X]));
-        let _b = k.add_task("b", 2, set(&[X, Y]));
+        let b = k.add_task("b", 2, set(&[X, Y]));
         k.post_external(X);
         k.post_external(X); // lost in both mailboxes
         k.post_internal(a, Y);
         k.post_internal(a, Y); // lost in b only
         assert_eq!(k.events_lost, 3);
-        assert_eq!(
-            k.events_lost_by_task(),
-            vec![("a".to_string(), 1), ("b".to_string(), 2)]
-        );
+        assert_eq!(k.events_lost_by_task(), vec![(a, 1), (b, 2)]);
+        // Names resolve at the report boundary, not in the counters.
+        let names: Vec<&str> = k
+            .events_lost_by_task()
+            .iter()
+            .map(|(t, _)| k.task_name(*t))
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    // Fault-site tests share the process-global plan; serialize them.
+    static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn fault_locked() -> std::sync::MutexGuard<'static, ()> {
+        FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn mailbox_cap_rejects_and_counts_losses() {
+        let _g = fault_locked();
+        ecl_faults::install(ecl_faults::FaultPlan {
+            mailbox_cap: Some(1),
+            ..ecl_faults::FaultPlan::seeded(1)
+        });
+        let mut k = Kernel::default();
+        let a = k.add_task("a", 1, set(&[X, Y]));
+        k.post_external(X); // fills the single slot
+        k.post_external(Y); // rejected by the cap
+        assert_eq!(k.events_lost, 1);
+        assert_eq!(k.events_lost_by_task(), vec![(a, 1)]);
+        let mut ev = BitSet::new();
+        k.dispatch_into(a, &mut ev);
+        assert!(ev.contains(X as usize) && !ev.contains(Y as usize));
+        let stats = ecl_faults::uninstall().unwrap();
+        assert_eq!(stats.mailbox_rejections, 1);
+        // Switch off: the cap is gone.
+        k.post_external(X);
+        k.post_external(Y);
+        assert_eq!(k.events_lost, 1, "no cap without a plan");
+    }
+
+    #[test]
+    fn internal_drops_are_seed_deterministic() {
+        let _g = fault_locked();
+        let plan = ecl_faults::FaultPlan {
+            drop_internal: 0.5,
+            ..ecl_faults::FaultPlan::seeded(99)
+        };
+        let run = |k: &mut Kernel, a: TaskId| -> Vec<bool> {
+            (0..64)
+                .map(|_| {
+                    let before = k.tasks[1].pending.contains(Y as usize);
+                    k.post_internal(a, Y);
+                    let after = k.tasks[1].pending.contains(Y as usize);
+                    let mut ev = BitSet::new();
+                    let _ = k.schedule_into(&mut ev);
+                    !before && !after
+                })
+                .collect()
+        };
+        ecl_faults::install(plan.clone());
+        let mut k1 = Kernel::default();
+        let a1 = k1.add_task("a", 1, set(&[X]));
+        let _ = k1.add_task("b", 2, set(&[Y]));
+        let dropped1 = run(&mut k1, a1);
+        ecl_faults::install(plan);
+        let mut k2 = Kernel::default();
+        let a2 = k2.add_task("a", 1, set(&[X]));
+        let _ = k2.add_task("b", 2, set(&[Y]));
+        let dropped2 = run(&mut k2, a2);
+        ecl_faults::uninstall();
+        assert_eq!(dropped1, dropped2, "drop stream diverged under one seed");
+        assert!(dropped1.iter().any(|d| *d), "rate 0.5 never dropped");
+        assert!(!dropped1.iter().all(|d| *d), "rate 0.5 dropped everything");
+    }
+
+    #[test]
+    fn delayed_internal_events_arrive_after_flush() {
+        let _g = fault_locked();
+        ecl_faults::install(ecl_faults::FaultPlan {
+            delay_internal: 1.0,
+            ..ecl_faults::FaultPlan::seeded(3)
+        });
+        let mut k = Kernel::default();
+        let a = k.add_task("a", 1, set(&[X]));
+        let b = k.add_task("b", 2, set(&[Y]));
+        k.post_internal(a, Y);
+        assert!(!k.any_ready(), "event must be held in the deferred queue");
+        k.flush_deferred();
+        assert!(k.any_ready());
+        let mut ev = BitSet::new();
+        assert_eq!(k.schedule_into(&mut ev), Some(b));
+        assert!(ev.contains(Y as usize));
+        assert_eq!(k.events_lost, 0, "a deferred event is late, not lost");
+        let stats = ecl_faults::uninstall().unwrap();
+        assert_eq!(stats.delayed_internal, 1);
     }
 
     #[test]

@@ -88,11 +88,17 @@ pub fn measure(
         }
     }
     let rtos = rtos_cost(n_tasks, mailboxes, mailbox_bytes, cost);
-    // Dynamic run, on the interned-id fast path.
+    // Dynamic run, on the interned-id fast path. Mailbox overwrites
+    // surface in the event stream via the `run_events` loss bracket.
     runner.run_events(events, |_, _| {})?;
-    // Mailbox overwrites are a semantic warning, not just a Table 1
-    // column — surface them in the event stream too.
-    runner.kernel().emit_events_lost_event();
+    // Names resolve here, at the report boundary — the kernel counts
+    // losses by TaskId only.
+    let events_lost_per_task = runner
+        .kernel()
+        .events_lost_by_task()
+        .into_iter()
+        .map(|(id, n)| (runner.kernel().task_name(id).to_string(), n))
+        .collect();
     Ok(Measurement {
         label: label.to_string(),
         task,
@@ -100,7 +106,7 @@ pub fn measure(
         task_kcycles: runner.kernel().task_cycles as f64 / 1000.0,
         rtos_kcycles: runner.kernel().rtos_cycles as f64 / 1000.0,
         events_lost: runner.kernel().events_lost,
-        events_lost_per_task: runner.kernel().events_lost_by_task(),
+        events_lost_per_task,
         outputs: runner.counts(),
         states_per_task: states,
     })

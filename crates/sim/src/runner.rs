@@ -29,11 +29,84 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+/// What class of failure ended a simulation — recovery layers map
+/// these onto verdicts: [`SimErrorKind::is_inconclusive`] kinds end a
+/// monitored run as `Inconclusive` (the run was cut short, nothing
+/// was proven), the rest stay definite errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimErrorKind {
+    /// A reaction or data-path evaluation failure — definite.
+    Eval,
+    /// The phase-2 cascade budget ran out (tasks kept waking each
+    /// other).
+    Livelock,
+    /// A per-instant [`WatchdogBudget`] was exceeded.
+    Watchdog,
+    /// The runner state was torn by a panic in an earlier instant —
+    /// the session must not be driven further.
+    Poisoned,
+}
+
+impl SimErrorKind {
+    /// Stable lowercase name (telemetry `error` lines carry it).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimErrorKind::Eval => "eval",
+            SimErrorKind::Livelock => "livelock",
+            SimErrorKind::Watchdog => "watchdog",
+            SimErrorKind::Poisoned => "poisoned",
+        }
+    }
+
+    /// Should a monitored run conclude `Inconclusive` rather than
+    /// propagate an error? True for budget trips: the run was ended
+    /// deliberately, not because the design misbehaved.
+    pub fn is_inconclusive(self) -> bool {
+        matches!(self, SimErrorKind::Livelock | SimErrorKind::Watchdog)
+    }
+}
+
 /// Simulation failure.
 #[derive(Debug)]
 pub struct SimError {
     /// Explanation.
     pub msg: String,
+    /// Failure class (see [`SimErrorKind`]).
+    pub kind: SimErrorKind,
+}
+
+impl SimError {
+    /// A definite evaluation failure.
+    pub fn eval(msg: impl Into<String>) -> SimError {
+        SimError {
+            msg: msg.into(),
+            kind: SimErrorKind::Eval,
+        }
+    }
+
+    /// A cascade-budget (livelock) failure.
+    pub fn livelock(msg: impl Into<String>) -> SimError {
+        SimError {
+            msg: msg.into(),
+            kind: SimErrorKind::Livelock,
+        }
+    }
+
+    /// A watchdog-budget trip.
+    pub fn watchdog(msg: impl Into<String>) -> SimError {
+        SimError {
+            msg: msg.into(),
+            kind: SimErrorKind::Watchdog,
+        }
+    }
+
+    /// A poisoned-runner rejection.
+    pub fn poisoned(msg: impl Into<String>) -> SimError {
+        SimError {
+            msg: msg.into(),
+            kind: SimErrorKind::Poisoned,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -45,7 +118,27 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 fn err<T>(msg: impl Into<String>) -> Result<T, SimError> {
-    Err(SimError { msg: msg.into() })
+    Err(SimError::eval(msg))
+}
+
+/// Per-instant resource budgets — the watchdog that turns a hung or
+/// runaway run into a definite [`SimErrorKind::Watchdog`] stop (which
+/// monitored runs report as an `Inconclusive` verdict) instead of an
+/// endless sit. All limits apply to a *single* environment instant;
+/// `None` means unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchdogBudget {
+    /// Max s-graph nodes visited per instant (on the interpreter
+    /// runner: constructive passes — its reaction reports no node
+    /// counts). Deterministic across backends.
+    pub max_nodes: Option<u64>,
+    /// Max data-path fuel burned per instant. Deterministic across
+    /// backends (fuel charges are bit-identical by the VM contract).
+    pub max_fuel: Option<u64>,
+    /// Max wall-clock nanoseconds per instant. Inherently
+    /// nondeterministic — use for hang protection, not for
+    /// reproducible chaos plans.
+    pub max_wall_ns: Option<u64>,
 }
 
 /// One instant's present set: interned ids plus the table to resolve
@@ -193,6 +286,13 @@ pub trait Runner {
     /// The next environment instant number.
     fn now(&self) -> u64;
 
+    /// Flush loss accounting to telemetry (an `events_lost` event per
+    /// task with a non-zero count). A no-op for runners without a
+    /// kernel; [`AsyncRunner`] reports mailbox-overwrite losses.
+    /// Called from the `run_events` brackets on both the success and
+    /// the error path so losses never silently vanish from a stream.
+    fn emit_losses(&self) {}
+
     /// Testbench hook: drive a whole event stream, calling
     /// `on_instant` with the instant number and the [`Present`] set
     /// (stimuli plus emissions) after each instant — the attachment
@@ -244,8 +344,12 @@ pub trait Runner {
             if let Err(e) = r {
                 tm::SIM_ERRORS.add(1);
                 if let Some(ev) = ecl_telemetry::event("error") {
-                    ev.u64("instant", instant).str("msg", &e.msg).emit();
+                    ev.u64("instant", instant)
+                        .str("kind", e.kind.as_str())
+                        .str("msg", &e.msg)
+                        .emit();
                 }
+                self.emit_losses();
                 return Err(e);
             }
             present.union_with(&ev_bits);
@@ -268,6 +372,7 @@ pub trait Runner {
                 }
             }
         }
+        self.emit_losses();
         Ok(())
     }
 
@@ -298,6 +403,7 @@ pub trait Runner {
             present.extend(emitted);
             on_instant(instant, &present);
         }
+        self.emit_losses();
         Ok(())
     }
 }
@@ -307,6 +413,42 @@ pub trait Runner {
 fn trace_value(rt: &Rt, v: &ecl_types::Value) -> Option<i64> {
     let table = rt.machine().table();
     table.get(v.ty).is_integer().then(|| v.as_i64(table))
+}
+
+/// Shared watchdog verdict for an instant that just completed: trips
+/// the first exceeded budget as a [`SimErrorKind::Watchdog`] error
+/// (bumping `sim.watchdog_trips`), otherwise `Ok(())`.
+fn check_watchdog(
+    wd: Option<WatchdogBudget>,
+    instant: u64,
+    nodes: u64,
+    fuel: u64,
+    wall_t0: Option<std::time::Instant>,
+) -> Result<(), SimError> {
+    let Some(w) = wd else { return Ok(()) };
+    let trip = |what: &str, spent: u64, max: u64| {
+        tm::SIM_WATCHDOG_TRIPS.incr();
+        Err(SimError::watchdog(format!(
+            "instant {instant} exceeded the {what} budget ({spent} > {max})"
+        )))
+    };
+    if let Some(max) = w.max_nodes {
+        if nodes > max {
+            return trip("node", nodes, max);
+        }
+    }
+    if let Some(max) = w.max_fuel {
+        if fuel > max {
+            return trip("fuel", fuel, max);
+        }
+    }
+    if let (Some(max), Some(t0)) = (w.max_wall_ns, wall_t0) {
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        if elapsed > max {
+            return trip("wall-time", elapsed, max);
+        }
+    }
+    Ok(())
 }
 
 /// One RTOS task: a compiled design plus its data runtime and the
@@ -326,6 +468,13 @@ struct Task {
     from_global: Vec<Option<Signal>>,
     /// Local signal index → carries a value?
     valued: Vec<bool>,
+    /// States whose compiled table row was demoted to the s-graph
+    /// walker by the graceful-degradation ladder (latched; empty
+    /// unless a fault plan demoted something).
+    demoted_states: BitSet,
+    /// Fuel withheld from this task by the current instant's
+    /// starvation squeeze, restored when the instant ends.
+    fuel_credit: u64,
 }
 
 /// N compiled designs running as RTOS tasks (N = 1 models the paper's
@@ -350,12 +499,24 @@ pub struct AsyncRunner {
     counts: Vec<u64>,
     /// Optional full-trace recorder (see [`AsyncRunner::enable_trace`]).
     recorder: Recorder,
+    /// Per-instant resource budgets (None = no watchdog).
+    watchdog: Option<WatchdogBudget>,
+    /// An instant is currently executing. Left latched when a panic
+    /// unwinds through `instant_ids` — the poisoned-state detector:
+    /// further instants are refused with [`SimErrorKind::Poisoned`].
+    in_instant: bool,
+    /// Externally-delayed events: `(due instant, signal bit)`. Empty
+    /// unless a fault plan delays stimuli.
+    delayed: Vec<(u64, usize)>,
     // Reusable per-instant scratch (what makes `instant_ids`
     // allocation-free in steady state).
     evset_scratch: BitSet,
     local_scratch: BitSet,
     emit_scratch: Vec<Signal>,
     order_scratch: Vec<SigId>,
+    /// Effective-stimulus scratch for fault-adjusted instants (only
+    /// touched when a plan is installed).
+    fault_scratch: BitSet,
 }
 
 impl AsyncRunner {
@@ -377,13 +538,11 @@ impl AsyncRunner {
         for design in designs {
             let efsm = design
                 .to_efsm(compile_opts)
-                .map_err(|e| SimError { msg: e.to_string() })?;
+                .map_err(|e| SimError::eval(e.to_string()))?;
             for info in &efsm.signals {
                 table.intern(&info.name);
             }
-            let rt = design
-                .new_rt()
-                .map_err(|e| SimError { msg: e.to_string() })?;
+            let rt = design.new_rt().map_err(|e| SimError::eval(e.to_string()))?;
             compiled.push((design, efsm, rt));
         }
         // Pass 2: wire tasks through the now-complete table.
@@ -415,6 +574,8 @@ impl AsyncRunner {
                 to_global,
                 from_global,
                 valued,
+                demoted_states: BitSet::new(),
+                fuel_credit: 0,
             });
         }
         let table = Arc::new(table);
@@ -429,10 +590,14 @@ impl AsyncRunner {
             use_vm: true,
             instant: 0,
             counts,
+            watchdog: None,
+            in_instant: false,
+            delayed: Vec::new(),
             evset_scratch: BitSet::new(),
             local_scratch: BitSet::new(),
             emit_scratch: Vec::new(),
             order_scratch: Vec::new(),
+            fault_scratch: BitSet::new(),
         })
     }
 
@@ -507,6 +672,31 @@ impl AsyncRunner {
         })
     }
 
+    /// Install (or clear) the per-instant watchdog budgets.
+    pub fn set_watchdog(&mut self, wd: Option<WatchdogBudget>) {
+        self.watchdog = wd;
+    }
+
+    /// The active watchdog budgets, if any.
+    pub fn watchdog(&self) -> Option<WatchdogBudget> {
+        self.watchdog
+    }
+
+    /// Did a panic unwind through an instant, leaving the runner
+    /// state torn? A poisoned runner refuses further instants.
+    pub fn is_poisoned(&self) -> bool {
+        self.in_instant
+    }
+
+    /// Table states latched onto the walker by the degradation
+    /// ladder, summed over tasks.
+    pub fn demoted_states(&self) -> u32 {
+        self.tasks
+            .iter()
+            .map(|t| t.demoted_states.len() as u32)
+            .sum()
+    }
+
     /// Set the value of a valued *external* input on every task that
     /// reads it (the testbench side of `emit_v`).
     ///
@@ -527,8 +717,8 @@ impl AsyncRunner {
     /// Fails when no task knows the signal, or the signal is pure.
     pub fn set_input_i64_id(&mut self, sig: SigId, v: i64) -> Result<(), SimError> {
         let mut hit = false;
-        let entry_err = |t: &Task, e: ecl_core::rt::RtError| SimError {
-            msg: format!("task `{}`: {e}", t.design.entry),
+        let entry_err = |t: &Task, e: ecl_core::rt::RtError| {
+            SimError::eval(format!("task `{}`: {e}", t.design.entry))
         };
         for ti in 0..self.tasks.len() {
             let Some(Some(local)) = self.tasks[ti].from_global.get(sig.bit()).copied() else {
@@ -554,10 +744,82 @@ impl AsyncRunner {
     /// retained internally for the name shim. Allocation-free in
     /// steady state.
     ///
+    /// With a fault plan installed, the external drop/delay sites are
+    /// applied here (keyed by `(instant, signal)`, identically on the
+    /// interpreter runner), and a panic that unwinds through the
+    /// instant latches the poisoned flag: further instants are
+    /// refused with [`SimErrorKind::Poisoned`] instead of running on
+    /// torn state.
+    ///
     /// # Errors
     ///
-    /// Propagates data-evaluation errors from any task.
+    /// Propagates data-evaluation errors from any task; trips the
+    /// watchdog budgets, if set.
     pub fn instant_ids(&mut self, events: &BitSet, out: &mut BitSet) -> Result<(), SimError> {
+        if self.in_instant {
+            return Err(SimError::poisoned(
+                "runner state torn by a panic in an earlier instant",
+            ));
+        }
+        if !ecl_faults::enabled() && self.delayed.is_empty() {
+            self.in_instant = true;
+            let r = self.instant_ids_inner(events, out);
+            self.in_instant = false;
+            return r;
+        }
+        // Fault-adjusted stimulus set: drop/delay fresh events, then
+        // merge delayed ones that are due (keyed decisions — the
+        // interpreter runner computes the identical set).
+        let mut scratch = std::mem::take(&mut self.fault_scratch);
+        scratch.clear();
+        let now = self.instant;
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                scratch.insert(self.delayed.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        for bit in events.iter() {
+            if ecl_faults::drop_external(now, bit as u32) {
+                continue;
+            }
+            if let Some(d) = ecl_faults::delay_external(now, bit as u32) {
+                self.delayed.push((now + d, bit));
+                continue;
+            }
+            scratch.insert(bit);
+        }
+        self.in_instant = true;
+        let r = self.instant_ids_inner(&scratch, out);
+        self.in_instant = false;
+        self.fault_scratch = scratch;
+        r
+    }
+
+    fn instant_ids_inner(&mut self, events: &BitSet, out: &mut BitSet) -> Result<(), SimError> {
+        let faults = ecl_faults::enabled();
+        if faults {
+            if ecl_faults::panic_due(self.instant) {
+                panic!("ecl-faults: injected panic at instant {}", self.instant);
+            }
+            self.kernel.flush_deferred();
+            if let Some(cap) = ecl_faults::fuel_cap(self.instant) {
+                for t in &mut self.tasks {
+                    let fuel = t.rt.machine().fuel();
+                    if fuel > cap {
+                        t.rt.machine_mut().set_fuel(cap);
+                        t.fuel_credit = fuel - cap;
+                    }
+                }
+            }
+        }
+        let wall_t0 = self
+            .watchdog
+            .and_then(|w| w.max_wall_ns.map(|_| std::time::Instant::now()));
+        let mut nodes_spent = 0u64;
+        let mut fuel_spent = 0u64;
         out.clear();
         self.order_scratch.clear();
         self.recorder.begin(self.instant, events);
@@ -568,24 +830,45 @@ impl AsyncRunner {
         for ti in 0..self.tasks.len() {
             let id = self.tasks[ti].id;
             self.kernel.dispatch_into(id, &mut self.evset_scratch);
-            self.react_task(ti, out)?;
+            let (nodes, ops) = self.react_task(ti, out)?;
+            nodes_spent += nodes as u64;
+            fuel_spent += ops;
         }
         // Phase 2: cascades from internal emissions.
         let mut budget = 100_000u32; // runaway guard
         while let Some(tid) = self.kernel.schedule_into(&mut self.evset_scratch) {
-            budget = budget.checked_sub(1).ok_or(SimError {
-                msg: "asynchronous network livelock (tasks keep waking each other)".into(),
+            budget = budget.checked_sub(1).ok_or_else(|| {
+                SimError::livelock("asynchronous network livelock (tasks keep waking each other)")
             })?;
             let ti = self
                 .tasks
                 .iter()
                 .position(|t| t.id == tid)
                 .expect("scheduled task exists");
-            self.react_task(ti, out)?;
+            let (nodes, ops) = self.react_task(ti, out)?;
+            nodes_spent += nodes as u64;
+            fuel_spent += ops;
+        }
+        if faults {
+            // Hand back the fuel the starvation squeeze withheld —
+            // starvation is per instant, not permanent.
+            for t in &mut self.tasks {
+                if t.fuel_credit > 0 {
+                    let fuel = t.rt.machine().fuel();
+                    t.rt.machine_mut().set_fuel(fuel + t.fuel_credit);
+                    t.fuel_credit = 0;
+                }
+            }
         }
         self.recorder.end();
         self.instant += 1;
-        Ok(())
+        check_watchdog(
+            self.watchdog,
+            self.instant - 1,
+            nodes_spent,
+            fuel_spent,
+            wall_t0,
+        )
     }
 
     /// Run one environment instant; returns the names emitted during
@@ -612,8 +895,9 @@ impl AsyncRunner {
 
     /// Run one reaction of task `ti` with `evset_scratch` as the
     /// present input snapshot (global ids), accumulating emissions
-    /// into `out` and `order_scratch`.
-    fn react_task(&mut self, ti: usize, out: &mut BitSet) -> Result<(), SimError> {
+    /// into `out` and `order_scratch`. Returns `(nodes visited, fuel
+    /// burned)` for the watchdog accounting.
+    fn react_task(&mut self, ti: usize, out: &mut BitSet) -> Result<(u32, u64), SimError> {
         // Map the global event snapshot into the task's signal space.
         self.local_scratch.clear();
         {
@@ -629,7 +913,21 @@ impl AsyncRunner {
         debug_assert_eq!(emit_base, 0);
         let r = {
             let t = &mut self.tasks[ti];
-            let r = if self.use_tables {
+            let mut use_table = self.use_tables;
+            // Graceful degradation: a state whose table row was
+            // demoted stays on the walker (latched). The extra
+            // branches only run with a plan installed or after a
+            // demotion — the fault-free hot path is untouched.
+            if use_table && (!t.demoted_states.is_empty() || ecl_faults::enabled()) {
+                if t.demoted_states.contains(t.state.0 as usize) {
+                    use_table = false;
+                } else if ecl_faults::table_fault(ti, t.state.0) {
+                    t.demoted_states.insert(t.state.0 as usize);
+                    ecl_faults::note_degraded("table", "state", t.state.0 as u64);
+                    use_table = false;
+                }
+            }
+            let r = if use_table {
                 t.table.step_table(
                     &t.efsm,
                     t.state,
@@ -697,7 +995,7 @@ impl AsyncRunner {
             out.insert(gid.bit());
         }
         self.emit_scratch.clear();
-        Ok(())
+        Ok((r.nodes_visited, ops))
     }
 }
 
@@ -714,6 +1012,14 @@ pub struct InterpRunner<'d> {
     pub instant: u64,
     recorder: Recorder,
     order_scratch: Vec<SigId>,
+    /// Per-instant resource budgets (None = no watchdog).
+    watchdog: Option<WatchdogBudget>,
+    /// Panic-poisoning latch, as on [`AsyncRunner`].
+    in_instant: bool,
+    /// Externally-delayed events: `(due instant, signal bit)`.
+    delayed: Vec<(u64, usize)>,
+    /// Effective-stimulus scratch for fault-adjusted instants.
+    fault_scratch: BitSet,
 }
 
 impl<'d> InterpRunner<'d> {
@@ -723,9 +1029,7 @@ impl<'d> InterpRunner<'d> {
     ///
     /// Propagates runtime construction failures.
     pub fn new(design: &'d Design) -> Result<InterpRunner<'d>, SimError> {
-        let rt = design
-            .new_rt()
-            .map_err(|e| SimError { msg: e.to_string() })?;
+        let rt = design.new_rt().map_err(|e| SimError::eval(e.to_string()))?;
         // Interning in program order makes SigId(i) ≡ Signal(i): the
         // global and local signal spaces coincide for a single design.
         let mut table = SigTable::new();
@@ -743,6 +1047,10 @@ impl<'d> InterpRunner<'d> {
             counts,
             instant: 0,
             order_scratch: Vec::new(),
+            watchdog: None,
+            in_instant: false,
+            delayed: Vec::new(),
+            fault_scratch: BitSet::new(),
         })
     }
 
@@ -771,7 +1079,7 @@ impl<'d> InterpRunner<'d> {
     pub fn set_input_i64_id(&mut self, sig: SigId, v: i64) -> Result<(), SimError> {
         self.rt
             .set_input_i64_idx(sig.bit(), v)
-            .map_err(|e| SimError { msg: e.to_string() })?;
+            .map_err(|e| SimError::eval(e.to_string()))?;
         self.recorder.note_input(sig, v);
         Ok(())
     }
@@ -781,17 +1089,80 @@ impl<'d> InterpRunner<'d> {
     /// program's signal indices, so `events` feeds the interpreter
     /// directly.
     ///
+    /// With a fault plan installed, the external drop/delay sites are
+    /// applied with the same `(instant, signal)` keys as on
+    /// [`AsyncRunner`], so a kernel-free plan replays identically on
+    /// both runners.
+    ///
     /// # Errors
     ///
-    /// Non-constructive programs and data errors.
+    /// Non-constructive programs and data errors; watchdog trips.
     pub fn instant_ids(&mut self, events: &BitSet, out: &mut BitSet) -> Result<(), SimError> {
+        if self.in_instant {
+            return Err(SimError::poisoned(
+                "runner state torn by a panic in an earlier instant",
+            ));
+        }
+        if !ecl_faults::enabled() && self.delayed.is_empty() {
+            self.in_instant = true;
+            let r = self.instant_ids_inner(events, out);
+            self.in_instant = false;
+            return r;
+        }
+        let mut scratch = std::mem::take(&mut self.fault_scratch);
+        scratch.clear();
+        let now = self.instant;
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                scratch.insert(self.delayed.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        for bit in events.iter() {
+            if ecl_faults::drop_external(now, bit as u32) {
+                continue;
+            }
+            if let Some(d) = ecl_faults::delay_external(now, bit as u32) {
+                self.delayed.push((now + d, bit));
+                continue;
+            }
+            scratch.insert(bit);
+        }
+        self.in_instant = true;
+        let r = self.instant_ids_inner(&scratch, out);
+        self.in_instant = false;
+        self.fault_scratch = scratch;
+        r
+    }
+
+    fn instant_ids_inner(&mut self, events: &BitSet, out: &mut BitSet) -> Result<(), SimError> {
+        let mut fuel_credit = 0u64;
+        if ecl_faults::enabled() {
+            if ecl_faults::panic_due(self.instant) {
+                panic!("ecl-faults: injected panic at instant {}", self.instant);
+            }
+            if let Some(cap) = ecl_faults::fuel_cap(self.instant) {
+                let fuel = self.rt.machine().fuel();
+                if fuel > cap {
+                    self.rt.machine_mut().set_fuel(cap);
+                    fuel_credit = fuel - cap;
+                }
+            }
+        }
+        let wall_t0 = self
+            .watchdog
+            .and_then(|w| w.max_wall_ns.map(|_| std::time::Instant::now()));
+        let fuel_before = self.rt.machine().fuel();
+        let passes_before = self.machine.passes;
         out.clear();
         self.order_scratch.clear();
         self.recorder.begin(self.instant, events);
         let r = self
             .machine
             .react_set(events, &mut self.rt as &mut dyn DataHooks)
-            .map_err(|e| SimError { msg: e.to_string() })?;
+            .map_err(|e| SimError::eval(e.to_string()))?;
         if let Some(e) = self.rt.take_error() {
             return err(e.to_string());
         }
@@ -808,9 +1179,15 @@ impl<'d> InterpRunner<'d> {
             self.order_scratch.push(gid);
             out.insert(gid.bit());
         }
+        let fuel_spent = fuel_before.saturating_sub(self.rt.machine().fuel());
+        if fuel_credit > 0 {
+            let fuel = self.rt.machine().fuel();
+            self.rt.machine_mut().set_fuel(fuel + fuel_credit);
+        }
         self.recorder.end();
         self.instant += 1;
-        Ok(())
+        let passes = self.machine.passes - passes_before;
+        check_watchdog(self.watchdog, self.instant - 1, passes, fuel_spent, wall_t0)
     }
 
     /// Run one instant; returns emitted names. Compatibility shim over
@@ -850,6 +1227,22 @@ impl<'d> InterpRunner<'d> {
     /// Access the runtime (inspect signal values).
     pub fn rt(&self) -> &Rt {
         &self.rt
+    }
+
+    /// Install (or clear) the per-instant watchdog budgets.
+    pub fn set_watchdog(&mut self, wd: Option<WatchdogBudget>) {
+        self.watchdog = wd;
+    }
+
+    /// The active watchdog budgets, if any.
+    pub fn watchdog(&self) -> Option<WatchdogBudget> {
+        self.watchdog
+    }
+
+    /// Did a panic unwind through an instant, leaving the runner
+    /// state torn? A poisoned runner refuses further instants.
+    pub fn is_poisoned(&self) -> bool {
+        self.in_instant
     }
 
     /// The design this runner executes.
@@ -893,6 +1286,10 @@ impl Runner for AsyncRunner {
 
     fn now(&self) -> u64 {
         self.instant
+    }
+
+    fn emit_losses(&self) {
+        self.kernel.emit_events_lost_event();
     }
 }
 
@@ -945,7 +1342,7 @@ impl From<SimError> for ecl_syntax::EclError {
 
 impl From<ecl_syntax::EclError> for SimError {
     fn from(e: ecl_syntax::EclError) -> Self {
-        SimError { msg: e.to_string() }
+        SimError::eval(e.to_string())
     }
 }
 

@@ -126,6 +126,18 @@ pub static MON_STEPS: Counter = Counter::new("mon.steps");
 /// Violations latched (first failure per monitor).
 pub static MON_VIOLATIONS: Counter = Counter::new("mon.violations");
 
+// ---- ecl-faults: injection & recovery -----------------------------------
+
+/// Faults injected (all sites: drops, delays, corruption, squeezes,
+/// demotions, panics).
+pub static FAULTS_INJECTED: Counter = Counter::new("faults.injected");
+/// Compiled backends demoted to the walker (VM hooks + table states).
+pub static FAULTS_DEGRADED: Counter = Counter::new("faults.degraded");
+/// Runs ended by a per-instant watchdog budget (nodes/fuel/wall).
+pub static SIM_WATCHDOG_TRIPS: Counter = Counter::new("sim.watchdog_trips");
+/// Sessions whose panic was contained at the batch boundary.
+pub static SIM_POISONED_SESSIONS: Counter = Counter::new("sim.poisoned_sessions");
+
 /// Every registered counter.
 pub fn counters() -> Vec<&'static Counter> {
     let mut all: Vec<&'static Counter> = vec![
@@ -147,6 +159,10 @@ pub fn counters() -> Vec<&'static Counter> {
         &VM_WALKER_HOOKS,
         &MON_STEPS,
         &MON_VIOLATIONS,
+        &FAULTS_INJECTED,
+        &FAULTS_DEGRADED,
+        &SIM_WATCHDOG_TRIPS,
+        &SIM_POISONED_SESSIONS,
     ];
     all.extend(VM_OPS.iter());
     all

@@ -13,18 +13,20 @@
 
 /// Version stamped into every line; bump when the event table or
 /// preamble changes shape.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Required non-preamble fields per event kind. Unknown event kinds
 /// are rejected; extra fields on known kinds are allowed (consumers
 /// must ignore what they don't know).
-pub const REQUIRED_FIELDS: [(&str, &[&str]); 6] = [
+pub const REQUIRED_FIELDS: [(&str, &[&str]); 8] = [
     ("run_start", &["design", "config"]),
     ("run_end", &["instants", "wall_ns"]),
     ("span", &["from", "to", "window_ns"]),
     ("verdict", &["monitor", "verdict"]),
     ("error", &["msg"]),
     ("events_lost", &["total"]),
+    ("fault_injected", &["site"]),
+    ("degraded", &["site"]),
 ];
 
 /// A parsed JSON value.
@@ -335,19 +337,24 @@ mod tests {
 
     #[test]
     fn validates_preamble_and_required_fields() {
-        let good = r#"{"schema":1,"ts":1.0,"run_id":"r1-1","event":"error","msg":"boom"}"#;
+        let good = r#"{"schema":2,"ts":1.0,"run_id":"r1-1","event":"error","msg":"boom"}"#;
         validate_line(good).unwrap();
         // Missing required field.
-        let bad = r#"{"schema":1,"ts":1.0,"run_id":"r1-1","event":"error"}"#;
+        let bad = r#"{"schema":2,"ts":1.0,"run_id":"r1-1","event":"error"}"#;
         assert!(validate_line(bad).is_err());
         // Unknown kind.
-        let unk = r#"{"schema":1,"ts":1.0,"run_id":"r1-1","event":"nope"}"#;
+        let unk = r#"{"schema":2,"ts":1.0,"run_id":"r1-1","event":"nope"}"#;
         assert!(validate_line(unk).is_err());
         // Wrong schema version.
         let ver = r#"{"schema":99,"ts":1.0,"run_id":"r1-1","event":"error","msg":"m"}"#;
         assert!(validate_line(ver).is_err());
+        // The fault kinds landed with schema v2.
+        let fi = r#"{"schema":2,"ts":1.0,"run_id":"r1-1","event":"fault_injected","site":"drop_external","a":3,"b":7}"#;
+        validate_line(fi).unwrap();
+        let dg = r#"{"schema":2,"ts":1.0,"run_id":"r1-1","event":"degraded","site":"vm","kind":"pred","index":0}"#;
+        validate_line(dg).unwrap();
         // Extra fields on a known kind are fine.
-        let extra = r#"{"schema":1,"ts":1.0,"run_id":"r1-1","event":"span","from":0,"to":1024,"window_ns":5,"p50_ns":1}"#;
+        let extra = r#"{"schema":2,"ts":1.0,"run_id":"r1-1","event":"span","from":0,"to":1024,"window_ns":5,"p50_ns":1}"#;
         validate_line(extra).unwrap();
     }
 }

@@ -12,6 +12,13 @@
 //! optionally `ECL_TELEMETRY_SPAN=<n>`), every run is bracketed by a
 //! telemetry [`Run`] and the example doubles as a JSONL emitter — the
 //! CI smoke job validates that stream with `check_telemetry`.
+//!
+//! With `ECL_FAULTS=key=value,...` (see `ecl_faults::init_from_env`)
+//! a deterministic fault plan is installed first: events may be
+//! dropped or delayed and compiled backends demoted, so verdicts
+//! other than PASS are an expected outcome of an injected run — the
+//! CI chaos job uses exactly this to put `fault_injected` and
+//! `degraded` lines into a validated stream.
 
 use ecl_core::{Compiler, Workspace};
 use ecl_observe::{check_async, check_interp, MonitoredRun, WorkspaceObserveExt};
@@ -38,6 +45,16 @@ fn main() {
     // Telemetry is opt-in from the environment; when on, the whole
     // example emits one schema-versioned JSON object per line.
     ecl_telemetry::init_from_env();
+    // So is fault injection: with `ECL_FAULTS` set, every run below
+    // executes under the same seeded plan, and FAIL/INCONCLUSIVE
+    // verdicts are legitimate outcomes rather than errors.
+    let chaos = ecl_faults::init_from_env();
+    if chaos {
+        println!(
+            "fault plan installed from ECL_FAULTS: {:?}",
+            ecl_faults::current_plan()
+        );
+    }
     // The Monitored stage through the batch driver: design machine
     // compiled and cached, observers synthesized alongside.
     let mut ws = Workspace::new();
@@ -120,4 +137,12 @@ fn main() {
         "\nmonitor C emission: {} bytes ({first_line})",
         monitored.c().len()
     );
+
+    if chaos {
+        let stats = ecl_faults::uninstall().expect("plan installed from ECL_FAULTS");
+        println!(
+            "\nfault injection summary: {} injections\n  {stats:?}",
+            stats.total()
+        );
+    }
 }

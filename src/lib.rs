@@ -63,6 +63,7 @@
 
 pub use codegen;
 pub use ecl_core;
+pub use ecl_faults;
 pub use ecl_observe;
 pub use ecl_syntax;
 pub use ecl_telemetry;
@@ -88,13 +89,19 @@ pub mod prelude {
     pub use efsm::{BitSet, DataHooks, Efsm, NoHooks, SigId, SigTable};
     pub use esterel::CompileOptions;
     pub use sim::measure::measure;
-    pub use sim::runner::{AsyncRunner, InterpRunner, Present, Runner};
+    pub use sim::runner::{
+        AsyncRunner, InterpRunner, Present, Runner, SimError, SimErrorKind, WatchdogBudget,
+    };
     pub use sim::tb::{PacketTb, PagerTb};
     pub use sim::trace::Trace;
 
-    // Observers: monitor synthesis and online checking.
+    // Observers: monitor synthesis, online checking, isolated sessions.
     pub use ecl_observe::{
-        check_async, check_interp, synthesize_all, Monitor, MonitorReport, MonitorSpec, Monitored,
-        Verdict, WorkspaceObserveExt,
+        check_async, check_async_with, check_interp, check_interp_with, run_session, run_sessions,
+        synthesize_all, Monitor, MonitorReport, MonitorSpec, Monitored, SessionOutcome, Verdict,
+        WorkspaceObserveExt,
     };
+
+    // Deterministic fault injection (inert without an installed plan).
+    pub use ecl_faults::{FaultPlan, InjectionStats};
 }

@@ -83,6 +83,29 @@ fn every_emitted_line_is_schema_valid_and_all_kinds_appear() {
         .str("msg", "synthetic error for the schema test")
         .emit();
 
+    // Fault-injected run: every external event is dropped and every
+    // VM hook is demoted, so the stream carries `fault_injected` and
+    // `degraded` lines too.
+    ecl_faults::install(ecl_faults::FaultPlan {
+        drop_external: 1.0,
+        vm_fault: 1.0,
+        ..ecl_faults::FaultPlan::seeded(42)
+    });
+    let injected = PacketTb {
+        packets: 1,
+        corrupt_every: 0,
+        reset_every: 0,
+        seed: 1999,
+    }
+    .events();
+    let run = Run::start("protocol_stack", "schema-test/injected");
+    let n = injected.len() as u64;
+    check_interp(&design, &injected, &specs, 0).expect("injected run");
+    run.end(n);
+    let stats = ecl_faults::uninstall().expect("plan was installed");
+    assert!(stats.dropped_external > 0, "drops must fire: {stats:?}");
+    assert!(stats.vm_demotions > 0, "demotions must fire: {stats:?}");
+
     ecl_telemetry::sink::flush();
     let lines = sink.lines();
     uninstall_sink();
@@ -111,11 +134,13 @@ fn every_emitted_line_is_schema_valid_and_all_kinds_appear() {
         "verdict",
         "error",
         "events_lost",
+        "fault_injected",
+        "degraded",
     ] {
         assert!(kinds.contains(kind), "stream carries no `{kind}` line");
     }
-    // Two bracketed runs → at least two distinct correlation ids (the
-    // kernel/error lines outside any bracket get the idle id).
+    // Three bracketed runs → at least two distinct correlation ids
+    // (the kernel/error lines outside any bracket get the idle id).
     assert!(run_ids.len() >= 2, "run ids: {run_ids:?}");
 
     // The two brackets pair up: every run_start has a run_end with
@@ -137,5 +162,5 @@ fn every_emitted_line_is_schema_valid_and_all_kinds_appear() {
         }
     }
     assert_eq!(starts, ends, "unbalanced run brackets");
-    assert_eq!(starts.len(), 2);
+    assert_eq!(starts.len(), 3);
 }
