@@ -1,9 +1,11 @@
 //! Reaction-throughput microbenchmarks: the interned-id fast path
 //! (`instant_ids` via `run_events`) against the legacy string shim
 //! (`instant` via `run_events_names`), on both evaluated designs;
-//! monitor stepping through compiled transition tables vs the s-graph
-//! walker; and the data path on the register bytecode VM (`data_vm`)
-//! vs the tree-walking interpreter (`data_walker`).
+//! monitor stepping through fused instant programs vs the s-graph
+//! walker; and the whole reaction on `Backend::Compiled`
+//! (`data_compiled`: fused rows + bytecode data hooks) vs
+//! `Backend::Walker` (`data_walker`: s-graph walk + tree-walking
+//! interpreter).
 //!
 //! Run with `cargo bench -p ecl-bench --bench reaction`.
 
@@ -11,7 +13,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ecl_bench::{pager_events, pager_mono, stack_events, stack_mono};
 use ecl_core::Design;
 use ecl_observe::Monitor;
-use efsm::BitSet;
+use efsm::{Backend, BitSet};
 use sim::runner::{AsyncRunner, Runner};
 use sim::tb::InstantEvents;
 use std::sync::Arc;
@@ -58,13 +60,13 @@ impl MonitorBench {
         MonitorBench { specs, table, pats }
     }
 
-    fn drive(&self, tabled: bool, steps: u64) {
+    fn drive(&self, backend: Backend, steps: u64) {
         let mut mons: Vec<Monitor> = self
             .specs
             .iter()
             .map(|s| {
                 let mut m = Monitor::new(Arc::clone(s));
-                m.set_use_table(tabled);
+                m.set_backend(backend);
                 m.bind(&self.table);
                 m
             })
@@ -83,12 +85,12 @@ fn drive_names(design: &Design, events: &[InstantEvents]) {
     r.run_events_names(events, |_, _| {}).expect("run succeeds");
 }
 
-/// The data path isolated: same compiled-table control backend, data
-/// hooks on the bytecode VM (`vm = true`) or the tree-walking
-/// interpreter (`vm = false`).
-fn drive_data(design: &Design, events: &[InstantEvents], vm: bool) {
+/// The whole reaction on one backend knob: fused instant programs +
+/// bytecode data hooks (`Backend::Compiled`) or the s-graph walker +
+/// tree-walking interpreter (`Backend::Walker`).
+fn drive_data(design: &Design, events: &[InstantEvents], backend: Backend) {
     let mut r = runner(design);
-    r.set_use_vm(vm);
+    r.set_backend(backend);
     r.run_events(events, |_, _| {}).expect("run succeeds");
 }
 
@@ -110,15 +112,19 @@ fn bench_reaction(c: &mut Criterion) {
     g.bench_function("pager_names_shim", |b| {
         b.iter(|| drive_names(&pager, &pager_ev))
     });
-    g.bench_function("data_vm", |b| {
-        b.iter(|| drive_data(&stack, &stack_ev, true))
+    g.bench_function("data_compiled", |b| {
+        b.iter(|| drive_data(&stack, &stack_ev, Backend::Compiled))
     });
     g.bench_function("data_walker", |b| {
-        b.iter(|| drive_data(&stack, &stack_ev, false))
+        b.iter(|| drive_data(&stack, &stack_ev, Backend::Walker))
     });
     let mb = MonitorBench::new();
-    g.bench_function("monitors_tabled", |b| b.iter(|| mb.drive(true, 10_000)));
-    g.bench_function("monitors_walked", |b| b.iter(|| mb.drive(false, 10_000)));
+    g.bench_function("monitors_fused", |b| {
+        b.iter(|| mb.drive(Backend::Compiled, 10_000))
+    });
+    g.bench_function("monitors_walked", |b| {
+        b.iter(|| mb.drive(Backend::Walker, 10_000))
+    });
     g.finish();
 }
 

@@ -2,17 +2,18 @@
 //!
 //! Measures instants/second for the two evaluated designs
 //! (protocol stack, voice pager) × two implementations (monolithic
-//! single task, 3-task partition) × four instrumentation/backend
+//! single task, 3-task partition) × three instrumentation/backend
 //! modes (traced: ring-buffer recording on; monitored: observers bound
-//! and stepped per instant, s-graph walker + tree-walking data path
-//! forced; tabled: the same monitored run on compiled transition
-//! tables with the data path still tree-walked — the PR 4 state; vm:
-//! tables *and* the data-path bytecode VM — the production default),
-//! all on the interned-id fast path, plus the same monitored runs
-//! through the legacy string shim (`run_events_names` + name-matching
-//! monitors) as the reference every config is normalized against.
-//! `speedup_vm_over_walker` isolates the data-path change: vm vs
-//! tabled on the same workload. End-to-end compile times ride along.
+//! and stepped per instant, `Backend::Walker` forced end to end —
+//! s-graph walk + tree-walking data hooks; compiled: the same
+//! monitored run under `Backend::Compiled` — fused per-task instant
+//! programs, the production default), all on the interned-id fast
+//! path, plus the same monitored runs through the legacy string shim
+//! (`run_events_names` + name-matching monitors) as the reference
+//! every config is normalized against. `speedup_compiled_over_walker`
+//! is the headline fusion metric: compiled vs monitored on the same
+//! workload, per design configuration. End-to-end compile times ride
+//! along.
 //!
 //! Output is `BENCH_reaction.json`. With `--check BASELINE`, the run
 //! is compared against a checked-in baseline: the *normalized* ratio
@@ -30,6 +31,7 @@
 
 use ecl_core::{Compiler, Design};
 use ecl_observe::{synthesize_all, Monitor, MonitorSpec};
+use efsm::Backend;
 use sim::runner::{AsyncRunner, Runner};
 use sim::tb::{InstantEvents, PacketTb, PagerTb};
 use std::fmt::Write as _;
@@ -100,23 +102,14 @@ fn run_ids(mut r: AsyncRunner, events: &[InstantEvents], monitors: &mut [Monitor
     events.len()
 }
 
-/// A runner forced onto the s-graph walker *and* the tree-walking data
-/// path (the `monitored`/`traced` configs keep measuring the fully
-/// walked path so the checked-in normalized baselines stay
-/// comparable).
+/// A runner forced onto `Backend::Walker` — s-graph walk and
+/// tree-walking data hooks end to end (the `monitored`/`traced`
+/// configs keep measuring the fully walked path so the checked-in
+/// normalized baselines stay comparable, and so the walker keeps
+/// getting exercised as the differential/demotion reference).
 fn walked(designs: Vec<Design>) -> AsyncRunner {
     let mut r = runner(designs);
-    r.set_use_tables(false);
-    r.set_use_vm(false);
-    r
-}
-
-/// Compiled transition tables with the data path still on the
-/// tree-walker — the PR 4 state, and the denominator that isolates the
-/// bytecode VM's contribution in `speedup_vm_over_walker`.
-fn tabled(designs: Vec<Design>) -> AsyncRunner {
-    let mut r = runner(designs);
-    r.set_use_vm(false);
+    r.set_backend(Backend::Walker);
     r
 }
 
@@ -136,15 +129,15 @@ fn run_traced(mut r: AsyncRunner, events: &[InstantEvents]) -> usize {
     events.len()
 }
 
-/// Bound monitor instances; `tabled` picks the stepping backend (the
-/// walked configs force the s-graph walker on monitors too, so they
-/// reproduce the pre-table hot path end to end).
-fn monitors_for(specs: &[Arc<MonitorSpec>], r: &AsyncRunner, tabled: bool) -> Vec<Monitor> {
+/// Bound monitor instances on the given stepping backend (the walked
+/// configs force the s-graph walker on monitors too, so they
+/// reproduce the pre-fusion hot path end to end).
+fn monitors_for(specs: &[Arc<MonitorSpec>], r: &AsyncRunner, backend: Backend) -> Vec<Monitor> {
     specs
         .iter()
         .map(|s| {
             let mut m = Monitor::new(Arc::clone(s));
-            m.set_use_table(tabled);
+            m.set_backend(backend);
             m.bind(r.sig_table());
             m
         })
@@ -217,8 +210,9 @@ fn main() {
     let pager_specs =
         synthesize_all(&ecl_syntax::parse_str(pager_src).unwrap()).expect("pager observers");
 
-    // All configurations, measured in interleaved rounds: the eight
-    // id-path configs plus the two string-shim references (monitored
+    // All configurations, measured in interleaved rounds: the twelve
+    // id-path configs (traced/monitored/compiled × four design
+    // configurations) plus the two string-shim references (monitored
     // mono runs through the legacy name path — per-instant
     // Vec<String> + name matching — one per design so every config
     // normalizes against its own workload).
@@ -254,21 +248,26 @@ fn main() {
             &pager_specs,
         ),
     ];
-    // Static backend coverage per design configuration: how much of
-    // the data path the bytecode VM compiles, and how many control
-    // states the dense tables flatten — recorded so the benchmark
-    // file says what the `tabled`/`vm` configs actually exercised.
+    // Static backend coverage per design configuration: how many
+    // states fuse into row-scan + residual-program form, and how much
+    // of the data path the bytecode VM compiles — recorded so the
+    // benchmark file says what the `compiled` configs actually
+    // exercised (100% fused means no s-graph walk inside an instant).
     let coverage: Vec<(String, String)> = configs
         .iter()
         .map(|(label, designs, _, _)| {
             let r = runner(designs.clone());
-            let (vm_compiled, vm_total) = r.vm_coverage();
-            let (tabled_states, states) = r.tabled_states();
+            let cov = r.coverage();
             let pure: u32 = r.machines().map(|m| m.stats().pure_states).sum();
             (
                 label.replace('/', "_"),
                 format!(
-                    "{{\"vm_compiled\": {vm_compiled}, \"vm_total\": {vm_total}, \"pure_states\": {pure}, \"states\": {states}, \"tabled_states\": {tabled_states}}}"
+                    "{{\"fused_states\": {}, \"states\": {}, \"fused_rows\": {}, \"pure_states\": {pure}, \"vm_compiled\": {}, \"vm_total\": {}}}",
+                    cov.fused_states(),
+                    cov.states(),
+                    cov.fused_rows(),
+                    cov.vm_compiled(),
+                    cov.vm_total(),
                 ),
             )
         })
@@ -285,27 +284,17 @@ fn main() {
             format!("{label}/monitored"),
             Box::new(move || {
                 let r = walked(d.clone());
-                let mut mons = monitors_for(specs, &r, false);
+                let mut mons = monitors_for(specs, &r, Backend::Walker);
                 run_ids(r, events, &mut mons)
             }),
         ));
         let d = designs.clone();
         jobs.push((
-            format!("{label}/tabled"),
-            Box::new(move || {
-                let r = tabled(d.clone());
-                assert!(r.tables_enabled());
-                let mut mons = monitors_for(specs, &r, true);
-                run_ids(r, events, &mut mons)
-            }),
-        ));
-        let d = designs.clone();
-        jobs.push((
-            format!("{label}/vm"),
+            format!("{label}/compiled"),
             Box::new(move || {
                 let r = runner(d.clone());
-                assert!(r.tables_enabled() && r.vm_enabled());
-                let mut mons = monitors_for(specs, &r, true);
+                assert_eq!(r.backend(), Backend::Compiled);
+                let mut mons = monitors_for(specs, &r, Backend::Compiled);
                 run_ids(r, events, &mut mons)
             }),
         ));
@@ -316,7 +305,7 @@ fn main() {
         "stack/mono/monitored/names-shim".to_string(),
         Box::new(move || {
             let r = walked(vec![sm.clone()]);
-            let mut mons = monitors_for(sspecs, &r, false);
+            let mut mons = monitors_for(sspecs, &r, Backend::Walker);
             run_names(r, sev, &mut mons)
         }),
     ));
@@ -326,7 +315,7 @@ fn main() {
         "pager/mono/monitored/names-shim".to_string(),
         Box::new(move || {
             let r = walked(vec![pm.clone()]);
-            let mut mons = monitors_for(pspecs, &r, false);
+            let mut mons = monitors_for(pspecs, &r, Backend::Walker);
             run_names(r, pev, &mut mons)
         }),
     ));
@@ -349,17 +338,16 @@ fn main() {
 
     let monitored_stack = rate_of("stack/mono/monitored");
     let speedup = monitored_stack / names_ref;
-    let tabled_speedup_stack = rate_of("stack/mono/tabled") / rate_of("stack/mono/monitored");
-    let tabled_speedup_pager = rate_of("pager/mono/tabled") / rate_of("pager/mono/monitored");
-    // The data-path VM's isolated contribution: vm vs tabled (same
-    // control backend, only the data hooks differ).
-    let vm_speedup =
-        |label: &str| rate_of(&format!("{label}/vm")) / rate_of(&format!("{label}/tabled"));
-    let vm_speedups = [
-        ("stack_mono", vm_speedup("stack/mono")),
-        ("stack_parts", vm_speedup("stack/parts")),
-        ("pager_mono", vm_speedup("pager/mono")),
-        ("pager_parts", vm_speedup("pager/parts")),
+    // The fusion headline: one compiled backend vs the fully walked
+    // path, same monitored workload, per design configuration.
+    let compiled_speedup = |label: &str| {
+        rate_of(&format!("{label}/compiled")) / rate_of(&format!("{label}/monitored"))
+    };
+    let compiled_speedups = [
+        ("stack_mono", compiled_speedup("stack/mono")),
+        ("stack_parts", compiled_speedup("stack/parts")),
+        ("pager_mono", compiled_speedup("pager/mono")),
+        ("pager_parts", compiled_speedup("pager/parts")),
     ];
 
     // Render JSON (no serde in the container: hand-rolled, stable).
@@ -396,12 +384,8 @@ fn main() {
     let _ = writeln!(json, "  \"speedup_ids_over_names\": {speedup:.2},");
     let _ = writeln!(
         json,
-        "  \"speedup_tabled_over_walked\": {{\"stack_mono_monitored\": {tabled_speedup_stack:.2}, \"pager_mono_monitored\": {tabled_speedup_pager:.2}}},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"speedup_vm_over_walker\": {{{}}},",
-        vm_speedups
+        "  \"speedup_compiled_over_walker\": {{{}}},",
+        compiled_speedups
             .iter()
             .map(|(k, v)| format!("\"{k}\": {v:.2}"))
             .collect::<Vec<_>>()

@@ -5,12 +5,13 @@
 //! time go": it turns telemetry on, runs each design configuration
 //! (protocol stack, voice pager × monolithic, 3-task partition) for
 //! the standard 10k-instant monitored workload on the production
-//! backends (transition tables + bytecode VM), and dumps the full
-//! metric registry delta per configuration — per-opcode VM counts and
-//! the FallbackStmt hit rate, table row-scan totals and rows-per-hit,
-//! kernel dispatch/delivery/cycle counts and mailbox occupancy,
-//! per-instant wall-time quantiles, and the static coverage numbers
-//! (vm-compiled hooks, tabled states, pure states).
+//! `Backend::Compiled` (fused instant programs + bytecode data
+//! hooks), and dumps the full metric registry delta per configuration
+//! — per-opcode VM counts and the FallbackStmt hit rate, table
+//! row-scan/fused-program totals and rows-per-hit, kernel
+//! dispatch/delivery/cycle counts and mailbox occupancy, per-instant
+//! wall-time quantiles, and the static [`CoverageReport`] numbers
+//! (fused states/rows, vm-compiled hooks, pure states).
 //!
 //! Each configuration is bracketed by a telemetry [`Run`], so piping
 //! `ECL_TELEMETRY_OUT` somewhere also yields a schema-valid JSONL
@@ -23,7 +24,8 @@ use ecl_core::{Compiler, Design};
 use ecl_observe::{synthesize_all, Monitor, MonitorSpec};
 use ecl_telemetry::metrics as tm;
 use ecl_telemetry::Run;
-use sim::runner::{AsyncRunner, Runner};
+use efsm::Backend;
+use sim::runner::{AsyncRunner, CoverageReport, Runner};
 use sim::tb::{InstantEvents, PacketTb, PagerTb};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -37,10 +39,7 @@ struct Profile {
     config: String,
     instants: usize,
     wall_ms: f64,
-    vm_compiled: u32,
-    vm_total: u32,
-    tabled_states: u32,
-    states: u32,
+    coverage: CoverageReport,
     pure_states: u32,
 }
 
@@ -49,7 +48,7 @@ fn monitors_for(specs: &[Arc<MonitorSpec>], r: &AsyncRunner) -> Vec<Monitor> {
         .iter()
         .map(|s| {
             let mut m = Monitor::new(Arc::clone(s));
-            m.set_use_table(true);
+            m.set_backend(Backend::Compiled);
             m.bind(r.sig_table());
             m
         })
@@ -74,9 +73,8 @@ fn profile_one(
         Default::default(),
     )
     .expect("runner builds");
-    assert!(r.tables_enabled() && r.vm_enabled());
-    let (vm_compiled, vm_total) = r.vm_coverage();
-    let (tabled_states, states) = r.tabled_states();
+    assert_eq!(r.backend(), Backend::Compiled);
+    let coverage = r.coverage();
     let pure_states = r.machines().map(|m| m.stats().pure_states).sum();
     let mut mons = monitors_for(specs, &r);
     let run = Run::start(design, config);
@@ -88,15 +86,14 @@ fn profile_one(
     })
     .expect("run succeeds");
     let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    run.end(events.len() as u64);
+    // The run_end event carries the coverage breakdown, so the JSONL
+    // stream is self-describing about what backend actually ran.
+    run.end_with_coverage(events.len() as u64, Some(&coverage.telemetry()));
     Profile {
         config: config.to_string(),
         instants: events.len(),
         wall_ms,
-        vm_compiled,
-        vm_total,
-        tabled_states,
-        states,
+        coverage,
         pure_states,
     }
 }
@@ -121,8 +118,14 @@ fn render(p: &Profile, out: &mut String) {
     );
     let _ = writeln!(
         out,
-        "      \"coverage\": {{\"vm_compiled\": {}, \"vm_total\": {}, \"tabled_states\": {}, \"states\": {}, \"pure_states\": {}}},",
-        p.vm_compiled, p.vm_total, p.tabled_states, p.states, p.pure_states
+        "      \"coverage\": {{\"fused_states\": {}, \"states\": {}, \"fused_rows\": {}, \"vm_compiled\": {}, \"vm_total\": {}, \"demoted_sites\": {}, \"pure_states\": {}}},",
+        p.coverage.fused_states(),
+        p.coverage.states(),
+        p.coverage.fused_rows(),
+        p.coverage.vm_compiled(),
+        p.coverage.vm_total(),
+        p.coverage.demoted_sites(),
+        p.pure_states
     );
     let _ = writeln!(
         out,
@@ -148,11 +151,13 @@ fn render(p: &Profile, out: &mut String) {
     let hits = steps.saturating_sub(c("table.walk_fallbacks"));
     let _ = writeln!(
         out,
-        "      \"table\": {{\"steps\": {}, \"rows_scanned\": {}, \"rows_per_hit\": {:.2}, \"always_hits\": {}, \"walk_fallbacks\": {}}},",
+        "      \"table\": {{\"steps\": {}, \"rows_scanned\": {}, \"rows_per_hit\": {:.2}, \"always_hits\": {}, \"fused_hits\": {}, \"fused_ops\": {}, \"walk_fallbacks\": {}}},",
         steps,
         c("table.rows_scanned"),
         c("table.rows_scanned") as f64 / hits.max(1) as f64,
         c("table.always_hits"),
+        c("table.fused_hits"),
+        c("table.fused_ops"),
         c("table.walk_fallbacks")
     );
     let vm_op_total: u64 = tm::VM_OPS.iter().map(|c| c.get()).sum();

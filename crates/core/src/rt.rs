@@ -13,10 +13,10 @@
 //!   and emit expression is lowered to register bytecode
 //!   ([`ecl_types::vm`]) over the frame's dense slots and the signal
 //!   indices, and the [`efsm::DataHooks`] impl dispatches there by
-//!   default ([`Rt::set_use_vm`] forces the tree-walker for
-//!   measurement; both backends are differential-tested equal,
-//!   including error instants, fuel-derived cycle charges and the
-//!   `pred_evals`/`action_runs` counters).
+//!   default ([`Rt::set_backend`] with [`efsm::Backend::Walker`]
+//!   forces the tree-walker for measurement; both backends are
+//!   differential-tested equal, including error instants, fuel-derived
+//!   cycle charges and the `pred_evals`/`action_runs` counters).
 //!
 //! One `Rt` instance backs the Esterel interpreter and compiled EFSMs
 //! alike — both call the same [`efsm::DataHooks`] entry points, which
@@ -30,7 +30,7 @@ use ecl_types::vm::{self, Compiled};
 use ecl_types::{
     FxHashMap, Lowering, Machine, SignalLayout, TypeId, TypeTable, Value, ValuesReader,
 };
-use efsm::{ActionId, DataHooks, ExprId, PredId, Signal};
+use efsm::{ActionId, Backend, DataHooks, ExprId, PredId, Signal};
 use std::fmt;
 
 /// Runtime construction/evaluation failure.
@@ -95,10 +95,11 @@ pub struct Rt {
     /// Register-file scratch reused across hook runs (no steady-state
     /// allocation).
     vm_regs: Vec<i64>,
-    /// Dispatch data hooks to the bytecode VM (default on; off forces
-    /// the tree-walker everywhere — observationally identical, the
-    /// toggle exists for measurement and bisection).
-    use_vm: bool,
+    /// Which backend dispatches the data hooks: [`Backend::Compiled`]
+    /// (default) runs them on the bytecode VM; [`Backend::Walker`]
+    /// forces the tree-walker everywhere — observationally identical,
+    /// the toggle exists for measurement and bisection.
+    backend: Backend,
     /// Count of executed actions/predicates/emissions (cost metrics).
     pub action_runs: u64,
     /// Count of predicate evaluations.
@@ -208,7 +209,7 @@ impl Rt {
             progs,
             demoted,
             vm_regs: Vec::new(),
-            use_vm: true,
+            backend: Backend::default(),
             action_runs: 0,
             pred_evals: 0,
         })
@@ -224,17 +225,35 @@ impl Rt {
         &mut self.machine
     }
 
-    /// Dispatch data hooks to the bytecode VM (`true`, the default) or
-    /// force the tree-walker everywhere (`false`). Semantics are
-    /// identical either way (differential-tested); the switch exists
-    /// for measurement and bisection.
+    /// Choose the data-hook backend: [`Backend::Compiled`] (the
+    /// default) dispatches to the bytecode VM, [`Backend::Walker`]
+    /// forces the tree-walker everywhere. Semantics are identical
+    /// either way (differential-tested); the switch exists for
+    /// measurement, bisection and differential gating.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// The active data-hook backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Dispatch data hooks to the bytecode VM (`true`) or force the
+    /// tree-walker (`false`).
+    #[deprecated(note = "use `set_backend(Backend::Compiled | Backend::Walker)`")]
     pub fn set_use_vm(&mut self, on: bool) {
-        self.use_vm = on;
+        self.set_backend(if on {
+            Backend::Compiled
+        } else {
+            Backend::Walker
+        });
     }
 
     /// Is the bytecode VM active?
+    #[deprecated(note = "use `backend() == Backend::Compiled`")]
     pub fn vm_enabled(&self) -> bool {
-        self.use_vm
+        self.backend == Backend::Compiled
     }
 
     /// How many compiled hooks have been demoted to the walker by the
@@ -268,7 +287,7 @@ impl Rt {
     /// is append-only; it grows only if a walker-executed top-level
     /// declaration added a binding.)
     fn progs_valid(&self) -> bool {
-        self.use_vm && self.progs.root_len == self.machine.root_len()
+        self.backend == Backend::Compiled && self.progs.root_len == self.machine.root_len()
     }
 
     /// Take the first pending evaluation error, if any.

@@ -44,6 +44,29 @@ pub use sgraph::{Node, NodeId, Path};
 pub use sig::{SigId, SigTable};
 pub use table::CompiledEfsm;
 
+/// Which execution backend drives reactions.
+///
+/// One knob for the whole stack: the runner's control dispatch, the
+/// data hooks inside [`DataHooks`] implementations, and monitor
+/// stepping all key off the same two-valued choice. The split
+/// tables-versus-VM toggles this replaces allowed half-compiled
+/// configurations that no longer exist: control and data now compile
+/// into one fused program per task, so they switch together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The reference tree interpreter: per-node s-graph walking for
+    /// control, expression-tree evaluation for data. Canonical
+    /// semantics, used for differential testing and as the per-site
+    /// demotion target under injected faults.
+    Walker,
+    /// The production backend: each control state fused into mask-scan
+    /// rows that fall through into straight-line bytecode for the
+    /// row's predicates, actions and valued emits — no walker boundary
+    /// crossings inside an instant.
+    #[default]
+    Compiled,
+}
+
 /// Opaque id of a data predicate (resolved by [`DataHooks::eval_pred`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PredId(pub u32);

@@ -13,7 +13,7 @@
 //! them — see `engine.rs` for why that key is stable. They resolve
 //! through the same [`DataHooks`] ids the compiled EFSM uses, so the
 //! runtime's data backend (the register bytecode VM, or its
-//! tree-walker when `set_use_vm(false)`) accelerates this interpreter
+//! tree-walker under `Backend::Walker`) accelerates this interpreter
 //! and the compiled machine identically — one journal entry per hook
 //! call either way.
 

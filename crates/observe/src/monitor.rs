@@ -21,7 +21,7 @@
 //! shim with identical verdicts.
 
 use crate::synth::MonitorSpec;
-use efsm::{BitSet, NoHooks, SigTable, Signal, StateId};
+use efsm::{Backend, BitSet, NoHooks, SigTable, Signal, StateId};
 use sim::runner::Present;
 use sim::trace::Trace;
 use std::fmt;
@@ -117,10 +117,11 @@ pub struct Monitor {
     /// (computed by [`Monitor::bind`]; empty until then).
     binding: Vec<(Signal, BitSet)>,
     bound: bool,
-    /// Step through the spec's compiled transition tables (default) or
-    /// force the s-graph walker (identical verdicts; the switch exists
-    /// for measurement and differential testing).
-    use_table: bool,
+    /// Step through the spec's fused transition rows
+    /// ([`Backend::Compiled`], the default) or force the s-graph
+    /// walker (identical verdicts; the switch exists for measurement
+    /// and differential testing).
+    backend: Backend,
     input_scratch: BitSet,
     emit_scratch: Vec<Signal>,
 }
@@ -135,17 +136,33 @@ impl Monitor {
             verdict: Verdict::Running,
             binding: Vec::new(),
             bound: false,
-            use_table: true,
+            backend: Backend::default(),
             input_scratch: BitSet::new(),
             emit_scratch: Vec::new(),
         }
     }
 
-    /// Choose the stepping backend: `true` (default) scans the spec's
-    /// compiled transition tables, `false` walks the s-graph. Verdicts
-    /// are identical either way.
+    /// Choose the stepping backend: [`Backend::Compiled`] (the
+    /// default) scans the spec's fused transition rows,
+    /// [`Backend::Walker`] walks the s-graph. Verdicts are identical
+    /// either way.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// The active stepping backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Choose the stepping backend: tables on/off.
+    #[deprecated(note = "use `set_backend(Backend::Compiled | Backend::Walker)`")]
     pub fn set_use_table(&mut self, on: bool) {
-        self.use_table = on;
+        self.set_backend(if on {
+            Backend::Compiled
+        } else {
+            Backend::Walker
+        });
     }
 
     /// One machine instant over the chosen backend, with
@@ -153,7 +170,7 @@ impl Monitor {
     fn machine_step(&mut self) {
         ecl_telemetry::metrics::MON_STEPS.incr();
         self.emit_scratch.clear();
-        let r = if self.use_table {
+        let r = if self.backend == Backend::Compiled {
             self.spec.table.step_table(
                 &self.spec.efsm,
                 self.state,

@@ -245,7 +245,10 @@ mod tests {
         assert_eq!(st.pred_tests, 0, "monitors carry no data part");
         assert_eq!(st.actions, 0);
         assert_eq!(st.pure_states, st.states, "every monitor state is pure");
-        assert!(s.table.fully_tabled(), "monitors compile fully to tables");
+        assert!(
+            s.table.fully_fused(),
+            "monitors compile fully to fused rows"
+        );
         s.efsm.validate().unwrap();
     }
 

@@ -25,6 +25,8 @@ pub mod tb;
 pub mod trace;
 
 pub use measure::{measure, Measurement};
-pub use runner::{AsyncRunner, InterpRunner, Present, Runner, SimError};
+pub use runner::{
+    AsyncRunner, CoverageReport, InterpRunner, Present, Runner, SimError, TaskCoverage,
+};
 pub use tb::{InstantEvents, PacketTb};
 pub use trace::{Recorder, Trace, TraceEvent, TraceRecord};

@@ -22,7 +22,7 @@ use crate::trace::{Recorder, Trace};
 use codegen::cost::CostParams;
 use ecl_core::{Design, Rt};
 use ecl_telemetry::metrics as tm;
-use efsm::{BitSet, CompiledEfsm, DataHooks, Efsm, SigId, SigTable, Signal, StateId};
+use efsm::{Backend, BitSet, CompiledEfsm, DataHooks, Efsm, SigId, SigTable, Signal, StateId};
 use esterel::compile::CompileOptions;
 use rtk::{Kernel, KernelParams, TaskId};
 use std::collections::HashMap;
@@ -190,6 +190,93 @@ impl<'a> Present<'a> {
     }
 }
 
+/// Compiled-backend coverage of one task: how much of its control
+/// and data path executes fused/compiled rather than on the walker,
+/// and how much fault injection has demoted back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskCoverage {
+    /// Task entry-module name.
+    pub task: String,
+    /// Control states in the task's EFSM.
+    pub states: u32,
+    /// States fused into compiled rows (the rest walk).
+    pub fused_states: u32,
+    /// Fused transition rows.
+    pub fused_rows: u32,
+    /// Data hooks compiled to VM bytecode.
+    pub vm_compiled: u32,
+    /// Total data hooks (predicates + actions + valued emits).
+    pub vm_total: u32,
+    /// States demoted to the walker by the fault-injection ladder.
+    pub demoted_states: u32,
+    /// Data hooks demoted to the walker by the fault-injection ladder.
+    pub demoted_hooks: u32,
+}
+
+/// Compiled-backend coverage over a whole runner, per task — the one
+/// schema that replaced the `vm_coverage()`/`tabled_states()` tuple
+/// pair. Consumed by `gen_bench`, `gen_profile`, and (via
+/// [`CoverageReport::telemetry`]) the `run_end` telemetry event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// One entry per task, in task order.
+    pub tasks: Vec<TaskCoverage>,
+}
+
+impl CoverageReport {
+    /// Total control states.
+    pub fn states(&self) -> u32 {
+        self.tasks.iter().map(|t| t.states).sum()
+    }
+
+    /// Total fused states.
+    pub fn fused_states(&self) -> u32 {
+        self.tasks.iter().map(|t| t.fused_states).sum()
+    }
+
+    /// Total fused rows.
+    pub fn fused_rows(&self) -> u32 {
+        self.tasks.iter().map(|t| t.fused_rows).sum()
+    }
+
+    /// Total VM-compiled data hooks.
+    pub fn vm_compiled(&self) -> u32 {
+        self.tasks.iter().map(|t| t.vm_compiled).sum()
+    }
+
+    /// Total data hooks.
+    pub fn vm_total(&self) -> u32 {
+        self.tasks.iter().map(|t| t.vm_total).sum()
+    }
+
+    /// Total walker-demoted sites (states + hooks).
+    pub fn demoted_sites(&self) -> u32 {
+        self.tasks
+            .iter()
+            .map(|t| t.demoted_states + t.demoted_hooks)
+            .sum()
+    }
+
+    /// Does every state and every data hook execute compiled — i.e.
+    /// under [`Backend::Compiled`] no s-graph walker step can occur
+    /// inside an instant (absent fault demotions)?
+    pub fn fully_fused(&self) -> bool {
+        self.fused_states() == self.states() && self.vm_compiled() == self.vm_total()
+    }
+
+    /// The flat shape the telemetry `run_end` event carries.
+    pub fn telemetry(&self) -> ecl_telemetry::RunCoverage {
+        ecl_telemetry::RunCoverage {
+            fused_states: self.fused_states(),
+            states: self.states(),
+            fused_rows: self.fused_rows(),
+            vm_compiled: self.vm_compiled(),
+            vm_total: self.vm_total(),
+            demoted_sites: self.demoted_sites(),
+        }
+    }
+}
+
 /// The common driving surface of both runners.
 ///
 /// Trace recording and emission accounting are implemented here once,
@@ -197,6 +284,20 @@ impl<'a> Present<'a> {
 /// / [`Runner::counts_slot`]) — runners only expose their [`Recorder`]
 /// and count array.
 pub trait Runner {
+    /// Choose the execution backend — [`Backend::Compiled`] (the
+    /// default) runs fused per-task programs (mask-scan rows falling
+    /// through into bytecode), [`Backend::Walker`] forces the
+    /// reference tree interpreter for control and data alike. The two
+    /// are observationally identical (differential-tested); the switch
+    /// exists for measurement, bisection and differential gating.
+    fn set_backend(&mut self, backend: Backend);
+
+    /// The active execution backend.
+    fn backend(&self) -> Backend;
+
+    /// Compiled-backend coverage, per task.
+    fn coverage(&self) -> CoverageReport;
+
     /// The design-wide signal interner (built once at construction).
     fn sig_table(&self) -> &Arc<SigTable>;
 
@@ -456,8 +557,9 @@ fn check_watchdog(
 struct Task {
     design: Design,
     efsm: Efsm,
-    /// Dense compiled backend of `efsm` (pure states as transition
-    /// tables, mixed states fall back to the s-graph walker).
+    /// Fused compiled backend of `efsm`: every state — pure or mixed —
+    /// as mask-scan rows falling through into residual bytecode (only
+    /// row-cap blowouts keep the s-graph walker).
     table: CompiledEfsm,
     rt: Rt,
     state: StateId,
@@ -485,14 +587,13 @@ pub struct AsyncRunner {
     kernel: Kernel,
     cost: CostParams,
     table: Arc<SigTable>,
-    /// Drive pure-control states through compiled transition tables
-    /// (default); off forces the s-graph walker everywhere — the two
-    /// are observationally identical (differential-tested), the toggle
-    /// exists for benchmarking and bisection.
-    use_tables: bool,
-    /// Run the data path (predicates/actions/valued emits) on the
-    /// compiled bytecode VM (default); off forces the tree-walker.
-    use_vm: bool,
+    /// Execution backend: [`Backend::Compiled`] (default) drives every
+    /// state through its fused program (mask-scan rows + residual
+    /// bytecode, data hooks on the VM); [`Backend::Walker`] forces the
+    /// s-graph walker and the tree-walking data interpreter everywhere
+    /// — the two are observationally identical (differential-tested),
+    /// the toggle exists for benchmarking and bisection.
+    backend: Backend,
     /// Current environment instant number.
     pub instant: u64,
     /// Emission counts by interned id.
@@ -586,8 +687,7 @@ impl AsyncRunner {
             cost,
             recorder: Recorder::new(Arc::clone(&table)),
             table,
-            use_tables: true,
-            use_vm: true,
+            backend: Backend::default(),
             instant: 0,
             counts,
             watchdog: None,
@@ -621,55 +721,87 @@ impl AsyncRunner {
         self.tasks.iter().map(|t| &t.efsm)
     }
 
-    /// Choose the execution backend for pure-control states: `true`
-    /// (the default) scans compiled transition tables, `false` forces
-    /// the s-graph walker everywhere. Semantics are identical either
-    /// way; the switch exists for measurement and bisection.
-    pub fn set_use_tables(&mut self, on: bool) {
-        self.use_tables = on;
-    }
-
-    /// Is the compiled-table backend active?
-    pub fn tables_enabled(&self) -> bool {
-        self.use_tables
-    }
-
-    /// Choose the execution backend for the *data* path of every task:
-    /// `true` (the default) runs predicates, actions and valued emits
-    /// on the compiled bytecode VM, `false` forces the tree-walking
-    /// interpreter. Semantics are identical either way
-    /// (differential-tested); the switch exists for measurement and
-    /// bisection.
-    pub fn set_use_vm(&mut self, on: bool) {
-        self.use_vm = on;
+    /// Choose the execution backend for every task — control dispatch
+    /// and data hooks switch together. See [`Runner::set_backend`].
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
         for t in &mut self.tasks {
-            t.rt.set_use_vm(on);
+            t.rt.set_backend(backend);
         }
     }
 
+    /// The active execution backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Choose the control backend: tables on/off.
+    #[deprecated(note = "use `set_backend(Backend::Compiled | Backend::Walker)`")]
+    pub fn set_use_tables(&mut self, on: bool) {
+        self.set_backend(if on {
+            Backend::Compiled
+        } else {
+            Backend::Walker
+        });
+    }
+
+    /// Is the compiled backend active?
+    #[deprecated(note = "use `backend() == Backend::Compiled`")]
+    pub fn tables_enabled(&self) -> bool {
+        self.backend == Backend::Compiled
+    }
+
+    /// Choose the data backend: VM on/off.
+    #[deprecated(note = "use `set_backend(Backend::Compiled | Backend::Walker)`")]
+    pub fn set_use_vm(&mut self, on: bool) {
+        self.set_backend(if on {
+            Backend::Compiled
+        } else {
+            Backend::Walker
+        });
+    }
+
     /// Is the bytecode data path active?
+    #[deprecated(note = "use `backend() == Backend::Compiled`")]
     pub fn vm_enabled(&self) -> bool {
-        self.use_vm
+        self.backend == Backend::Compiled
     }
 
-    /// `(vm-compiled hooks, total hooks)` over all tasks — how much of
-    /// the data path runs on bytecode rather than the walker.
+    /// Compiled-backend coverage, one [`TaskCoverage`] per task.
+    pub fn coverage(&self) -> CoverageReport {
+        CoverageReport {
+            tasks: self
+                .tasks
+                .iter()
+                .map(|t| {
+                    let (vm_compiled, vm_total) = t.rt.vm_coverage();
+                    TaskCoverage {
+                        task: t.design.entry.clone(),
+                        states: t.efsm.states.len() as u32,
+                        fused_states: t.table.fused_states(),
+                        fused_rows: t.table.row_count() as u32,
+                        vm_compiled,
+                        vm_total,
+                        demoted_states: t.demoted_states.len() as u32,
+                        demoted_hooks: t.rt.demoted_hooks(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// `(vm-compiled hooks, total hooks)` over all tasks.
+    #[deprecated(note = "use `coverage().vm_compiled()` / `coverage().vm_total()`")]
     pub fn vm_coverage(&self) -> (u32, u32) {
-        self.tasks.iter().fold((0, 0), |(c, n), t| {
-            let (tc, tn) = t.rt.vm_coverage();
-            (c + tc, n + tn)
-        })
+        let c = self.coverage();
+        (c.vm_compiled(), c.vm_total())
     }
 
-    /// `(tabled states, total states)` over all tasks — how much of
-    /// the design the dense backend covers.
+    /// `(fused states, total states)` over all tasks.
+    #[deprecated(note = "use `coverage().fused_states()` / `coverage().states()`")]
     pub fn tabled_states(&self) -> (u32, u32) {
-        self.tasks.iter().fold((0, 0), |(t, n), task| {
-            (
-                t + task.table.tabled_states(),
-                n + task.efsm.states.len() as u32,
-            )
-        })
+        let c = self.coverage();
+        (c.fused_states(), c.states())
     }
 
     /// Install (or clear) the per-instant watchdog budgets.
@@ -913,21 +1045,21 @@ impl AsyncRunner {
         debug_assert_eq!(emit_base, 0);
         let r = {
             let t = &mut self.tasks[ti];
-            let mut use_table = self.use_tables;
-            // Graceful degradation: a state whose table row was
+            let mut compiled = self.backend == Backend::Compiled;
+            // Graceful degradation: a state whose fused rows were
             // demoted stays on the walker (latched). The extra
             // branches only run with a plan installed or after a
             // demotion — the fault-free hot path is untouched.
-            if use_table && (!t.demoted_states.is_empty() || ecl_faults::enabled()) {
+            if compiled && (!t.demoted_states.is_empty() || ecl_faults::enabled()) {
                 if t.demoted_states.contains(t.state.0 as usize) {
-                    use_table = false;
+                    compiled = false;
                 } else if ecl_faults::table_fault(ti, t.state.0) {
                     t.demoted_states.insert(t.state.0 as usize);
                     ecl_faults::note_degraded("table", "state", t.state.0 as u64);
-                    use_table = false;
+                    compiled = false;
                 }
             }
-            let r = if use_table {
+            let r = if compiled {
                 t.table.step_table(
                     &t.efsm,
                     t.state,
@@ -1211,15 +1343,51 @@ impl<'d> InterpRunner<'d> {
             .collect())
     }
 
-    /// Choose the data-path backend: bytecode VM (`true`, the default)
-    /// or the tree-walking interpreter (`false`). The reactive side —
-    /// the constructive Esterel interpreter — evaluates the very same
-    /// hooks either way.
+    /// Choose the data-hook backend. The reactive side — the
+    /// constructive Esterel interpreter — evaluates the very same
+    /// hooks either way; only the data path switches between bytecode
+    /// VM and tree-walker, so [`Backend::Compiled`] here means
+    /// "compiled data hooks", never fused control rows.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.rt.set_backend(backend);
+    }
+
+    /// The active data-hook backend.
+    pub fn backend(&self) -> Backend {
+        self.rt.backend()
+    }
+
+    /// Choose the data backend: VM on/off.
+    #[deprecated(note = "use `set_backend(Backend::Compiled | Backend::Walker)`")]
     pub fn set_use_vm(&mut self, on: bool) {
-        self.rt.set_use_vm(on);
+        self.set_backend(if on {
+            Backend::Compiled
+        } else {
+            Backend::Walker
+        });
+    }
+
+    /// Compiled-backend coverage of the single design. Control always
+    /// runs on the constructive interpreter here, so the report covers
+    /// the data path only (`states == fused_states == 0`).
+    pub fn coverage(&self) -> CoverageReport {
+        let (vm_compiled, vm_total) = self.rt.vm_coverage();
+        CoverageReport {
+            tasks: vec![TaskCoverage {
+                task: self.design.entry.clone(),
+                states: 0,
+                fused_states: 0,
+                fused_rows: 0,
+                vm_compiled,
+                vm_total,
+                demoted_states: 0,
+                demoted_hooks: self.rt.demoted_hooks(),
+            }],
+        }
     }
 
     /// `(vm-compiled hooks, total hooks)` of the design's data path.
+    #[deprecated(note = "use `coverage().vm_compiled()` / `coverage().vm_total()`")]
     pub fn vm_coverage(&self) -> (u32, u32) {
         self.rt.vm_coverage()
     }
@@ -1252,6 +1420,18 @@ impl<'d> InterpRunner<'d> {
 }
 
 impl Runner for AsyncRunner {
+    fn set_backend(&mut self, backend: Backend) {
+        AsyncRunner::set_backend(self, backend)
+    }
+
+    fn backend(&self) -> Backend {
+        AsyncRunner::backend(self)
+    }
+
+    fn coverage(&self) -> CoverageReport {
+        AsyncRunner::coverage(self)
+    }
+
     fn sig_table(&self) -> &Arc<SigTable> {
         AsyncRunner::sig_table(self)
     }
@@ -1294,6 +1474,18 @@ impl Runner for AsyncRunner {
 }
 
 impl<'d> Runner for InterpRunner<'d> {
+    fn set_backend(&mut self, backend: Backend) {
+        InterpRunner::set_backend(self, backend)
+    }
+
+    fn backend(&self) -> Backend {
+        InterpRunner::backend(self)
+    }
+
+    fn coverage(&self) -> CoverageReport {
+        InterpRunner::coverage(self)
+    }
+
     fn sig_table(&self) -> &Arc<SigTable> {
         InterpRunner::sig_table(self)
     }

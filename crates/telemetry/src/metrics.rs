@@ -51,9 +51,15 @@ pub static TABLE_STEPS: Counter = Counter::new("table.steps");
 pub static TABLE_ROWS_SCANNED: Counter = Counter::new("table.rows_scanned");
 /// Steps answered by the single-row `Always` fast path.
 pub static TABLE_ALWAYS_HITS: Counter = Counter::new("table.always_hits");
-/// Steps that fell back to the s-graph walker (mixed states, row-cap
-/// blowouts).
+/// Steps that fell back to the s-graph walker (row-cap blowouts,
+/// fault-demoted states, or `Backend::Walker`).
 pub static TABLE_WALK_FALLBACKS: Counter = Counter::new("table.walk_fallbacks");
+/// Rows that fired a fused residual program (vs a simple emission
+/// slice).
+pub static TABLE_FUSED_HITS: Counter = Counter::new("table.fused_hits");
+/// Ops executed inside fused residual programs (preds, actions,
+/// emits, pads, ends).
+pub static TABLE_FUSED_OPS: Counter = Counter::new("table.fused_ops");
 
 // ---- ecl-types: the data-path bytecode VM -------------------------------
 
@@ -63,7 +69,7 @@ pub static VM_HOOK_RUNS: Counter = Counter::new("vm.hook_runs");
 /// inside a compiled program).
 pub static VM_FALLBACK_STMTS: Counter = Counter::new("vm.fallback_stmts");
 /// Hook dispatches that bypassed the VM entirely (walker-compiled
-/// hook or `set_use_vm(false)`).
+/// hook, a demoted hook, or `Backend::Walker` forced).
 pub static VM_WALKER_HOOKS: Counter = Counter::new("vm.walker_hooks");
 
 /// Opcode mnemonics, in the VM's `Op` declaration order.
@@ -154,6 +160,8 @@ pub fn counters() -> Vec<&'static Counter> {
         &TABLE_ROWS_SCANNED,
         &TABLE_ALWAYS_HITS,
         &TABLE_WALK_FALLBACKS,
+        &TABLE_FUSED_HITS,
+        &TABLE_FUSED_OPS,
         &VM_HOOK_RUNS,
         &VM_FALLBACK_STMTS,
         &VM_WALKER_HOOKS,

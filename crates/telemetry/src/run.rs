@@ -114,6 +114,30 @@ impl EventBuilder {
     }
 }
 
+/// Backend-coverage summary a runner can attach to its `run_end`
+/// event (extra fields on a known kind are schema-legal): how much of
+/// the design executes on the compiled fused backend vs the walker.
+///
+/// Defined here — not in the runner crates — so telemetry stays at the
+/// bottom of the dependency graph; runners convert their own coverage
+/// reports into this flat shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunCoverage {
+    /// Control states fused into compiled rows.
+    pub fused_states: u32,
+    /// Total control states across all tasks.
+    pub states: u32,
+    /// Fused transition rows across all tasks.
+    pub fused_rows: u32,
+    /// Data hooks compiled to VM bytecode.
+    pub vm_compiled: u32,
+    /// Total data hooks across all tasks.
+    pub vm_total: u32,
+    /// Sites (states + hooks) demoted to the walker by fault
+    /// injection.
+    pub demoted_sites: u32,
+}
+
 /// One bracketed simulation run. Construct with [`Run::start`] (emits
 /// `run_start` and claims the correlation id), close with [`Run::end`]
 /// (emits `run_end` with wall time and throughput, then flushes the
@@ -151,6 +175,13 @@ impl Run {
     /// Close the run: emit `run_end` with the instant count, wall
     /// nanoseconds and instants/sec, then flush the sink.
     pub fn end(self, instants: u64) {
+        self.end_with_coverage(instants, None)
+    }
+
+    /// Close the run like [`Run::end`], additionally stamping the
+    /// `run_end` event with backend-coverage fields when `coverage`
+    /// is provided.
+    pub fn end_with_coverage(self, instants: u64, coverage: Option<&RunCoverage>) {
         let wall_ns = self.t0.elapsed().as_nanos() as u64;
         if let Some(e) = event("run_end") {
             let per_sec = if wall_ns == 0 {
@@ -158,12 +189,22 @@ impl Run {
             } else {
                 instants as f64 / (wall_ns as f64 / 1e9)
             };
-            e.str("design", &self.design)
+            let mut e = e
+                .str("design", &self.design)
                 .str("config", &self.config)
                 .u64("instants", instants)
                 .u64("wall_ns", wall_ns)
-                .f64("instants_per_sec", per_sec)
-                .emit();
+                .f64("instants_per_sec", per_sec);
+            if let Some(c) = coverage {
+                e = e
+                    .u64("fused_states", c.fused_states as u64)
+                    .u64("states", c.states as u64)
+                    .u64("fused_rows", c.fused_rows as u64)
+                    .u64("vm_compiled", c.vm_compiled as u64)
+                    .u64("vm_total", c.vm_total as u64)
+                    .u64("demoted_sites", c.demoted_sites as u64);
+            }
+            e.emit();
         }
         CURRENT_RUN.store(0, Ordering::Relaxed);
         sink::flush();

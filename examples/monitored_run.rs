@@ -24,7 +24,9 @@ use ecl_core::{Compiler, Workspace};
 use ecl_observe::{check_async, check_interp, MonitoredRun, WorkspaceObserveExt};
 use ecl_syntax::diag::EclError;
 use ecl_telemetry::Run;
+use efsm::Backend;
 use sim::designs::PROTOCOL_STACK;
+use sim::runner::AsyncRunner;
 use sim::tb::PacketTb;
 
 /// Bracket one monitored run with a telemetry `Run` (a no-op when the
@@ -98,6 +100,36 @@ fn main() {
     let parts = Compiler::default()
         .partition(PROTOCOL_STACK, "toplevel")
         .expect("stack partitions");
+
+    // Execution backends are one knob: `Backend::Compiled` (fused
+    // per-task instant programs — the default) or `Backend::Walker`
+    // (the s-graph reference path that differential tests and fault
+    // demotion fall back onto). `coverage()` reports what the
+    // compiled backend will actually run.
+    let mut probe = AsyncRunner::new(
+        vec![mono.clone()],
+        &Default::default(),
+        Default::default(),
+        Default::default(),
+    )
+    .expect("runner builds");
+    let cov = probe.coverage();
+    println!(
+        "\nbackend {:?}: {}/{} states fused into {} rows, \
+         {}/{} data hooks on bytecode (fully fused: {})",
+        probe.backend(),
+        cov.fused_states(),
+        cov.states(),
+        cov.fused_rows(),
+        cov.vm_compiled(),
+        cov.vm_total(),
+        cov.fully_fused()
+    );
+    probe.set_backend(Backend::Walker);
+    println!(
+        "backend {:?}: same design, same semantics, reference path",
+        probe.backend()
+    );
 
     println!("\nclean run (3 packets):");
     let r = bracketed("example/interp-clean", clean.len(), || {

@@ -86,7 +86,7 @@ pub mod prelude {
 
     // Back ends, machines, simulation.
     pub use codegen::cost::{rtos_cost, task_cost, CostParams};
-    pub use efsm::{BitSet, DataHooks, Efsm, NoHooks, SigId, SigTable};
+    pub use efsm::{Backend, BitSet, DataHooks, Efsm, NoHooks, SigId, SigTable};
     pub use esterel::CompileOptions;
     pub use sim::measure::measure;
     pub use sim::runner::{

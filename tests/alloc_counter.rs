@@ -149,12 +149,17 @@ fn vm_data_path_is_allocation_free_in_steady_state() {
         KernelParams::default(),
     )
     .unwrap();
-    // The whole data path must be on bytecode — a walker fallback
-    // would clone `Value`s per signal read and void the guarantee.
-    let (compiled, total) = runner.vm_coverage();
+    // The whole reaction must be on the compiled backend — a walker
+    // fallback would clone `Value`s per signal read and void the
+    // guarantee.
+    let cov = runner.coverage();
     assert!(
-        compiled == total && total > 0,
-        "stack data hooks fully compiled ({compiled}/{total})"
+        cov.fully_fused() && cov.vm_total() > 0,
+        "stack should fuse completely ({}/{} states, {}/{} hooks)",
+        cov.fused_states(),
+        cov.states(),
+        cov.vm_compiled(),
+        cov.vm_total()
     );
     let mut monitors: Vec<Monitor> = specs
         .iter()

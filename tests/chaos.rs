@@ -1,6 +1,6 @@
 //! Chaos differential suite: deterministic fault injection must be
 //! *reproducible* (same seed ⇒ bit-identical traces, emissions and
-//! monitor verdicts across the walker, table and VM backends),
+//! monitor verdicts across `Backend::Walker` and `Backend::Compiled`),
 //! *inert when off* (an all-zero plan changes nothing), and
 //! *contained* (an injected panic poisons one session, never the
 //! process; watchdog trips conclude `Inconclusive`, not `Err`).
@@ -11,7 +11,7 @@
 use ecl_core::{Compiler, Design};
 use ecl_faults::FaultPlan;
 use ecl_observe::{run_sessions, Monitor, MonitorReport, SessionOutcome, Verdict};
-use efsm::BitSet;
+use efsm::{Backend, BitSet};
 use sim::designs::PROTOCOL_STACK;
 use sim::runner::{AsyncRunner, InterpRunner, Runner, SimErrorKind, WatchdogBudget};
 use sim::tb::{InstantEvents, PacketTb};
@@ -61,14 +61,13 @@ struct RunOut {
     lost_by_task: Vec<(rtk::TaskId, u64)>,
 }
 
-/// One monitored async run on the chosen backends, trace recorded.
+/// One monitored async run on the chosen backend, trace recorded.
 /// Installs nothing — callers install the plan (or not) first.
 fn run_async(
     designs: Vec<Design>,
     specs: &[Arc<ecl_observe::MonitorSpec>],
     events: &[InstantEvents],
-    tables: bool,
-    vm: bool,
+    backend: Backend,
 ) -> (RunOut, u32) {
     let mut r = AsyncRunner::new(
         designs,
@@ -77,8 +76,7 @@ fn run_async(
         Default::default(),
     )
     .expect("runner builds");
-    r.set_use_tables(tables);
-    r.set_use_vm(vm);
+    r.set_backend(backend);
     r.enable_trace(0);
     let mut monitors: Vec<Monitor> = specs
         .iter()
@@ -108,7 +106,7 @@ fn run_async(
 }
 
 /// Fixed seed ⇒ byte-identical injected traces, emission counts, loss
-/// accounting and monitor verdicts across walker ≡ tables ≡ VM. The
+/// accounting and monitor verdicts across walker ≡ compiled. The
 /// plan exercises every cross-backend site class at once: keyed
 /// external drop/delay and fuel squeezes, stream internal drop/delay
 /// and input corruption.
@@ -129,9 +127,9 @@ fn same_seed_is_bit_identical_across_backends() {
     let (sp, ev) = (specs(), events());
     let mut outs = Vec::new();
     let mut stats = Vec::new();
-    for (tables, vm) in [(false, false), (true, false), (true, true)] {
+    for backend in [Backend::Walker, Backend::Compiled] {
         ecl_faults::install(plan.clone());
-        outs.push(run_async(partitioned(), &sp, &ev, tables, vm).0);
+        outs.push(run_async(partitioned(), &sp, &ev, backend).0);
         stats.push(ecl_faults::uninstall().expect("plan installed"));
     }
     assert!(
@@ -139,13 +137,14 @@ fn same_seed_is_bit_identical_across_backends() {
         "the chaos plan injected nothing: {:?}",
         stats[0]
     );
-    assert_eq!(outs[0], outs[1], "walker and tables diverged under faults");
-    assert_eq!(outs[1], outs[2], "tables and VM diverged under faults");
+    assert_eq!(
+        outs[0], outs[1],
+        "walker and compiled diverged under faults"
+    );
     // The injection *decisions* replay identically too: every site's
     // count matches across backends (no vm/table demotion sites are
     // armed in this plan).
     assert_eq!(stats[0], stats[1]);
-    assert_eq!(stats[1], stats[2]);
 }
 
 /// The kernel-free fault sites (external drop/delay, corruption, fuel)
@@ -235,25 +234,32 @@ fn interp_and_async_agree_under_injected_faults() {
     assert_eq!(verdicts[0], verdicts[1], "verdicts diverged");
 }
 
-/// Backend demotion (VM hooks and table states latched onto the
-/// walker) is semantics-preserving: a run where *every* compiled
-/// program is demoted is byte-identical to the clean baseline.
+/// Backend demotion (VM hooks and fused states latched onto the
+/// walker) is semantics-preserving: a `Backend::Compiled` run where
+/// *every* compiled program is demoted is byte-identical to the clean
+/// compiled baseline — and to a clean `Backend::Walker` run, the very
+/// path demotion falls back onto.
 #[test]
 fn demotion_preserves_semantics_bit_for_bit() {
     let _g = locked();
     let (sp, ev) = (specs(), events());
-    let (baseline, _) = run_async(partitioned(), &sp, &ev, true, true);
+    let (baseline, _) = run_async(partitioned(), &sp, &ev, Backend::Compiled);
+    let (walker_baseline, _) = run_async(partitioned(), &sp, &ev, Backend::Walker);
+    assert_eq!(
+        baseline, walker_baseline,
+        "compiled and walker clean runs diverged"
+    );
     ecl_faults::install(FaultPlan {
         vm_fault: 1.0,
         table_fault: 1.0,
         ..FaultPlan::seeded(11)
     });
-    let (demoted_run, demoted_states) = run_async(partitioned(), &sp, &ev, true, true);
+    let (demoted_run, demoted_states) = run_async(partitioned(), &sp, &ev, Backend::Compiled);
     let stats = ecl_faults::uninstall().unwrap();
     assert!(stats.vm_demotions > 0, "no VM hooks demoted: {stats:?}");
     assert!(
         stats.table_demotions > 0,
-        "no table rows demoted: {stats:?}"
+        "no fused states demoted: {stats:?}"
     );
     assert!(demoted_states > 0, "runner latched no demoted states");
     assert_eq!(
@@ -269,13 +275,13 @@ fn switched_off_and_zero_rate_plans_are_inert() {
     let _g = locked();
     let (sp, ev) = (specs(), events());
     assert!(!ecl_faults::enabled(), "no plan should be active");
-    let (off, _) = run_async(partitioned(), &sp, &ev, true, true);
+    let (off, _) = run_async(partitioned(), &sp, &ev, Backend::Compiled);
     ecl_faults::install(FaultPlan::seeded(99));
-    let (zero, _) = run_async(partitioned(), &sp, &ev, true, true);
+    let (zero, _) = run_async(partitioned(), &sp, &ev, Backend::Compiled);
     let stats = ecl_faults::uninstall().unwrap();
     assert_eq!(stats.total(), 0, "a zero-rate plan injected: {stats:?}");
     assert_eq!(off, zero, "an inert plan changed the run");
-    let (off2, _) = run_async(partitioned(), &sp, &ev, true, true);
+    let (off2, _) = run_async(partitioned(), &sp, &ev, Backend::Compiled);
     assert_eq!(off, off2, "faults-off runs are not reproducible");
 }
 
@@ -292,7 +298,7 @@ fn loss_accounting_stays_exact_under_pressure() {
         drop_internal: 0.25,
         ..FaultPlan::seeded(7)
     });
-    let (out, _) = run_async(partitioned(), &sp, &ev, true, true);
+    let (out, _) = run_async(partitioned(), &sp, &ev, Backend::Compiled);
     let stats = ecl_faults::uninstall().unwrap();
     let per_task: u64 = out.lost_by_task.iter().map(|(_, n)| n).sum();
     assert_eq!(
@@ -311,7 +317,7 @@ fn loss_accounting_stays_exact_under_pressure() {
         mailbox_cap: Some(1),
         ..FaultPlan::seeded(7)
     });
-    let (cap_only, _) = run_async(partitioned(), &sp, &ev, true, true);
+    let (cap_only, _) = run_async(partitioned(), &sp, &ev, Backend::Compiled);
     ecl_faults::uninstall();
     assert!(
         cap_only.events_lost >= out.events_lost,

@@ -1,0 +1,208 @@
+//! Walker-forced smoke: `set_backend(Backend::Walker)` forces the
+//! s-graph walker and the tree-walking data interpreter on the whole
+//! reaction path, and the run must be observationally identical to the
+//! default `Backend::Compiled` run — emitted sets per instant,
+//! emission counts, monitor verdicts and the fuel-derived kernel cycle
+//! charges. CI runs this as a dedicated `compiled-off` pass so the
+//! walker (the demotion/differential reference) stays exercised and
+//! green.
+//!
+//! The suite also pins the fusion acceptance criterion: on both
+//! shipped designs every state fuses and every data hook compiles
+//! (`coverage().fully_fused()`), and a telemetry-counted compiled run
+//! takes *zero* walker fallbacks — no s-graph steps inside an instant.
+
+use ecl_observe::{synthesize_all, Monitor};
+use efsm::{Backend, BitSet};
+use sim::designs::{PROTOCOL_STACK, VOICE_PAGER};
+use sim::runner::{AsyncRunner, Runner};
+use sim::tb::{PacketTb, PagerTb};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The telemetry registry is process-global; tests that reset and read
+/// it must not overlap.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn runner(designs: Vec<ecl_core::Design>) -> AsyncRunner {
+    AsyncRunner::new(
+        designs,
+        &Default::default(),
+        Default::default(),
+        Default::default(),
+    )
+    .expect("runner builds")
+}
+
+fn stack_events() -> Vec<sim::tb::InstantEvents> {
+    let mut ev = PacketTb {
+        packets: 40,
+        corrupt_every: 0,
+        reset_every: 0,
+        seed: 1999,
+    }
+    .events();
+    ev.truncate(2000);
+    ev
+}
+
+fn pager_events() -> Vec<sim::tb::InstantEvents> {
+    let mut ev = PagerTb {
+        rounds: 30,
+        frames: 4,
+        seed: 7,
+    }
+    .events();
+    ev.truncate(2000);
+    ev
+}
+
+fn walker_matches_compiled(src: &str, entry: &str, events: &[sim::tb::InstantEvents]) {
+    let design = ecl_core::Compiler::default()
+        .compile_str(src, entry)
+        .expect("design compiles");
+    let prog = ecl_syntax::parse_str(src).expect("source parses");
+    let specs = synthesize_all(&prog).expect("observers synthesize");
+
+    let mut compiled = runner(vec![design.clone()]);
+    assert_eq!(
+        compiled.backend(),
+        Backend::Compiled,
+        "compiled is the default backend"
+    );
+    // The fusion acceptance criterion: every state of the shipped
+    // design fuses into row scan + residual program and every data
+    // hook compiles to bytecode — nothing is left for the walker.
+    let cov = compiled.coverage();
+    assert!(
+        cov.fully_fused(),
+        "`{entry}` should fuse completely: {}/{} states, {}/{} hooks",
+        cov.fused_states(),
+        cov.states(),
+        cov.vm_compiled(),
+        cov.vm_total()
+    );
+    assert!(cov.states() > 0 && cov.vm_total() > 0);
+    let mut walker = runner(vec![design]);
+    walker.set_backend(Backend::Walker);
+    assert_eq!(walker.backend(), Backend::Walker);
+
+    let bind = |r: &AsyncRunner| -> Vec<Monitor> {
+        specs
+            .iter()
+            .map(|s| {
+                let mut m = Monitor::new(Arc::clone(s));
+                m.bind(r.sig_table());
+                m
+            })
+            .collect()
+    };
+    let mut mons_c = bind(&compiled);
+    let mut mons_w = bind(&walker);
+
+    let (mut out_c, mut out_w) = (BitSet::new(), BitSet::new());
+    let mut present = BitSet::new();
+    let mut ev_bits = BitSet::new();
+    for (step, ev) in events.iter().enumerate() {
+        ev_bits.clear();
+        for (name, v) in &ev.valued {
+            let id = compiled
+                .sig_table()
+                .lookup(name)
+                .expect("valued input known");
+            compiled
+                .set_input_i64_id(id, *v)
+                .expect("input on compiled run");
+            walker
+                .set_input_i64_id(id, *v)
+                .expect("input on walker run");
+            ev_bits.insert(id.bit());
+        }
+        for name in ev.pure.iter() {
+            if let Some(id) = compiled.sig_table().lookup(name) {
+                ev_bits.insert(id.bit());
+            }
+        }
+        compiled
+            .instant_ids(&ev_bits, &mut out_c)
+            .expect("compiled instant");
+        walker
+            .instant_ids(&ev_bits, &mut out_w)
+            .expect("walker instant");
+        assert_eq!(out_c, out_w, "emitted sets diverged at instant {step}");
+        present.clear();
+        present.union_with(&ev_bits);
+        present.union_with(&out_c);
+        for (mon_c, mon_w) in mons_c.iter_mut().zip(mons_w.iter_mut()) {
+            mon_c.step_ids(step as u64, &present, compiled.sig_table());
+            mon_w.step_ids(step as u64, &present, walker.sig_table());
+            assert_eq!(
+                mon_c.verdict(),
+                mon_w.verdict(),
+                "observer verdicts diverged at instant {step}"
+            );
+        }
+    }
+    assert_eq!(
+        compiled.counts(),
+        walker.counts(),
+        "emission counts diverged"
+    );
+    // Cycle parity: fused programs charge the walker's exact
+    // nodes-visited and fuel, so the kernels billed identical cycles.
+    assert_eq!(
+        compiled.kernel().task_cycles,
+        walker.kernel().task_cycles,
+        "cycle charges diverged"
+    );
+}
+
+#[test]
+fn stack_walker_matches_compiled() {
+    let _g = locked();
+    walker_matches_compiled(PROTOCOL_STACK, "toplevel", &stack_events());
+}
+
+#[test]
+fn pager_walker_matches_compiled() {
+    let _g = locked();
+    walker_matches_compiled(VOICE_PAGER, "pager", &pager_events());
+}
+
+/// Under `Backend::Compiled`, no reaction ever reaches the s-graph
+/// walker: the telemetry-counted run takes zero `table.walk_fallbacks`
+/// on both shipped designs while resolving every step in the fused
+/// backend.
+#[test]
+fn compiled_run_takes_zero_walker_steps() {
+    let _g = locked();
+    let was = ecl_telemetry::enabled();
+    ecl_telemetry::set_enabled(true);
+    for (src, entry, events) in [
+        (PROTOCOL_STACK, "toplevel", stack_events()),
+        (VOICE_PAGER, "pager", pager_events()),
+    ] {
+        let design = ecl_core::Compiler::default()
+            .compile_str(src, entry)
+            .expect("design compiles");
+        ecl_telemetry::metrics::reset_all();
+        let mut r = runner(vec![design]);
+        r.run_events(&events, |_, _| {}).expect("run succeeds");
+        let c = |name: &str| {
+            ecl_telemetry::metrics::counters()
+                .into_iter()
+                .find(|c| c.name() == name)
+                .map_or(0, |c| c.get())
+        };
+        assert!(c("table.steps") > 0, "`{entry}` took no table steps");
+        assert_eq!(
+            c("table.walk_fallbacks"),
+            0,
+            "`{entry}` fell back to the s-graph walker under Backend::Compiled"
+        );
+    }
+    ecl_telemetry::set_enabled(was);
+}

@@ -5,7 +5,7 @@
 
 use ecl_core::{Compiler, Options, SplitStrategy};
 use ecl_observe::Monitor;
-use efsm::BitSet;
+use efsm::{Backend, BitSet};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use sim::runner::AsyncRunner;
@@ -270,8 +270,11 @@ fn check_vm_vs_walker(src: &str, seeds: u64) -> Result<(), TestCaseError> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut rt_vm = design.new_rt().unwrap();
         let mut rt_w = design.new_rt().unwrap();
-        prop_assert!(rt_vm.vm_enabled(), "the VM is the default backend");
-        rt_w.set_use_vm(false);
+        prop_assert!(
+            rt_vm.backend() == Backend::Compiled,
+            "compiled is the default backend"
+        );
+        rt_w.set_backend(Backend::Walker);
         // Small fuel budget: generated programs can loop for real, and
         // exhaustion is itself a behavior the two backends must share.
         rt_vm.machine_mut().set_fuel(200_000);
@@ -380,6 +383,125 @@ fn check_vm_vs_walker(src: &str, seeds: u64) -> Result<(), TestCaseError> {
             } else {
                 let sync = rt_vm.machine().fuel().min(rt_w.machine().fuel());
                 rt_vm.machine_mut().set_fuel(sync);
+                rt_w.machine_mut().set_fuel(sync);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The fused instant programs ≡ the s-graph walker, on the *data-heavy*
+/// grammar (mixed states: predicates, actions and valued emits
+/// interleaved with presence tests). One runtime steps through
+/// `step_table` — mask scan + per-row residual program — the other
+/// through the reference `step_bits` walk; both keep their data hooks
+/// on the default bytecode VM so the comparison isolates control-path
+/// fusion. They must agree every step on emission order, `StepOut`
+/// (next state *and* `nodes_visited`, the cycle-cost proxy), error
+/// presence, the `pred_evals`/`action_runs` hook counters, the emitted
+/// value of `x`, every root-frame variable, and — on error-free steps
+/// — the exact fuel consumed.
+fn check_fused_vs_walker(src: &str, seeds: u64) -> Result<(), TestCaseError> {
+    let Ok(design) = Compiler::default().compile_str(src, "m") else {
+        return Ok(());
+    };
+    let Ok(machine) = design.to_efsm(&Default::default()) else {
+        return Ok(());
+    };
+    let compiled = efsm::CompiledEfsm::compile(&machine);
+    let a = design.signal("a").unwrap();
+    let b = design.signal("b").unwrap();
+    for seed in 0..seeds {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rt_f = design.new_rt().unwrap();
+        let mut rt_w = design.new_rt().unwrap();
+        rt_f.machine_mut().set_fuel(200_000);
+        rt_w.machine_mut().set_fuel(200_000);
+        let mut st_f = machine.init;
+        let mut st_w = machine.init;
+        for step in 0..60 {
+            let mut bits = BitSet::new();
+            if rng.gen_bool(0.6) {
+                let val = rng.gen_range(-4i64..12);
+                rt_f.set_input_i64("a", val).unwrap();
+                rt_w.set_input_i64("a", val).unwrap();
+                bits.insert(a.0 as usize);
+            }
+            if rng.gen_bool(0.3) {
+                bits.insert(b.0 as usize);
+            }
+            let mut e_f = Vec::new();
+            let mut e_w = Vec::new();
+            let r_f = compiled.step_table(&machine, st_f, &bits, &mut rt_f, &mut e_f);
+            let r_w = machine.step_bits(st_w, &bits, &mut rt_w, &mut e_w);
+            st_f = r_f.next;
+            st_w = r_w.next;
+            prop_assert_eq!(
+                &e_f,
+                &e_w,
+                "emission order diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+            prop_assert_eq!(
+                r_f,
+                r_w,
+                "StepOut diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+            // Both sides run the *same* VM data hooks, so errors must
+            // match exactly — message and span included.
+            let err_f = rt_f.take_error();
+            let err_w = rt_w.take_error();
+            prop_assert_eq!(
+                &err_f,
+                &err_w,
+                "errors diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+            prop_assert_eq!(rt_f.pred_evals, rt_w.pred_evals, "pred_evals diverged");
+            prop_assert_eq!(rt_f.action_runs, rt_w.action_runs, "action_runs diverged");
+            prop_assert_eq!(
+                rt_f.signal_value_by_name("x"),
+                rt_w.signal_value_by_name("x"),
+                "value of x diverged at seed {} step {} in\n{}",
+                seed,
+                step,
+                src
+            );
+            for ((n1, v1), (n2, v2)) in rt_f
+                .machine()
+                .root_entries()
+                .zip(rt_w.machine().root_entries())
+            {
+                prop_assert_eq!(n1, n2);
+                prop_assert_eq!(
+                    v1,
+                    v2,
+                    "variable `{}` diverged at seed {} step {} in\n{}",
+                    n1,
+                    seed,
+                    step,
+                    src
+                );
+            }
+            if err_f.is_none() {
+                prop_assert_eq!(
+                    rt_f.machine().fuel(),
+                    rt_w.machine().fuel(),
+                    "fuel diverged at seed {} step {} in\n{}",
+                    seed,
+                    step,
+                    src
+                );
+            } else {
+                let sync = rt_f.machine().fuel().min(rt_w.machine().fuel());
+                rt_f.machine_mut().set_fuel(sync);
                 rt_w.machine_mut().set_fuel(sync);
             }
         }
@@ -633,9 +755,12 @@ fn check_table_vs_sgraph(src: &str, seeds: u64) -> Result<(), TestCaseError> {
     for seed in 0..seeds {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut walked = build();
-        walked.set_use_tables(false);
+        walked.set_backend(Backend::Walker);
         let mut tabled = build();
-        prop_assert!(tabled.tables_enabled(), "tables are the default backend");
+        prop_assert!(
+            tabled.backend() == Backend::Compiled,
+            "compiled is the default backend"
+        );
         let ga = tabled.sig_table().lookup("a").expect("a interned");
         let gb = tabled.sig_table().lookup("b").expect("b interned");
         let mut mon_w = Monitor::new(Arc::clone(&spec));
@@ -734,6 +859,17 @@ proptest! {
     fn vm_matches_walker(seed in 0u64..10_000) {
         let src = gen_data_module(seed);
         check_vm_vs_walker(&src, 3)?;
+    }
+
+    /// The fused instant programs ≡ the s-graph walker on the same
+    /// data-heavy grammar (mixed states with preds, actions and valued
+    /// emits between presence tests): exact emission order, `StepOut`
+    /// including `nodes_visited`, hook counters, frames, signal values
+    /// and fuel, every step.
+    #[test]
+    fn fused_matches_walker(seed in 0u64..10_000) {
+        let src = gen_data_module(seed);
+        check_fused_vs_walker(&src, 3)?;
     }
 
     /// Both strategies agree with each other on outputs.
