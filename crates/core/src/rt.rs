@@ -32,6 +32,7 @@ use ecl_types::{
 };
 use efsm::{ActionId, Backend, DataHooks, ExprId, PredId, Signal};
 use std::fmt;
+use std::sync::Arc;
 
 /// Runtime construction/evaluation failure.
 #[derive(Debug, Clone)]
@@ -89,7 +90,9 @@ pub struct Rt {
     /// skipped until it is taken).
     error: Option<ecl_types::EvalError>,
     /// Bytecode programs compiled from the data table at construction.
-    progs: DataProgs,
+    /// Immutable after lowering; `Arc`-shared so cloning an `Rt` (fleet
+    /// sessions, checkpoints) never re-copies the compiled data path.
+    progs: Arc<DataProgs>,
     /// Per-hook walker-demotion latches (fault-injection recovery).
     demoted: Demoted,
     /// Register-file scratch reused across hook runs (no steady-state
@@ -184,7 +187,7 @@ impl Rt {
             sig_types: &sig_types,
         };
         let mut lw = Lowering::new(&mut machine, &layout);
-        let progs = DataProgs {
+        let progs = Arc::new(DataProgs {
             preds: data.preds.iter().map(|e| lw.pred(e)).collect(),
             actions: data.actions.iter().map(|a| lw.action(a)).collect(),
             emits: data
@@ -193,7 +196,7 @@ impl Rt {
                 .map(|(e, sig)| lw.emit(e, sig.0 as usize, sig_types[sig.0 as usize]))
                 .collect(),
             root_len: machine.root_len(),
-        };
+        });
         let demoted = Demoted {
             preds: vec![false; progs.preds.len()],
             actions: vec![false; progs.actions.len()],
@@ -237,23 +240,6 @@ impl Rt {
     /// The active data-hook backend.
     pub fn backend(&self) -> Backend {
         self.backend
-    }
-
-    /// Dispatch data hooks to the bytecode VM (`true`) or force the
-    /// tree-walker (`false`).
-    #[deprecated(note = "use `set_backend(Backend::Compiled | Backend::Walker)`")]
-    pub fn set_use_vm(&mut self, on: bool) {
-        self.set_backend(if on {
-            Backend::Compiled
-        } else {
-            Backend::Walker
-        });
-    }
-
-    /// Is the bytecode VM active?
-    #[deprecated(note = "use `backend() == Backend::Compiled`")]
-    pub fn vm_enabled(&self) -> bool {
-        self.backend == Backend::Compiled
     }
 
     /// How many compiled hooks have been demoted to the walker by the

@@ -23,7 +23,7 @@ use ecl_syntax::diag::DiagSink;
 use ecl_syntax::fxmap::FxHashMap;
 use ecl_syntax::source::Span;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Error during data-code evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,7 +110,7 @@ struct Scope {
 #[derive(Debug, Clone)]
 pub struct Machine {
     table: TypeTable,
-    funcs: FxHashMap<String, Rc<Function>>,
+    funcs: FxHashMap<String, Arc<Function>>,
     scopes: Vec<Scope>,
     /// Identifier memo: source span → (declaration epoch, scope, slot)
     /// of the last resolution. An entry is valid only when no *new*
@@ -163,7 +163,7 @@ impl Machine {
 
     /// Register a callable C function.
     pub fn add_function(&mut self, f: &Function) {
-        self.funcs.insert(f.name.name.clone(), Rc::new(f.clone()));
+        self.funcs.insert(f.name.name.clone(), Arc::new(f.clone()));
     }
 
     /// Open a new variable scope.
@@ -763,7 +763,7 @@ impl Machine {
         span: Span,
         sigs: &dyn SignalReader,
     ) -> Result<Value, EvalError> {
-        let Some(f) = self.funcs.get(name).map(Rc::clone) else {
+        let Some(f) = self.funcs.get(name).map(Arc::clone) else {
             return err(format!("unknown function `{name}`"), span);
         };
         let Some(body) = f.body.as_ref() else {

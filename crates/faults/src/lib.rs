@@ -89,6 +89,21 @@ pub struct FaultPlan {
     /// Panic injected at the start of this instant (once per
     /// install) — exercises the session containment boundary.
     pub panic_at: Option<u64>,
+    /// P(a fleet session is killed at all), keyed by session id. A
+    /// killed session dies (injected panic) at a deterministic
+    /// instant in `[0, kill_within)`, at most once per install — the
+    /// supervisor's restart path replays past the site without
+    /// re-dying.
+    pub kill_session: f64,
+    /// Exclusive upper bound of the kill instant; min 1.
+    pub kill_within: u64,
+    /// P(stall) per `(shard, quantum)`, keyed: the fleet worker
+    /// sleeps `stall_ms` before running the quantum. Purely temporal
+    /// — session results must be byte-identical under any stall
+    /// pattern (the chaos suite proves it).
+    pub shard_stall: f64,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
 }
 
 impl Default for FaultPlan {
@@ -107,6 +122,10 @@ impl Default for FaultPlan {
             vm_fault: 0.0,
             table_fault: 0.0,
             panic_at: None,
+            kill_session: 0.0,
+            kill_within: 100,
+            shard_stall: 0.0,
+            stall_ms: 1,
         }
     }
 }
@@ -144,6 +163,10 @@ pub struct InjectionStats {
     pub table_demotions: u64,
     /// Panics injected.
     pub panics: u64,
+    /// Fleet sessions killed at an instant boundary.
+    pub session_kills: u64,
+    /// Fleet shard quanta stalled.
+    pub shard_stalls: u64,
 }
 
 impl InjectionStats {
@@ -159,6 +182,8 @@ impl InjectionStats {
             + self.vm_demotions
             + self.table_demotions
             + self.panics
+            + self.session_kills
+            + self.shard_stalls
     }
 }
 
@@ -168,6 +193,9 @@ struct Active {
     internal_rng: StdRng,
     corrupt_rng: StdRng,
     panic_fired: bool,
+    /// Sessions the kill site already fired for (one-shot per
+    /// session per install, so checkpoint replay survives the site).
+    kills_fired: Vec<u64>,
     stats: InjectionStats,
 }
 
@@ -187,6 +215,9 @@ const SALT_CORRUPT: u64 = 0x6;
 const SALT_FUEL: u64 = 0x7;
 const SALT_VM: u64 = 0x8;
 const SALT_TABLE: u64 = 0x9;
+const SALT_KILL: u64 = 0x5;
+const SALT_KILL_AT: u64 = 0xA;
+const SALT_STALL: u64 = 0xB;
 
 /// SplitMix64 finalizer over the seed, a site salt and two
 /// coordinates — the keyed-site decision function.
@@ -232,6 +263,7 @@ pub fn note_degraded(site: &str, key: &str, index: u64) {
     }
     if let Some(e) = ecl_telemetry::event("error") {
         e.str("msg", "compiled backend demoted to walker")
+            .u64("session", ecl_telemetry::current_session())
             .str("site", site)
             .str("kind", key)
             .u64("index", index)
@@ -252,6 +284,7 @@ pub fn install(plan: FaultPlan) {
             plan.seed ^ SALT_CORRUPT.wrapping_mul(0x9E3779B97F4A7C15),
         ),
         panic_fired: false,
+        kills_fired: Vec::new(),
         stats: InjectionStats::default(),
         plan,
     });
@@ -498,6 +531,64 @@ pub fn panic_due(instant: u64) -> bool {
     true
 }
 
+/// Should fleet session `session` be killed at `instant`? Keyed: the
+/// victim set is chosen by `(seed, session)` and each victim dies at
+/// one deterministic instant in `[0, kill_within)`. One-shot per
+/// session per install — the supervisor's checkpoint replay crosses
+/// the same instant again without re-dying, so restarts converge.
+pub fn kill_due(session: u64, instant: u64) -> bool {
+    if !enabled() {
+        return false;
+    }
+    let mut g = active();
+    let Some(a) = g.as_mut() else { return false };
+    if !hit(a.plan.seed, SALT_KILL, session, 0, a.plan.kill_session) {
+        return false;
+    }
+    let at = mix(a.plan.seed, SALT_KILL_AT, session, 0) % a.plan.kill_within.max(1);
+    if instant != at || a.kills_fired.contains(&session) {
+        return false;
+    }
+    a.kills_fired.push(session);
+    a.stats.session_kills += 1;
+    drop(g);
+    note_injected("kill_session", session, instant);
+    true
+}
+
+/// Which instant would [`kill_due`] fire at for `session`, if any —
+/// lets chaos tests predict the victim set without consuming the
+/// one-shot latch.
+pub fn kill_instant(session: u64) -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    let g = active();
+    let a = g.as_ref()?;
+    hit(a.plan.seed, SALT_KILL, session, 0, a.plan.kill_session)
+        .then(|| mix(a.plan.seed, SALT_KILL_AT, session, 0) % a.plan.kill_within.max(1))
+}
+
+/// Should fleet shard `shard` stall before running quantum `quantum`?
+/// Returns the stall in milliseconds. Keyed — purely temporal: the
+/// chaos suite proves session outputs are byte-identical under any
+/// stall pattern.
+pub fn shard_stall(shard: u64, quantum: u64) -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    let mut g = active();
+    let a = g.as_mut()?;
+    if !hit(a.plan.seed, SALT_STALL, shard, quantum, a.plan.shard_stall) {
+        return None;
+    }
+    let ms = a.plan.stall_ms;
+    a.stats.shard_stalls += 1;
+    drop(g);
+    note_injected("shard_stall", shard, quantum);
+    Some(ms)
+}
+
 /// Configure from the environment: `ECL_FAULTS` holds a
 /// comma-separated `key=value` list, e.g.
 /// `ECL_FAULTS=seed=7,drop_external=0.02,mailbox_cap=3,panic_at=100`.
@@ -535,6 +626,10 @@ pub fn init_from_env() -> bool {
             "vm_fault" => v.parse().map(|x| plan.vm_fault = x).is_ok(),
             "table_fault" => v.parse().map(|x| plan.table_fault = x).is_ok(),
             "panic_at" => v.parse().map(|x| plan.panic_at = Some(x)).is_ok(),
+            "kill_session" => v.parse().map(|x| plan.kill_session = x).is_ok(),
+            "kill_within" => v.parse().map(|x| plan.kill_within = x).is_ok(),
+            "shard_stall" => v.parse().map(|x| plan.shard_stall = x).is_ok(),
+            "stall_ms" => v.parse().map(|x| plan.stall_ms = x).is_ok(),
             other => {
                 eprintln!("ecl-faults: unknown ECL_FAULTS key `{other}`");
                 continue;
@@ -575,7 +670,61 @@ mod tests {
         assert!(!vm_fault(VM_PRED, 0));
         assert!(!table_fault(0, 0));
         assert!(!panic_due(0));
+        assert!(!kill_due(0, 0));
+        assert!(kill_instant(0).is_none());
+        assert!(shard_stall(0, 0).is_none());
         assert!(stats().is_none());
+    }
+
+    #[test]
+    fn kill_site_is_one_shot_per_session() {
+        let _g = locked();
+        install(FaultPlan {
+            kill_session: 1.0,
+            kill_within: 10,
+            ..FaultPlan::seeded(11)
+        });
+        let at = kill_instant(3).expect("rate 1.0 marks every session");
+        assert!(at < 10);
+        assert!(!kill_due(3, at + 1), "kill must fire at its own instant");
+        assert!(kill_due(3, at));
+        assert!(!kill_due(3, at), "kill site must be one-shot per session");
+        // Other sessions keep their own independent latch.
+        let at4 = kill_instant(4).unwrap();
+        assert!(kill_due(4, at4));
+        install(FaultPlan {
+            kill_session: 1.0,
+            kill_within: 10,
+            ..FaultPlan::seeded(11)
+        });
+        assert_eq!(
+            kill_instant(3),
+            Some(at),
+            "kill instant moved under reinstall"
+        );
+        assert!(kill_due(3, at), "reinstall re-arms the kill site");
+        assert_eq!(uninstall().unwrap().session_kills, 1);
+    }
+
+    #[test]
+    fn stall_site_is_keyed_and_bounded() {
+        let _g = locked();
+        install(FaultPlan {
+            shard_stall: 0.5,
+            stall_ms: 3,
+            ..FaultPlan::seeded(21)
+        });
+        let a: Vec<Option<u64>> = (0..64).map(|q| shard_stall(1, q)).collect();
+        install(FaultPlan {
+            shard_stall: 0.5,
+            stall_ms: 3,
+            ..FaultPlan::seeded(21)
+        });
+        let b: Vec<Option<u64>> = (0..64).map(|q| shard_stall(1, q)).collect();
+        assert_eq!(a, b, "keyed stall decisions moved under reinstall");
+        assert!(a.iter().any(|x| x == &Some(3)), "stall never fired");
+        assert!(a.iter().any(|x| x.is_none()), "stall always fired");
+        uninstall();
     }
 
     #[test]

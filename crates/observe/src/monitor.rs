@@ -155,16 +155,6 @@ impl Monitor {
         self.backend
     }
 
-    /// Choose the stepping backend: tables on/off.
-    #[deprecated(note = "use `set_backend(Backend::Compiled | Backend::Walker)`")]
-    pub fn set_use_table(&mut self, on: bool) {
-        self.set_backend(if on {
-            Backend::Compiled
-        } else {
-            Backend::Walker
-        });
-    }
-
     /// One machine instant over the chosen backend, with
     /// `input_scratch` as the monitor-local present set.
     fn machine_step(&mut self) {

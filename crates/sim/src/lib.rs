@@ -26,7 +26,8 @@ pub mod trace;
 
 pub use measure::{measure, Measurement};
 pub use runner::{
-    AsyncRunner, CoverageReport, InterpRunner, Present, Runner, SimError, TaskCoverage,
+    AsyncRunner, CoverageReport, InterpRunner, Present, Runner, RunnerSnapshot, SharedProgram,
+    SimError, Snapshot, TaskCoverage, TaskProgram,
 };
-pub use tb::{InstantEvents, PacketTb};
+pub use tb::{InstantEvents, PacketTb, PagerTb};
 pub use trace::{Recorder, Trace, TraceEvent, TraceRecord};

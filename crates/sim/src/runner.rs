@@ -387,6 +387,12 @@ pub trait Runner {
     /// The next environment instant number.
     fn now(&self) -> u64;
 
+    /// The fleet session id telemetry `error` lines carry (0 for
+    /// runners outside a fleet — see [`AsyncRunner::set_session`]).
+    fn session_id(&self) -> u64 {
+        0
+    }
+
     /// Flush loss accounting to telemetry (an `events_lost` event per
     /// task with a non-zero count). A no-op for runners without a
     /// kernel; [`AsyncRunner`] reports mailbox-overwrite losses.
@@ -446,6 +452,7 @@ pub trait Runner {
                 tm::SIM_ERRORS.add(1);
                 if let Some(ev) = ecl_telemetry::event("error") {
                     ev.u64("instant", instant)
+                        .u64("session", self.session_id())
                         .str("kind", e.kind.as_str())
                         .str("msg", &e.msg)
                         .emit();
@@ -552,24 +559,126 @@ fn check_watchdog(
     Ok(())
 }
 
-/// One RTOS task: a compiled design plus its data runtime and the
-/// local ↔ global signal wiring.
-struct Task {
+/// The immutable compilation product of one task: the design, its
+/// EFSM, the fused compiled program, the local ↔ global signal wiring
+/// and a prototype runtime. Built once by [`SharedProgram::compile`]
+/// and `Arc`-shared by every runner instantiated from it — a fleet of
+/// N sessions pays for compilation exactly once.
+pub struct TaskProgram {
     design: Design,
     efsm: Efsm,
     /// Fused compiled backend of `efsm`: every state — pure or mixed —
     /// as mask-scan rows falling through into residual bytecode (only
     /// row-cap blowouts keep the s-graph walker).
     table: CompiledEfsm,
-    rt: Rt,
-    state: StateId,
-    id: TaskId,
+    /// Prototype runtime, cloned per session (its compiled data
+    /// programs are themselves `Arc`-shared inside [`Rt`]).
+    proto_rt: Rt,
     /// Local signal index → interned global id.
     to_global: Vec<SigId>,
     /// Global id → local signal (None when this task doesn't know it).
     from_global: Vec<Option<Signal>>,
     /// Local signal index → carries a value?
     valued: Vec<bool>,
+    /// Global bits of the task's external inputs (kernel watch-set).
+    watches: BitSet,
+    /// Kernel priority (program order: earlier designs run higher).
+    priority: u8,
+}
+
+/// One design set compiled once, instantiable many times: the shared,
+/// immutable half of a session fleet. [`AsyncRunner::from_shared`]
+/// stamps out an independent runner (own kernel, runtimes, trace,
+/// counters) over these `Arc`'d programs without recompiling.
+#[derive(Clone)]
+pub struct SharedProgram {
+    tasks: Vec<Arc<TaskProgram>>,
+    sig_table: Arc<SigTable>,
+}
+
+impl SharedProgram {
+    /// Compile `designs` (one task each) into a shareable program set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates EFSM compilation and runtime construction failures.
+    pub fn compile(
+        designs: Vec<Design>,
+        compile_opts: &CompileOptions,
+    ) -> Result<SharedProgram, SimError> {
+        // Pass 1: compile everything and intern the global namespace.
+        let mut table = SigTable::new();
+        let mut compiled = Vec::new();
+        for design in designs {
+            let efsm = design
+                .to_efsm(compile_opts)
+                .map_err(|e| SimError::eval(e.to_string()))?;
+            for info in &efsm.signals {
+                table.intern(&info.name);
+            }
+            let rt = design.new_rt().map_err(|e| SimError::eval(e.to_string()))?;
+            compiled.push((design, efsm, rt));
+        }
+        // Pass 2: wire each task through the now-complete table.
+        let mut tasks = Vec::new();
+        for (i, (design, efsm, proto_rt)) in compiled.into_iter().enumerate() {
+            let to_global: Vec<SigId> = efsm
+                .signals
+                .iter()
+                .map(|info| table.lookup(&info.name).expect("interned in pass 1"))
+                .collect();
+            let mut from_global: Vec<Option<Signal>> = vec![None; table.len()];
+            for (local, gid) in to_global.iter().enumerate() {
+                from_global[gid.bit()] = Some(Signal(local as u32));
+            }
+            let valued: Vec<bool> = efsm.signals.iter().map(|info| info.valued).collect();
+            let watches: BitSet = efsm
+                .inputs()
+                .map(|(s, _)| to_global[s.0 as usize].bit())
+                .collect();
+            let table_c = CompiledEfsm::compile(&efsm);
+            tasks.push(Arc::new(TaskProgram {
+                design,
+                efsm,
+                table: table_c,
+                proto_rt,
+                to_global,
+                from_global,
+                valued,
+                watches,
+                priority: (10 - i.min(9)) as u8,
+            }));
+        }
+        Ok(SharedProgram {
+            tasks,
+            sig_table: Arc::new(table),
+        })
+    }
+
+    /// The design-wide signal interner.
+    pub fn sig_table(&self) -> &Arc<SigTable> {
+        &self.sig_table
+    }
+
+    /// Number of tasks in the program set.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The designs, in task order.
+    pub fn designs(&self) -> impl Iterator<Item = &Design> {
+        self.tasks.iter().map(|t| &t.design)
+    }
+}
+
+/// One RTOS task: an `Arc`-shared compiled program plus this
+/// session's private mutable state (runtime, control state,
+/// degradation latches).
+struct Task {
+    prog: Arc<TaskProgram>,
+    rt: Rt,
+    state: StateId,
+    id: TaskId,
     /// States whose compiled table row was demoted to the s-graph
     /// walker by the graceful-degradation ladder (latched; empty
     /// unless a fault plan demoted something).
@@ -606,6 +715,9 @@ pub struct AsyncRunner {
     /// unwinds through `instant_ids` — the poisoned-state detector:
     /// further instants are refused with [`SimErrorKind::Poisoned`].
     in_instant: bool,
+    /// Fleet session id carried on telemetry `error` lines (0 outside
+    /// a fleet).
+    session: u64,
     /// Externally-delayed events: `(due instant, signal bit)`. Empty
     /// unless a fault plan delays stimuli.
     delayed: Vec<(u64, usize)>,
@@ -621,7 +733,10 @@ pub struct AsyncRunner {
 }
 
 impl AsyncRunner {
-    /// Build a runner from compiled designs (one task each).
+    /// Build a runner from compiled designs (one task each). Compiles
+    /// a private [`SharedProgram`] — fleets that stamp out many
+    /// sessions over one design set should compile once and use
+    /// [`AsyncRunner::from_shared`] instead.
     ///
     /// # Errors
     ///
@@ -632,56 +747,39 @@ impl AsyncRunner {
         cost: CostParams,
         kernel_params: KernelParams,
     ) -> Result<AsyncRunner, SimError> {
+        let shared = SharedProgram::compile(designs, compile_opts)?;
+        Ok(AsyncRunner::from_shared(&shared, cost, kernel_params))
+    }
+
+    /// Instantiate an independent session over an already-compiled
+    /// program set: fresh kernel, cloned prototype runtimes, zeroed
+    /// counters — no recompilation, no copy of the compiled tables or
+    /// bytecode (both stay behind the shared `Arc`s).
+    pub fn from_shared(
+        shared: &SharedProgram,
+        cost: CostParams,
+        kernel_params: KernelParams,
+    ) -> AsyncRunner {
         let mut kernel = Kernel::new(kernel_params);
-        // Pass 1: compile everything and intern the global namespace.
-        let mut table = SigTable::new();
-        let mut compiled = Vec::new();
-        for design in designs {
-            let efsm = design
-                .to_efsm(compile_opts)
-                .map_err(|e| SimError::eval(e.to_string()))?;
-            for info in &efsm.signals {
-                table.intern(&info.name);
-            }
-            let rt = design.new_rt().map_err(|e| SimError::eval(e.to_string()))?;
-            compiled.push((design, efsm, rt));
-        }
-        // Pass 2: wire tasks through the now-complete table.
         let mut tasks = Vec::new();
-        for (i, (design, efsm, rt)) in compiled.into_iter().enumerate() {
-            let to_global: Vec<SigId> = efsm
-                .signals
-                .iter()
-                .map(|info| table.lookup(&info.name).expect("interned in pass 1"))
-                .collect();
-            let mut from_global: Vec<Option<Signal>> = vec![None; table.len()];
-            for (local, gid) in to_global.iter().enumerate() {
-                from_global[gid.bit()] = Some(Signal(local as u32));
-            }
-            let valued: Vec<bool> = efsm.signals.iter().map(|info| info.valued).collect();
-            let watches: BitSet = efsm
-                .inputs()
-                .map(|(s, _)| to_global[s.0 as usize].bit())
-                .collect();
-            let id = kernel.add_task(design.entry.clone(), (10 - i.min(9)) as u8, watches);
-            let table = CompiledEfsm::compile(&efsm);
+        for prog in &shared.tasks {
+            let id = kernel.add_task(
+                prog.design.entry.clone(),
+                prog.priority,
+                prog.watches.clone(),
+            );
             tasks.push(Task {
-                state: efsm.init,
-                design,
-                efsm,
-                table,
-                rt,
+                rt: prog.proto_rt.clone(),
+                state: prog.efsm.init,
+                prog: Arc::clone(prog),
                 id,
-                to_global,
-                from_global,
-                valued,
                 demoted_states: BitSet::new(),
                 fuel_credit: 0,
             });
         }
-        let table = Arc::new(table);
+        let table = Arc::clone(&shared.sig_table);
         let counts = vec![0; table.len()];
-        Ok(AsyncRunner {
+        AsyncRunner {
             tasks,
             kernel,
             cost,
@@ -692,13 +790,26 @@ impl AsyncRunner {
             counts,
             watchdog: None,
             in_instant: false,
+            session: 0,
             delayed: Vec::new(),
             evset_scratch: BitSet::new(),
             local_scratch: BitSet::new(),
             emit_scratch: Vec::new(),
             order_scratch: Vec::new(),
             fault_scratch: BitSet::new(),
-        })
+        }
+    }
+
+    /// Tag this runner with a fleet session id — carried on its
+    /// telemetry `error` lines (and by the supervisor's `run_*`
+    /// events) so fleet JSONL streams are attributable per session.
+    pub fn set_session(&mut self, session: u64) {
+        self.session = session;
+    }
+
+    /// The session id this runner is tagged with (0 outside a fleet).
+    pub fn session(&self) -> u64 {
+        self.session
     }
 
     /// Access the kernel (cycle counters, loss statistics).
@@ -713,12 +824,12 @@ impl AsyncRunner {
 
     /// The designs running in the tasks.
     pub fn designs(&self) -> impl Iterator<Item = &Design> {
-        self.tasks.iter().map(|t| &t.design)
+        self.tasks.iter().map(|t| &t.prog.design)
     }
 
     /// The compiled machines.
     pub fn machines(&self) -> impl Iterator<Item = &Efsm> {
-        self.tasks.iter().map(|t| &t.efsm)
+        self.tasks.iter().map(|t| &t.prog.efsm)
     }
 
     /// Choose the execution backend for every task — control dispatch
@@ -735,38 +846,6 @@ impl AsyncRunner {
         self.backend
     }
 
-    /// Choose the control backend: tables on/off.
-    #[deprecated(note = "use `set_backend(Backend::Compiled | Backend::Walker)`")]
-    pub fn set_use_tables(&mut self, on: bool) {
-        self.set_backend(if on {
-            Backend::Compiled
-        } else {
-            Backend::Walker
-        });
-    }
-
-    /// Is the compiled backend active?
-    #[deprecated(note = "use `backend() == Backend::Compiled`")]
-    pub fn tables_enabled(&self) -> bool {
-        self.backend == Backend::Compiled
-    }
-
-    /// Choose the data backend: VM on/off.
-    #[deprecated(note = "use `set_backend(Backend::Compiled | Backend::Walker)`")]
-    pub fn set_use_vm(&mut self, on: bool) {
-        self.set_backend(if on {
-            Backend::Compiled
-        } else {
-            Backend::Walker
-        });
-    }
-
-    /// Is the bytecode data path active?
-    #[deprecated(note = "use `backend() == Backend::Compiled`")]
-    pub fn vm_enabled(&self) -> bool {
-        self.backend == Backend::Compiled
-    }
-
     /// Compiled-backend coverage, one [`TaskCoverage`] per task.
     pub fn coverage(&self) -> CoverageReport {
         CoverageReport {
@@ -776,10 +855,10 @@ impl AsyncRunner {
                 .map(|t| {
                     let (vm_compiled, vm_total) = t.rt.vm_coverage();
                     TaskCoverage {
-                        task: t.design.entry.clone(),
-                        states: t.efsm.states.len() as u32,
-                        fused_states: t.table.fused_states(),
-                        fused_rows: t.table.row_count() as u32,
+                        task: t.prog.design.entry.clone(),
+                        states: t.prog.efsm.states.len() as u32,
+                        fused_states: t.prog.table.fused_states(),
+                        fused_rows: t.prog.table.row_count() as u32,
                         vm_compiled,
                         vm_total,
                         demoted_states: t.demoted_states.len() as u32,
@@ -788,20 +867,6 @@ impl AsyncRunner {
                 })
                 .collect(),
         }
-    }
-
-    /// `(vm-compiled hooks, total hooks)` over all tasks.
-    #[deprecated(note = "use `coverage().vm_compiled()` / `coverage().vm_total()`")]
-    pub fn vm_coverage(&self) -> (u32, u32) {
-        let c = self.coverage();
-        (c.vm_compiled(), c.vm_total())
-    }
-
-    /// `(fused states, total states)` over all tasks.
-    #[deprecated(note = "use `coverage().fused_states()` / `coverage().states()`")]
-    pub fn tabled_states(&self) -> (u32, u32) {
-        let c = self.coverage();
-        (c.fused_states(), c.states())
     }
 
     /// Install (or clear) the per-instant watchdog budgets.
@@ -850,10 +915,10 @@ impl AsyncRunner {
     pub fn set_input_i64_id(&mut self, sig: SigId, v: i64) -> Result<(), SimError> {
         let mut hit = false;
         let entry_err = |t: &Task, e: ecl_core::rt::RtError| {
-            SimError::eval(format!("task `{}`: {e}", t.design.entry))
+            SimError::eval(format!("task `{}`: {e}", t.prog.design.entry))
         };
         for ti in 0..self.tasks.len() {
-            let Some(Some(local)) = self.tasks[ti].from_global.get(sig.bit()).copied() else {
+            let Some(Some(local)) = self.tasks[ti].prog.from_global.get(sig.bit()).copied() else {
                 continue;
             };
             let t = &mut self.tasks[ti];
@@ -1035,7 +1100,7 @@ impl AsyncRunner {
         {
             let t = &self.tasks[ti];
             for g in self.evset_scratch.iter() {
-                if let Some(Some(local)) = t.from_global.get(g) {
+                if let Some(Some(local)) = t.prog.from_global.get(g) {
                     self.local_scratch.insert(local.0 as usize);
                 }
             }
@@ -1060,15 +1125,15 @@ impl AsyncRunner {
                 }
             }
             let r = if compiled {
-                t.table.step_table(
-                    &t.efsm,
+                t.prog.table.step_table(
+                    &t.prog.efsm,
                     t.state,
                     &self.local_scratch,
                     &mut t.rt,
                     &mut self.emit_scratch,
                 )
             } else {
-                t.efsm.step_bits(
+                t.prog.efsm.step_bits(
                     t.state,
                     &self.local_scratch,
                     &mut t.rt,
@@ -1078,7 +1143,7 @@ impl AsyncRunner {
             t.state = r.next;
             if let Some(e) = t.rt.take_error() {
                 self.emit_scratch.clear();
-                return err(format!("task `{}`: {e}", t.design.entry));
+                return err(format!("task `{}`: {e}", t.prog.design.entry));
             }
             r
         };
@@ -1094,7 +1159,7 @@ impl AsyncRunner {
         let tid = self.tasks[ti].id;
         for k in 0..self.emit_scratch.len() {
             let local = self.emit_scratch[k];
-            let gid = self.tasks[ti].to_global[local.0 as usize];
+            let gid = self.tasks[ti].prog.to_global[local.0 as usize];
             if self.recorder.is_enabled() {
                 let t = &self.tasks[ti];
                 let traced =
@@ -1104,14 +1169,15 @@ impl AsyncRunner {
             }
             // Copy the value into every *other* task that reads it
             // (single-task runs skip the clone entirely).
-            if self.tasks.len() > 1 && self.tasks[ti].valued[local.0 as usize] {
+            if self.tasks.len() > 1 && self.tasks[ti].prog.valued[local.0 as usize] {
                 let value = self.tasks[ti].rt.signal_value(local.0 as usize).cloned();
                 if let Some(v) = value {
                     for rj in 0..self.tasks.len() {
                         if rj == ti {
                             continue;
                         }
-                        let Some(Some(lj)) = self.tasks[rj].from_global.get(gid.bit()).copied()
+                        let Some(Some(lj)) =
+                            self.tasks[rj].prog.from_global.get(gid.bit()).copied()
                         else {
                             continue;
                         };
@@ -1128,6 +1194,128 @@ impl AsyncRunner {
         }
         self.emit_scratch.clear();
         Ok((r.nodes_visited, ops))
+    }
+}
+
+/// One task's private mutable state inside a [`RunnerSnapshot`].
+#[derive(Clone)]
+struct TaskSnapshot {
+    state: StateId,
+    rt: Rt,
+    demoted_states: BitSet,
+    fuel_credit: u64,
+}
+
+/// The full mutable reaction state of an [`AsyncRunner`] captured at
+/// an instant boundary: kernel mailboxes and deferred queues, every
+/// task's EFSM control state and data runtime (slot file, signal
+/// values, demotion latches, fuel), emission counters, the trace
+/// ring, pending delayed stimuli, the backend choice and the watchdog
+/// budgets. Restoring it resumes the session bit-identically — VCD
+/// bytes, verdicts, `nodes_visited` and fuel all match a run that was
+/// never interrupted (property-tested in `tests/checkpoint.rs`).
+#[derive(Clone)]
+pub struct RunnerSnapshot {
+    instant: u64,
+    backend: Backend,
+    kernel: Kernel,
+    counts: Vec<u64>,
+    recorder: Recorder,
+    watchdog: Option<WatchdogBudget>,
+    delayed: Vec<(u64, usize)>,
+    session: u64,
+    tasks: Vec<TaskSnapshot>,
+}
+
+impl RunnerSnapshot {
+    /// The instant the snapshot was taken at (the next one to run).
+    pub fn instant(&self) -> u64 {
+        self.instant
+    }
+}
+
+/// Checkpoint/restore of a runner's mutable state at instant
+/// boundaries — the state-extraction surface the fleet supervisor
+/// builds restart-with-backoff on.
+pub trait Snapshot {
+    /// Capture the full mutable reaction state. Only valid at an
+    /// instant boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`SimErrorKind::Poisoned`] when called mid-instant (a poisoned
+    /// runner's state is torn; restore from an earlier snapshot
+    /// instead).
+    fn snapshot(&self) -> Result<RunnerSnapshot, SimError>;
+
+    /// Restore a previously captured state, clearing any poisoning —
+    /// this is what makes restart-after-panic safe: every byte of
+    /// torn state is replaced by the checkpoint's copy.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot was taken from a runner with a
+    /// different task topology.
+    fn restore(&mut self, snap: &RunnerSnapshot) -> Result<(), SimError>;
+}
+
+impl Snapshot for AsyncRunner {
+    fn snapshot(&self) -> Result<RunnerSnapshot, SimError> {
+        if self.in_instant {
+            return Err(SimError::poisoned(
+                "cannot snapshot mid-instant (runner state is torn)",
+            ));
+        }
+        Ok(RunnerSnapshot {
+            instant: self.instant,
+            backend: self.backend,
+            kernel: self.kernel.clone(),
+            counts: self.counts.clone(),
+            recorder: self.recorder.clone(),
+            watchdog: self.watchdog,
+            delayed: self.delayed.clone(),
+            session: self.session,
+            tasks: self
+                .tasks
+                .iter()
+                .map(|t| TaskSnapshot {
+                    state: t.state,
+                    rt: t.rt.clone(),
+                    demoted_states: t.demoted_states.clone(),
+                    fuel_credit: t.fuel_credit,
+                })
+                .collect(),
+        })
+    }
+
+    fn restore(&mut self, snap: &RunnerSnapshot) -> Result<(), SimError> {
+        if snap.tasks.len() != self.tasks.len() {
+            return err(format!(
+                "snapshot has {} tasks, runner has {}",
+                snap.tasks.len(),
+                self.tasks.len()
+            ));
+        }
+        self.instant = snap.instant;
+        self.backend = snap.backend;
+        self.kernel = snap.kernel.clone();
+        self.counts = snap.counts.clone();
+        self.recorder = snap.recorder.clone();
+        self.watchdog = snap.watchdog;
+        self.delayed = snap.delayed.clone();
+        self.session = snap.session;
+        for (t, s) in self.tasks.iter_mut().zip(&snap.tasks) {
+            t.state = s.state;
+            t.rt = s.rt.clone();
+            t.demoted_states = s.demoted_states.clone();
+            t.fuel_credit = s.fuel_credit;
+        }
+        // A restore heals a poisoned runner: the torn state (including
+        // any half-filled scratch) is gone.
+        self.in_instant = false;
+        self.emit_scratch.clear();
+        self.order_scratch.clear();
+        Ok(())
     }
 }
 
@@ -1357,16 +1545,6 @@ impl<'d> InterpRunner<'d> {
         self.rt.backend()
     }
 
-    /// Choose the data backend: VM on/off.
-    #[deprecated(note = "use `set_backend(Backend::Compiled | Backend::Walker)`")]
-    pub fn set_use_vm(&mut self, on: bool) {
-        self.set_backend(if on {
-            Backend::Compiled
-        } else {
-            Backend::Walker
-        });
-    }
-
     /// Compiled-backend coverage of the single design. Control always
     /// runs on the constructive interpreter here, so the report covers
     /// the data path only (`states == fused_states == 0`).
@@ -1384,12 +1562,6 @@ impl<'d> InterpRunner<'d> {
                 demoted_hooks: self.rt.demoted_hooks(),
             }],
         }
-    }
-
-    /// `(vm-compiled hooks, total hooks)` of the design's data path.
-    #[deprecated(note = "use `coverage().vm_compiled()` / `coverage().vm_total()`")]
-    pub fn vm_coverage(&self) -> (u32, u32) {
-        self.rt.vm_coverage()
     }
 
     /// Access the runtime (inspect signal values).
@@ -1466,6 +1638,10 @@ impl Runner for AsyncRunner {
 
     fn now(&self) -> u64 {
         self.instant
+    }
+
+    fn session_id(&self) -> u64 {
+        self.session
     }
 
     fn emit_losses(&self) {

@@ -144,6 +144,23 @@ pub static SIM_WATCHDOG_TRIPS: Counter = Counter::new("sim.watchdog_trips");
 /// Sessions whose panic was contained at the batch boundary.
 pub static SIM_POISONED_SESSIONS: Counter = Counter::new("sim.poisoned_sessions");
 
+// ---- ecl-fleet: session supervision -------------------------------------
+
+/// Checkpoints taken at instant boundaries (initial + periodic).
+pub static FLEET_CHECKPOINTS: Counter = Counter::new("fleet.checkpoints");
+/// Sessions restored from a checkpoint and replayed after a
+/// poisoned/inconclusive outcome.
+pub static FLEET_RESTARTS: Counter = Counter::new("fleet.restarts");
+/// Sessions refused admission by a full shard queue (the top rung of
+/// the pressure ladder).
+pub static FLEET_REJECTED: Counter = Counter::new("fleet.rejected");
+/// Sessions admitted in a degraded mode (trace/spans shed, monitors
+/// sampled).
+pub static FLEET_SHED: Counter = Counter::new("fleet.shed");
+/// Sessions that exhausted their restart budget and escalated to
+/// `Failed`.
+pub static FLEET_FAILED: Counter = Counter::new("fleet.failed_sessions");
+
 /// Every registered counter.
 pub fn counters() -> Vec<&'static Counter> {
     let mut all: Vec<&'static Counter> = vec![
@@ -171,6 +188,11 @@ pub fn counters() -> Vec<&'static Counter> {
         &FAULTS_DEGRADED,
         &SIM_WATCHDOG_TRIPS,
         &SIM_POISONED_SESSIONS,
+        &FLEET_CHECKPOINTS,
+        &FLEET_RESTARTS,
+        &FLEET_REJECTED,
+        &FLEET_SHED,
+        &FLEET_FAILED,
     ];
     all.extend(VM_OPS.iter());
     all

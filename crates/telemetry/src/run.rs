@@ -23,6 +23,17 @@ static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 /// outside a run carry sequence 0).
 static CURRENT_RUN: AtomicU64 = AtomicU64::new(0);
 
+/// Fleet session id of the run currently open (0 outside a fleet).
+/// Best-effort attribution for emitters that have no session handle
+/// of their own (e.g. the degradation ladder in `ecl-faults`).
+static CURRENT_SESSION: AtomicU64 = AtomicU64::new(0);
+
+/// The fleet session id stamped by the most recent
+/// [`Run::start_session`] (0 outside a fleet).
+pub fn current_session() -> u64 {
+    CURRENT_SESSION.load(Ordering::Relaxed)
+}
+
 /// Process-unique run-id prefix: pid + epoch seconds at first use.
 fn run_prefix() -> &'static str {
     static PREFIX: OnceLock<String> = OnceLock::new();
@@ -147,22 +158,36 @@ pub struct Run {
     config: String,
     t0: Instant,
     seq: u64,
+    session: u64,
 }
 
 impl Run {
     /// Open a run: bump the run sequence, stamp it current, emit
-    /// `run_start`.
+    /// `run_start` (with session 0 — fleet supervisors use
+    /// [`Run::start_session`]).
     pub fn start(design: &str, config: &str) -> Run {
+        Run::start_session(design, config, 0)
+    }
+
+    /// Open a run attributed to fleet session `session`: the
+    /// `run_start`/`run_end` bracket carries the id, and
+    /// [`current_session`] reports it until the run closes.
+    pub fn start_session(design: &str, config: &str, session: u64) -> Run {
         let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
         CURRENT_RUN.store(seq, Ordering::Relaxed);
+        CURRENT_SESSION.store(session, Ordering::Relaxed);
         if let Some(e) = event("run_start") {
-            e.str("design", design).str("config", config).emit();
+            e.str("design", design)
+                .str("config", config)
+                .u64("session", session)
+                .emit();
         }
         Run {
             design: design.to_string(),
             config: config.to_string(),
             t0: Instant::now(),
             seq,
+            session,
         }
     }
 
@@ -192,6 +217,7 @@ impl Run {
             let mut e = e
                 .str("design", &self.design)
                 .str("config", &self.config)
+                .u64("session", self.session)
                 .u64("instants", instants)
                 .u64("wall_ns", wall_ns)
                 .f64("instants_per_sec", per_sec);
@@ -207,6 +233,7 @@ impl Run {
             e.emit();
         }
         CURRENT_RUN.store(0, Ordering::Relaxed);
+        CURRENT_SESSION.store(0, Ordering::Relaxed);
         sink::flush();
     }
 }

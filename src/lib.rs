@@ -64,6 +64,7 @@
 pub use codegen;
 pub use ecl_core;
 pub use ecl_faults;
+pub use ecl_fleet;
 pub use ecl_observe;
 pub use ecl_syntax;
 pub use ecl_telemetry;
@@ -104,4 +105,11 @@ pub mod prelude {
 
     // Deterministic fault injection (inert without an installed plan).
     pub use ecl_faults::{FaultPlan, InjectionStats};
+
+    // Supervised session fleets: checkpoint/restore, restart with
+    // backoff, admission control and graceful degradation.
+    pub use ecl_fleet::{
+        FleetConfig, FleetHealth, FleetReport, Pressure, RestartPolicy, SessionReport, SessionSpec,
+        SessionStatus, Supervisor,
+    };
 }

@@ -1,0 +1,219 @@
+//! Checkpoint/restore determinism: a session snapshotted at a random
+//! instant boundary and restored — even into a *fresh* runner built
+//! from the same [`sim::SharedProgram`] — must finish its event
+//! stream bit-identical to an uninterrupted run: same VCD bytes, same
+//! monitor verdicts, same emission counts, same loss accounting.
+//!
+//! The interrupted runner keeps executing *past* the snapshot before
+//! the restore happens, so the test also proves a snapshot is a real
+//! value (deep, immutable) rather than a view of live state.
+//!
+//! Runs fault-free on purpose: the stream-keyed fault sites draw from
+//! process-global RNGs that cannot be rewound to a checkpoint, so
+//! determinism under restore is only promised for faults-off runs
+//! (the fleet's keyed kill/stall sites are exempt — they are pure
+//! functions of `(seed, session, instant)`).
+
+use ecl_core::{Compiler, Design};
+use ecl_observe::{Monitor, MonitorReport, Verdict};
+use efsm::{Backend, BitSet};
+use proptest::prelude::*;
+use sim::runner::{AsyncRunner, Runner, SharedProgram, Snapshot};
+use sim::tb::{InstantEvents, PacketTb};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+fn designs() -> Vec<Design> {
+    Compiler::default()
+        .partition(sim::designs::PROTOCOL_STACK, "toplevel")
+        .expect("protocol stack partitions")
+}
+
+fn shared() -> &'static SharedProgram {
+    static SHARED: OnceLock<SharedProgram> = OnceLock::new();
+    SHARED.get_or_init(|| SharedProgram::compile(designs(), &Default::default()).unwrap())
+}
+
+fn specs() -> &'static Vec<Arc<ecl_observe::MonitorSpec>> {
+    static SPECS: OnceLock<Vec<Arc<ecl_observe::MonitorSpec>>> = OnceLock::new();
+    SPECS.get_or_init(|| {
+        ecl_observe::synthesize_all(&ecl_syntax::parse_str(sim::designs::PROTOCOL_STACK).unwrap())
+            .unwrap()
+    })
+}
+
+/// A short packet stream; `seed` varies the payloads so cases differ.
+fn events(seed: u64) -> Vec<InstantEvents> {
+    PacketTb {
+        packets: 3,
+        corrupt_every: 0,
+        reset_every: 2,
+        seed,
+    }
+    .events()
+}
+
+fn fresh(backend: Backend) -> (AsyncRunner, Vec<Monitor>) {
+    let mut r = AsyncRunner::from_shared(shared(), Default::default(), Default::default());
+    r.set_backend(backend);
+    r.enable_trace(0);
+    let monitors = specs()
+        .iter()
+        .map(|s| {
+            let mut m = Monitor::new(Arc::clone(s));
+            m.bind(r.sig_table());
+            m
+        })
+        .collect();
+    (r, monitors)
+}
+
+/// Drive `events` on the id fast path, stepping monitors in lockstep
+/// (the same loop `Runner::run_events` runs).
+fn drive(runner: &mut AsyncRunner, monitors: &mut [Monitor], events: &[InstantEvents]) {
+    let mut ev_bits = BitSet::new();
+    let mut present = BitSet::new();
+    for ev in events {
+        ev_bits.clear();
+        for (name, v) in &ev.valued {
+            let id = runner.sig_table().lookup(name).expect("known signal");
+            runner.set_input_i64_id(id, *v).unwrap();
+            ev_bits.insert(id.bit());
+        }
+        for name in ev.pure.iter() {
+            if let Some(id) = runner.sig_table().lookup(name) {
+                ev_bits.insert(id.bit());
+            }
+        }
+        let instant = runner.now();
+        runner.instant_ids(&ev_bits, &mut present).unwrap();
+        present.union_with(&ev_bits);
+        let table = Arc::clone(runner.sig_table());
+        for m in monitors.iter_mut() {
+            m.step_ids(instant, &present, &table);
+        }
+    }
+}
+
+/// Everything a restored run must reproduce bit-for-bit.
+#[derive(Debug, PartialEq)]
+struct RunOut {
+    vcd: String,
+    counts: HashMap<String, u64>,
+    verdicts: Vec<(String, Verdict)>,
+    events_lost: u64,
+    instants: u64,
+}
+
+fn finish(mut runner: AsyncRunner, monitors: Vec<Monitor>) -> RunOut {
+    RunOut {
+        vcd: runner.take_trace().expect("trace recorded").to_vcd("ckpt"),
+        counts: runner.counts(),
+        verdicts: MonitorReport::conclude(monitors).verdicts,
+        events_lost: runner.kernel().events_lost,
+        instants: runner.now(),
+    }
+}
+
+/// The property: snapshot at `cut`, keep running `overrun` instants
+/// on the original runner, then restore the snapshot into a fresh
+/// runner and finish the stream there — outputs equal the
+/// uninterrupted run's.
+fn check_restore(
+    seed: u64,
+    cut_frac: usize,
+    overrun: usize,
+    backend: Backend,
+) -> Result<(), TestCaseError> {
+    let ev = events(seed);
+    let cut = cut_frac % ev.len();
+
+    // Uninterrupted reference.
+    let (mut base, mut base_mon) = fresh(backend);
+    drive(&mut base, &mut base_mon, &ev);
+    let want = finish(base, base_mon);
+
+    // Interrupted: run to `cut`, checkpoint, dirty the original
+    // runner past the cut, restore elsewhere, finish there.
+    let (mut orig, mut orig_mon) = fresh(backend);
+    drive(&mut orig, &mut orig_mon, &ev[..cut]);
+    let snap = orig.snapshot().expect("boundary snapshot");
+    let mon_snap: Vec<Monitor> = orig_mon.clone();
+    let over_end = (cut + overrun).min(ev.len());
+    drive(&mut orig, &mut orig_mon, &ev[cut..over_end]);
+    prop_assert_eq!(snap.instant(), cut as u64);
+
+    let (mut resumed, _) = fresh(backend);
+    resumed
+        .restore(&snap)
+        .expect("restore into a sibling runner");
+    let mut resumed_mon = mon_snap;
+    drive(&mut resumed, &mut resumed_mon, &ev[cut..]);
+    let got = finish(resumed, resumed_mon);
+
+    prop_assert_eq!(&got, &want, "restored run diverged (backend {:?})", backend);
+    Ok(())
+}
+
+proptest! {
+    /// Compiled backend: restore-after-checkpoint is invisible.
+    #[test]
+    fn restore_matches_uninterrupted_compiled(
+        seed in 0u64..1000,
+        cut in 0usize..4096,
+        overrun in 0usize..40,
+    ) {
+        check_restore(seed, cut, overrun, Backend::Compiled)?;
+    }
+
+    /// Walker backend: same property, reference execution path.
+    #[test]
+    fn restore_matches_uninterrupted_walker(
+        seed in 0u64..1000,
+        cut in 0usize..4096,
+        overrun in 0usize..40,
+    ) {
+        check_restore(seed, cut, overrun, Backend::Walker)?;
+    }
+}
+
+/// A snapshot taken mid-instant must be refused, and restoring a
+/// poisoned runner heals it (the fleet's recovery path).
+#[test]
+fn snapshot_refused_mid_instant_and_restore_heals_poison() {
+    let ev = events(1999);
+    let (mut r, mut mon) = fresh(Backend::Compiled);
+    drive(&mut r, &mut mon, &ev[..10]);
+    let snap = r.snapshot().expect("boundary snapshot");
+
+    // Poison the runner with an injected panic mid-instant.
+    ecl_faults::install(ecl_faults::FaultPlan {
+        panic_at: Some(12),
+        ..ecl_faults::FaultPlan::seeded(5)
+    });
+    let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        drive(&mut r, &mut mon, &ev[10..20]);
+    }));
+    ecl_faults::uninstall();
+    assert!(poisoned.is_err(), "panic site must fire");
+    assert!(
+        r.snapshot().is_err(),
+        "snapshot of a torn runner must be refused"
+    );
+
+    // Restore heals: the runner finishes the stream as if never hurt.
+    r.restore(&snap).expect("restore clears the poison latch");
+    let mut mon2: Vec<Monitor> = specs()
+        .iter()
+        .map(|s| {
+            let mut m = Monitor::new(Arc::clone(s));
+            m.bind(r.sig_table());
+            m
+        })
+        .collect();
+    // Monitors restart from scratch against the full replay of the
+    // reference run's stream suffix.
+    drive(&mut r, &mut mon2, &ev[10..]);
+    assert_eq!(r.now(), ev.len() as u64);
+    assert!(r.snapshot().is_ok(), "healed runner snapshots again");
+}

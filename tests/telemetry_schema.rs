@@ -76,10 +76,12 @@ fn every_emitted_line_is_schema_valid_and_all_kinds_appear() {
     k.emit_events_lost_event();
 
     // Error instants come from failed simulation; the builder-level
-    // path is the same, so emit one synthetically.
+    // path is the same, so emit one synthetically (schema v3: error
+    // lines must attribute a session — 0 outside a fleet).
     ecl_telemetry::event("error")
         .expect("telemetry on + sink installed")
         .u64("instant", 0)
+        .u64("session", 0)
         .str("msg", "synthetic error for the schema test")
         .emit();
 
@@ -105,6 +107,38 @@ fn every_emitted_line_is_schema_valid_and_all_kinds_appear() {
     let stats = ecl_faults::uninstall().expect("plan was installed");
     assert!(stats.dropped_external > 0, "drops must fire: {stats:?}");
     assert!(stats.vm_demotions > 0, "demotions must fire: {stats:?}");
+
+    // A two-session fleet: session-id-keyed run brackets plus the
+    // aggregate `fleet_health` snapshot line.
+    let fleet_events = std::sync::Arc::new(
+        PacketTb {
+            packets: 2,
+            corrupt_every: 0,
+            reset_every: 0,
+            seed: 1999,
+        }
+        .events(),
+    );
+    let sup = ecl_fleet::Supervisor::new(
+        vec![design.clone()],
+        &Default::default(),
+        ecl_fleet::FleetConfig {
+            shards: 1,
+            ..Default::default()
+        },
+    )
+    .expect("fleet compiles");
+    let fleet = sup.run(
+        (1..=2)
+            .map(|id| ecl_fleet::SessionSpec {
+                id,
+                events: std::sync::Arc::clone(&fleet_events),
+                specs: specs.clone(),
+                trace_capacity: None,
+            })
+            .collect(),
+    );
+    assert_eq!(fleet.health.finished, 2, "{:?}", fleet.health);
 
     ecl_telemetry::sink::flush();
     let lines = sink.lines();
@@ -136,22 +170,29 @@ fn every_emitted_line_is_schema_valid_and_all_kinds_appear() {
         "events_lost",
         "fault_injected",
         "degraded",
+        "fleet_health",
     ] {
         assert!(kinds.contains(kind), "stream carries no `{kind}` line");
     }
-    // Three bracketed runs → at least two distinct correlation ids
+    // Five bracketed runs → at least two distinct correlation ids
     // (the kernel/error lines outside any bracket get the idle id).
     assert!(run_ids.len() >= 2, "run ids: {run_ids:?}");
 
-    // The two brackets pair up: every run_start has a run_end with
-    // the same run_id and a positive instant count.
+    // The brackets pair up: every run_start has a run_end with the
+    // same run_id and a positive instant count; the fleet's two
+    // brackets carry non-zero session ids.
     let mut starts = BTreeSet::new();
     let mut ends = BTreeSet::new();
+    let mut fleet_sessions = BTreeSet::new();
     for line in &lines {
         let j = parse(line).unwrap();
         let id = j.get("run_id").unwrap().as_str().unwrap().to_string();
         match j.get("event").unwrap().as_str().unwrap() {
             "run_start" => {
+                let session = j.get("session").and_then(|v| v.as_u64()).unwrap();
+                if session > 0 {
+                    fleet_sessions.insert(session);
+                }
                 starts.insert(id);
             }
             "run_end" => {
@@ -162,5 +203,6 @@ fn every_emitted_line_is_schema_valid_and_all_kinds_appear() {
         }
     }
     assert_eq!(starts, ends, "unbalanced run brackets");
-    assert_eq!(starts.len(), 3);
+    assert_eq!(starts.len(), 5, "3 solo runs + 2 fleet sessions");
+    assert_eq!(fleet_sessions, [1, 2].into_iter().collect());
 }
